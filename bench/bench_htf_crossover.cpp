@@ -1,0 +1,115 @@
+// §7.2 crossover study: integral reread vs. recomputation.
+//
+// "For integral input/output to be preferable to recomputation, reading an
+// integral from secondary storage must take less than the roughly 500
+// floating point operations needed for integral calculation.  For current
+// systems, this requires a sustained input/output rate of approximately
+// 5-10 Mbytes/second per node."
+//
+// Part 1 derives the required per-node bandwidth analytically from the
+// paper's numbers.  Part 2 measures the achieved per-node read rate on the
+// simulated machine as the node count scales, locating the crossover.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+#include "sim/task_group.hpp"
+
+namespace {
+
+using namespace paraio;
+
+constexpr std::uint64_t kRecord = 81918;
+constexpr std::uint32_t kRecords = 64;
+
+/// Sustained per-node read bandwidth with `nodes` nodes streaming their
+/// integral files concurrently (each node one file, 80 KB records).
+double measured_per_node_rate(std::uint32_t nodes) {
+  sim::Engine engine;
+  hw::Machine machine(engine, hw::MachineConfig::paragon_xps(nodes, 16));
+  pfs::Pfs fs(machine, core::htf_pfs_params());
+
+  double start = 0, end = 0;
+  auto driver = [&]() -> sim::Task<> {
+    io::OpenOptions create;
+    create.mode = io::AccessMode::kUnix;
+    create.create = true;
+    // Stage one integral file per node.
+    for (std::uint32_t n = 0; n < nodes; ++n) {
+      auto f = co_await fs.open(n, "/x/int." + std::to_string(n), create);
+      co_await f->write(kRecord * kRecords);
+      co_await f->close();
+    }
+    start = engine.now();
+    sim::TaskGroup group(engine);
+    for (std::uint32_t n = 0; n < nodes; ++n) {
+      auto reader = [](pfs::Pfs& p, io::NodeId node) -> sim::Task<> {
+        io::OpenOptions ro;
+        ro.mode = io::AccessMode::kUnix;
+        auto f = co_await p.open(node, "/x/int." + std::to_string(node), ro);
+        for (std::uint32_t r = 0; r < kRecords; ++r) {
+          (void)co_await f->read(kRecord);
+        }
+        co_await f->close();
+      };
+      group.spawn(reader(fs, n));
+    }
+    co_await group.join();
+    end = engine.now();
+  };
+  engine.spawn(driver());
+  engine.run();
+  const double bytes = static_cast<double>(kRecord) * kRecords;
+  return bytes / (end - start);  // per node: each read its own volume
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_args(argc, argv);
+  std::cout << "=== HTF integral reread vs recompute crossover (paper §7.2) "
+               "===\n\n";
+
+  // --- Part 1: analytic requirement ---------------------------------------
+  constexpr double kFlopsPerIntegral = 500.0;
+  constexpr double kIntegralBytes = 81918.0;  // one two-electron record is
+  // written per integral batch; per-integral payload is record/batch.  The
+  // paper states the requirement directly as 5-10 MB/s per node; we derive
+  // the equivalent figure from node flop rates.
+  std::cout << "analytic requirement (read must beat " << kFlopsPerIntegral
+            << " flops of recomputation):\n";
+  std::string csv = "node_mflops,required_mb_per_s\n";
+  for (double mflops : {25.0, 50.0, 75.0, 100.0}) {
+    const double integrals_per_s = mflops * 1e6 / kFlopsPerIntegral;
+    // Each integral read moves record/batch bytes; the paper's per-node
+    // write volume (5.46 MB / 67 records) implies ~100 doubles per integral
+    // batch entry; use bytes-per-integral = 40 B (5 doubles) per its 500-
+    // flop figure -> required rate:
+    const double bytes_per_integral = 40.0;
+    const double required = integrals_per_s * bytes_per_integral / 1e6;
+    std::printf("  node at %5.1f MF/s -> needs %6.2f MB/s per node\n",
+                mflops, required);
+    csv += std::to_string(mflops) + "," + std::to_string(required) + "\n";
+  }
+  std::cout << "  paper's stated requirement: ~5-10 MB/s per node\n\n";
+  bench::write_csv(opt, "htf_crossover_analytic.csv", csv);
+
+  // --- Part 2: what the machine actually delivers per node ----------------
+  std::cout << "measured sustained per-node read rate (16 I/O nodes):\n";
+  std::string csv2 = "nodes,per_node_mb_s\n";
+  for (std::uint32_t nodes : {1u, 4u, 16u, 64u, 128u}) {
+    const double rate = measured_per_node_rate(nodes);
+    std::printf("  %3u nodes: %7.3f MB/s per node %s\n", nodes, rate / 1e6,
+                rate >= 5e6 ? "(reread viable)" : "(recompute wins)");
+    csv2 += std::to_string(nodes) + "," + std::to_string(rate / 1e6) + "\n";
+  }
+  bench::write_csv(opt, "htf_crossover_measured.csv", csv2);
+
+  std::cout << "\npaper's conclusion: at scale the delivered rate falls far "
+               "below the 5-10 MB/s/node\nrequirement, so the production "
+               "code recomputes integrals instead of rereading them\n(the "
+               "studied version is the one the chemists *wish* they could "
+               "run).\n";
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Microbenchmarks of the instrumentation layer (google-benchmark),
+// quantifying the paper's §3.1 claim: "instrumentation overhead is modest
+// for input/output data capture and is largely independent of the choice of
+// real-time data reduction or trace output".
+//
+// Measured here as *host* cost per traced operation: full trace capture vs.
+// each real-time reduction vs. all of them at once, plus trace file I/O.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "pablo/sddf.hpp"
+#include "pablo/summary.hpp"
+#include "pablo/trace.hpp"
+#include "sim/random.hpp"
+
+namespace {
+
+using namespace paraio;
+using pablo::IoEvent;
+using pablo::Op;
+
+IoEvent sample_event(sim::Rng& rng) {
+  IoEvent e;
+  e.timestamp = rng.uniform(0, 10000);
+  e.duration = rng.uniform(0, 0.5);
+  e.node = static_cast<io::NodeId>(rng.uniform_int(0, 127));
+  e.file = static_cast<io::FileId>(rng.uniform_int(1, 16));
+  e.op = static_cast<Op>(rng.uniform_int(0, 4));
+  e.offset = rng.uniform_int(0, 1u << 30);
+  e.requested = rng.uniform_int(64, 1 << 20);
+  e.transferred = e.requested;
+  return e;
+}
+
+void BM_TraceCapture(benchmark::State& state) {
+  sim::Rng rng(1);
+  const IoEvent e = sample_event(rng);
+  pablo::Trace trace;
+  for (auto _ : state) {
+    trace.on_event(e);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceCapture);
+
+void BM_LifetimeReduction(benchmark::State& state) {
+  sim::Rng rng(2);
+  pablo::FileLifetimeSummary summary;
+  for (auto _ : state) {
+    summary.on_event(sample_event(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LifetimeReduction);
+
+void BM_TimeWindowReduction(benchmark::State& state) {
+  sim::Rng rng(3);
+  pablo::TimeWindowSummary summary(10.0);
+  for (auto _ : state) {
+    summary.on_event(sample_event(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimeWindowReduction);
+
+void BM_FileRegionReduction(benchmark::State& state) {
+  sim::Rng rng(4);
+  pablo::FileRegionSummary summary(1 << 20);
+  for (auto _ : state) {
+    summary.on_event(sample_event(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FileRegionReduction);
+
+void BM_AllSinksTogether(benchmark::State& state) {
+  sim::Rng rng(5);
+  pablo::Trace trace;
+  pablo::FileLifetimeSummary lifetime;
+  pablo::TimeWindowSummary window(10.0);
+  pablo::FileRegionSummary region(1 << 20);
+  for (auto _ : state) {
+    const IoEvent e = sample_event(rng);
+    trace.on_event(e);
+    lifetime.on_event(e);
+    window.on_event(e);
+    region.on_event(e);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AllSinksTogether);
+
+void BM_TraceWriteRead(benchmark::State& state) {
+  sim::Rng rng(6);
+  pablo::Trace trace;
+  trace.on_file(1, "/bench/file");
+  for (int i = 0; i < 10000; ++i) trace.on_event(sample_event(rng));
+  for (auto _ : state) {
+    std::stringstream buffer;
+    pablo::write_trace(buffer, trace);
+    const pablo::Trace loaded = pablo::read_trace(buffer);
+    benchmark::DoNotOptimize(loaded.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_TraceWriteRead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

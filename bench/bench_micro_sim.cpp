@@ -1,0 +1,149 @@
+// Microbenchmarks of the simulation substrate (google-benchmark): event
+// queue, coroutine scheduling, synchronization, striping, and the PPFS
+// bookkeeping structures.  These bound how large a simulated machine the
+// toolkit can handle per wall-clock second.
+#include <benchmark/benchmark.h>
+
+#include "pfs/stripe.hpp"
+#include "ppfs/cache.hpp"
+#include "ppfs/extent.hpp"
+#include "sim/channel.hpp"
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/sync.hpp"
+
+namespace {
+
+using namespace paraio;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < n; ++i) {
+      q.schedule(static_cast<double>((i * 7919) % 104729), [] {});
+    }
+    while (!q.empty()) q.pop().second();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1000)->Arg(100000);
+
+void BM_EngineTimerChain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine e;
+    auto proc = [](sim::Engine& eng, int steps) -> sim::Task<> {
+      for (int i = 0; i < steps; ++i) co_await eng.delay(1.0);
+    };
+    e.spawn(proc(e, n));
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineTimerChain)->Arg(1000)->Arg(100000);
+
+void BM_EngineManyProcesses(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine e;
+    auto proc = [](sim::Engine& eng) -> sim::Task<> {
+      for (int i = 0; i < 10; ++i) co_await eng.delay(1.0);
+    };
+    for (int p = 0; p < procs; ++p) e.spawn(proc(e));
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * procs * 10);
+}
+BENCHMARK(BM_EngineManyProcesses)->Arg(128)->Arg(4096);
+
+void BM_ChannelPingPong(benchmark::State& state) {
+  const int msgs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine e;
+    sim::Channel<int> ch(e, 8);
+    auto producer = [](sim::Channel<int>& c, int n) -> sim::Task<> {
+      for (int i = 0; i < n; ++i) co_await c.send(i);
+    };
+    auto consumer = [](sim::Channel<int>& c, int n) -> sim::Task<> {
+      for (int i = 0; i < n; ++i) (void)co_await c.recv();
+    };
+    e.spawn(producer(ch, msgs));
+    e.spawn(consumer(ch, msgs));
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * msgs);
+}
+BENCHMARK(BM_ChannelPingPong)->Arg(10000);
+
+void BM_SemaphoreContention(benchmark::State& state) {
+  const int tasks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine e;
+    sim::Semaphore sem(e, 1);
+    auto proc = [](sim::Engine& eng, sim::Semaphore& s) -> sim::Task<> {
+      for (int i = 0; i < 16; ++i) {
+        co_await s.acquire();
+        co_await eng.delay(0.001);
+        s.release();
+      }
+    };
+    for (int t = 0; t < tasks; ++t) e.spawn(proc(e, sem));
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * tasks * 16);
+}
+BENCHMARK(BM_SemaphoreContention)->Arg(64);
+
+void BM_StripeDecompose(benchmark::State& state) {
+  pfs::StripeParams params;
+  params.unit = 64 * 1024;
+  params.io_nodes = 16;
+  pfs::StripeMap map(params);
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    const auto offset = rng.uniform_int(0, 1u << 30);
+    const auto segs = map.decompose(offset, 3 * 1024 * 1024);
+    benchmark::DoNotOptimize(segs.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StripeDecompose);
+
+void BM_ExtentSetSequentialInserts(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ppfs::ExtentSet set;
+    for (int i = 0; i < n; ++i) {
+      set.insert(static_cast<std::uint64_t>(i) * 2048, 2048);
+    }
+    benchmark::DoNotOptimize(set.total_bytes());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ExtentSetSequentialInserts)->Arg(1000);
+
+void BM_BlockCacheLookups(benchmark::State& state) {
+  ppfs::BlockCache cache(1024);
+  for (std::uint64_t b = 0; b < 1024; ++b) cache.insert({1, b});
+  sim::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup({1, rng.uniform_int(0, 2047)}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockCacheLookups);
+
+void BM_RngThroughput(benchmark::State& state) {
+  sim::Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_u64());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Shared helpers for the table/figure reproduction binaries.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+namespace paraio::bench {
+
+struct Options {
+  bool figures = false;       // render ASCII figures
+  std::string csv_dir;        // write CSV series when non-empty
+};
+
+inline Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--figures") {
+      opt.figures = true;
+    } else if (arg == "--csv" && i + 1 < argc) {
+      opt.csv_dir = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0] << " [--figures] [--csv DIR]\n"
+                << "  --figures   render the paper's figures as ASCII plots\n"
+                << "  --csv DIR   also write table/figure data as CSV\n";
+      std::exit(0);
+    }
+  }
+  return opt;
+}
+
+inline void write_csv(const Options& opt, const std::string& name,
+                      const std::string& contents) {
+  if (opt.csv_dir.empty()) return;
+  std::filesystem::create_directories(opt.csv_dir);
+  std::ofstream out(opt.csv_dir + "/" + name);
+  out << contents;
+  std::cout << "  [csv] " << opt.csv_dir << "/" << name << "\n";
+}
+
+}  // namespace paraio::bench

@@ -1,0 +1,123 @@
+// Workload mixes (§8): "The impact of file system changes on real
+// applications or application mixes depends on much more complex
+// application structure, suggesting that the development of larger
+// application skeletons and workload mixes are an essential part of
+// developing high performance input/output systems."
+//
+// Two skeletons share one machine: a checkpoint-style writer (ESCAT-like
+// bursts of small records) and a scan-style reader (HTF-SCF-like record
+// streaming).  Each runs solo and then mixed, on PFS and on tuned PPFS;
+// the slowdown factors quantify the interference — and show that the
+// policy fix for one workload also changes how it *interferes*.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "apps/synthetic.hpp"
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+#include "sim/task_group.hpp"
+
+namespace {
+
+using namespace paraio;
+
+constexpr std::uint32_t kNodes = 32;  // 16 checkpointers + 16 scanners
+
+apps::SyntheticConfig checkpoint_cfg() {
+  apps::SyntheticConfig cfg = apps::SyntheticPresets::checkpoint(16, 24, 2048);
+  cfg.file_prefix = "/mix/checkpoint";
+  cfg.seed = 1;
+  return cfg;
+}
+
+apps::SyntheticConfig scan_cfg() {
+  apps::SyntheticConfig cfg = apps::SyntheticPresets::scan(16, 48, 81920);
+  cfg.file_prefix = "/mix/scan";
+  cfg.seed = 2;
+  return cfg;
+}
+
+struct MixResult {
+  double checkpoint_span = 0;
+  double scan_span = 0;
+};
+
+/// Runs the selected workloads (either or both) and returns their spans.
+MixResult run(bool with_checkpoint, bool with_scan, bool use_ppfs) {
+  sim::Engine engine;
+  hw::Machine machine(engine, hw::MachineConfig::paragon_xps(kNodes, 4));
+  std::unique_ptr<io::FileSystem> fs;
+  if (use_ppfs) {
+    ppfs::PpfsParams p = ppfs::PpfsParams::write_behind_aggregation();
+    p.prefetch = ppfs::PrefetchPolicy::kAdaptive;
+    fs = std::make_unique<ppfs::Ppfs>(machine, p);
+  } else {
+    fs = std::make_unique<pfs::Pfs>(machine, core::escat_pfs_params());
+  }
+
+  MixResult result;
+  auto driver = [&]() -> sim::Task<> {
+    apps::Synthetic checkpoint(machine, *fs, checkpoint_cfg());
+    apps::Synthetic scan(machine, *fs, scan_cfg());
+    if (with_checkpoint) co_await checkpoint.stage(*fs);
+    if (with_scan) co_await scan.stage(*fs);
+
+    sim::TaskGroup group(engine);
+    const double t0 = engine.now();
+    auto timed = [&engine, t0](apps::Synthetic& app,
+                               double* span) -> sim::Task<> {
+      co_await app.run();
+      *span = engine.now() - t0;
+    };
+    if (with_checkpoint) {
+      group.spawn(timed(checkpoint, &result.checkpoint_span));
+    }
+    if (with_scan) group.spawn(timed(scan, &result.scan_span));
+    co_await group.join();
+  };
+  engine.spawn(driver());
+  engine.run();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_args(argc, argv);
+  std::cout << "=== Workload mix interference (paper §8) ===\n"
+            << "16 checkpoint writers (24 x 2 KB bursts) + 16 scan readers "
+               "(48 x 80 KB) on 4 I/O nodes\n\n";
+
+  std::string csv = "fs,workload,solo_s,mixed_s,slowdown\n";
+  for (bool use_ppfs : {false, true}) {
+    const char* fs_name = use_ppfs ? "PPFS tuned" : "PFS";
+    const MixResult solo_ckpt = run(true, false, use_ppfs);
+    const MixResult solo_scan = run(false, true, use_ppfs);
+    const MixResult mixed = run(true, true, use_ppfs);
+    std::printf("%s:\n", fs_name);
+    std::printf("  %-12s solo %8.2f s   mixed %8.2f s   slowdown %5.2fx\n",
+                "checkpoint", solo_ckpt.checkpoint_span,
+                mixed.checkpoint_span,
+                mixed.checkpoint_span / solo_ckpt.checkpoint_span);
+    std::printf("  %-12s solo %8.2f s   mixed %8.2f s   slowdown %5.2fx\n\n",
+                "scan", solo_scan.scan_span, mixed.scan_span,
+                mixed.scan_span / solo_scan.scan_span);
+    csv += std::string(fs_name) + ",checkpoint," +
+           std::to_string(solo_ckpt.checkpoint_span) + "," +
+           std::to_string(mixed.checkpoint_span) + "," +
+           std::to_string(mixed.checkpoint_span / solo_ckpt.checkpoint_span) +
+           "\n";
+    csv += std::string(fs_name) + ",scan," +
+           std::to_string(solo_scan.scan_span) + "," +
+           std::to_string(mixed.scan_span) + "," +
+           std::to_string(mixed.scan_span / solo_scan.scan_span) + "\n";
+  }
+  std::cout << "shape check: on PFS the checkpoint bursts and the scan "
+               "stream interfere through the\nshared control servers and "
+               "arrays; tuned PPFS absorbs the small writes client-side, "
+               "so the\nmix behaves nearly like the solo runs — isolated "
+               "kernels mispredict both.\n";
+  bench::write_csv(opt, "workload_mix.csv", csv);
+  return 0;
+}

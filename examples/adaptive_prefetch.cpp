@@ -1,0 +1,117 @@
+// Adaptive prefetching — the paper's stated future work (§10): "general,
+// adaptive prefetching methods that can learn to hide input/output latency
+// by automatically classifying and predicting access patterns."
+//
+// One process reads a file in three successive regimes — sequential,
+// strided, random — through a PPFS mount with the adaptive prefetcher.  The
+// example prints what the on-line classifier believed during each regime and
+// how the cache hit rate responded.
+//
+//   $ ./examples/adaptive_prefetch
+#include <cstdio>
+#include <iostream>
+
+#include "hw/machine.hpp"
+#include "ppfs/ppfs.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+
+using namespace paraio;
+
+int main() {
+  sim::Engine engine;
+  hw::Machine machine(engine, hw::MachineConfig::paragon_xps(2, 4));
+  ppfs::PpfsParams params;
+  params.prefetch = ppfs::PrefetchPolicy::kAdaptive;
+  params.prefetch_depth = 4;
+  params.cache_blocks = 512;
+  ppfs::Ppfs fs(machine, params);
+
+  struct RegimeReport {
+    const char* name;
+    const char* classified;
+    double seconds;
+    std::uint64_t hits;
+    std::uint64_t misses;
+    std::uint64_t speculative_used;
+    std::uint64_t issued;
+  };
+  std::vector<RegimeReport> reports;
+  std::uint64_t issued_before = 0;
+
+  auto driver = [&]() -> sim::Task<> {
+    io::OpenOptions create;
+    create.mode = io::AccessMode::kUnix;
+    create.create = true;
+    auto f = co_await fs.open(0, "/demo/big", create);
+    co_await f->write(32 * 1024 * 1024);
+    co_await f->close();
+
+    io::OpenOptions ro;
+    ro.mode = io::AccessMode::kUnix;
+    auto g = co_await fs.open(0, "/demo/big", ro);
+    sim::Rng rng(11);
+
+    auto snapshot = [&](const char* name,
+                        double t0,
+                        const ppfs::CacheStats& before) {
+      const auto& now = fs.node_cache(0).stats();
+      const ppfs::PpfsFile& handle = static_cast<ppfs::PpfsFile&>(*g);
+      reports.push_back(RegimeReport{
+          name, ppfs::to_string(handle.classifier().pattern()),
+          engine.now() - t0, now.hits - before.hits,
+          now.misses - before.misses,
+          now.prefetched_used - before.prefetched_used,
+          fs.counters().prefetch_issued - issued_before});
+      issued_before = fs.counters().prefetch_issued;
+    };
+
+    // Regime 1: sequential streaming.
+    ppfs::CacheStats before = fs.node_cache(0).stats();
+    double t0 = engine.now();
+    for (int i = 0; i < 64; ++i) {
+      (void)co_await g->read(64 * 1024);
+      co_await engine.delay(0.05);
+    }
+    snapshot("sequential", t0, before);
+
+    // Regime 2: strided probing (4 KB every 256 KB).
+    before = fs.node_cache(0).stats();
+    t0 = engine.now();
+    for (int i = 0; i < 64; ++i) {
+      co_await g->seek(8 * 1024 * 1024 + i * 256 * 1024ULL);
+      (void)co_await g->read(4096);
+      co_await engine.delay(0.05);
+    }
+    snapshot("strided", t0, before);
+
+    // Regime 3: random probes — the prefetcher should stand down.
+    before = fs.node_cache(0).stats();
+    t0 = engine.now();
+    for (int i = 0; i < 64; ++i) {
+      co_await g->seek(rng.uniform_int(0, 511) * 64 * 1024ULL);
+      (void)co_await g->read(4096);
+      co_await engine.delay(0.05);
+    }
+    snapshot("random", t0, before);
+    co_await g->close();
+  };
+
+  engine.spawn(driver());
+  engine.run();
+
+  std::printf("%-12s %-12s %10s %8s %8s %12s %8s\n", "regime", "classified",
+              "seconds", "hits", "misses", "spec. used", "issued");
+  for (const auto& r : reports) {
+    std::printf("%-12s %-12s %10.2f %8llu %8llu %12llu %8llu\n", r.name,
+                r.classified, r.seconds,
+                static_cast<unsigned long long>(r.hits),
+                static_cast<unsigned long long>(r.misses),
+                static_cast<unsigned long long>(r.speculative_used),
+                static_cast<unsigned long long>(r.issued));
+  }
+  std::cout << "\nthe classifier commits to sequential and strided regimes "
+               "and largely stands down on random\naccess — the adaptive "
+               "behaviour the paper's conclusions call for.\n";
+  return 0;
+}

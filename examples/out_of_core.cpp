@@ -1,0 +1,116 @@
+// Out-of-core computation — the third of the paper's I/O classes (§2):
+// "many important problems have data structures far too large for primary
+// memory storage to ever be economically viable."
+//
+// An out-of-core matrix transpose: a matrix of `kPanels` x `kPanels` square
+// panels lives in a scratch file; each node holds one panel row in memory
+// at a time.  Pass 1 writes the matrix by panel rows; pass 2 produces the
+// transpose by reading panel *columns* (a strided pattern) and writing the
+// result by rows.  Run under two PPFS mounts to see what the strided pass
+// costs and what adaptive prefetch recovers.
+//
+//   $ ./examples/out_of_core
+#include <cstdio>
+#include <iostream>
+
+#include "hw/machine.hpp"
+#include "ppfs/ppfs.hpp"
+#include "sim/engine.hpp"
+#include "sim/task_group.hpp"
+
+using namespace paraio;
+
+namespace {
+
+constexpr std::uint32_t kNodes = 8;
+constexpr std::uint32_t kPanels = 16;           // kPanels x kPanels grid
+constexpr std::uint64_t kPanelBytes = 256 * 1024;
+
+std::uint64_t panel_offset(std::uint32_t row, std::uint32_t col) {
+  return (static_cast<std::uint64_t>(row) * kPanels + col) * kPanelBytes;
+}
+
+// Node n owns panel rows n, n+kNodes, ...
+sim::Task<> transpose_node(hw::Machine& m, io::FileSystem& fs,
+                           io::NodeId node, double* strided_seconds) {
+  io::OpenOptions o;
+  o.mode = io::AccessMode::kUnix;
+  o.create = true;
+  auto src = co_await fs.open(node, "/ooc/matrix", o);
+  auto dst = co_await fs.open(node, "/ooc/transposed", o);
+
+  // Pass 1: populate owned panel rows (sequential within each row).
+  for (std::uint32_t row = node; row < kPanels; row += kNodes) {
+    co_await src->seek(panel_offset(row, 0));
+    for (std::uint32_t col = 0; col < kPanels; ++col) {
+      co_await m.engine().delay(0.01);  // generate the panel
+      co_await src->write(kPanelBytes);
+    }
+  }
+  co_await src->flush();
+
+  // Pass 2: for each owned output row, read the input *column* (stride =
+  // one panel row of the file) and write the output row sequentially.
+  const double t0 = m.engine().now();
+  for (std::uint32_t row = node; row < kPanels; row += kNodes) {
+    for (std::uint32_t col = 0; col < kPanels; ++col) {
+      co_await src->seek(panel_offset(col, row));  // column-major visit
+      (void)co_await src->read(kPanelBytes);
+      co_await m.engine().delay(0.005);  // transpose the panel in memory
+    }
+    co_await dst->seek(panel_offset(row, 0));
+    for (std::uint32_t col = 0; col < kPanels; ++col) {
+      co_await dst->write(kPanelBytes);
+    }
+  }
+  *strided_seconds += m.engine().now() - t0;
+  co_await src->close();
+  co_await dst->close();
+}
+
+double run(const ppfs::PpfsParams& params, double* strided_seconds) {
+  sim::Engine engine;
+  hw::Machine machine(engine, hw::MachineConfig::paragon_xps(kNodes, 4));
+  ppfs::Ppfs fs(machine, params);
+  auto driver = [&]() -> sim::Task<> {
+    sim::TaskGroup group(engine);
+    for (io::NodeId n = 0; n < kNodes; ++n) {
+      group.spawn(transpose_node(machine, fs, n, strided_seconds));
+    }
+    co_await group.join();
+  };
+  engine.spawn(driver());
+  return engine.run();
+}
+
+}  // namespace
+
+int main() {
+  const double total_mb =
+      kPanels * static_cast<double>(kPanels) * kPanelBytes / 1e6;
+  std::cout << "out-of-core transpose of a " << total_mb << " MB matrix ("
+            << kPanels << "x" << kPanels << " panels of " << kPanelBytes / 1024
+            << " KB) on " << kNodes << " nodes\n\n";
+
+  struct Mount {
+    const char* name;
+    ppfs::PpfsParams params;
+  };
+  Mount mounts[2] = {{"PPFS, no policies", ppfs::PpfsParams::no_policies()},
+                     {"PPFS, adaptive prefetch + write-behind", {}}};
+  mounts[1].params.prefetch = ppfs::PrefetchPolicy::kAdaptive;
+  mounts[1].params.prefetch_depth = 4;
+  mounts[1].params.cache_blocks = 128;
+
+  std::printf("  %-40s %12s %22s\n", "mount", "total (s)",
+              "strided pass node-s");
+  for (const Mount& mnt : mounts) {
+    double strided = 0;
+    const double total = run(mnt.params, &strided);
+    std::printf("  %-40s %12.2f %22.2f\n", mnt.name, total, strided);
+  }
+  std::cout << "\nthe strided column-read pass is where out-of-core "
+               "algorithms live or die — the paper's\n§2 point that larger "
+               "memories shrink but never eliminate this class of I/O.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Off-line trace analysis — the Pablo workflow's second half: load a
+// self-describing trace file and reduce it every way the library knows.
+//
+//   $ ./examples/characterize escat /tmp/escat.sddf
+//   $ ./examples/trace_analysis /tmp/escat.sddf
+//
+// With no argument it generates a small demonstration trace first.
+#include <iostream>
+#include <string>
+
+#include "analysis/report.hpp"
+#include "analysis/tables.hpp"
+#include "analysis/timeline.hpp"
+#include "core/experiment.hpp"
+#include "pablo/sddf.hpp"
+#include "pablo/summary.hpp"
+
+using namespace paraio;
+
+int main(int argc, char** argv) {
+  std::string path;
+  if (argc > 1) {
+    path = argv[1];
+  } else {
+    path = "/tmp/paraio_demo_trace.sddf";
+    std::cout << "no trace given; generating a small ESCAT run into " << path
+              << "\n\n";
+    core::ExperimentConfig cfg = core::escat_experiment();
+    auto& app = std::get<apps::EscatConfig>(cfg.app);
+    app.nodes = 16;
+    app.iterations = 8;
+    app.seek_free_iterations = 2;
+    cfg.machine = hw::MachineConfig::paragon_xps(16, 4);
+    const auto r = core::run_experiment(cfg);
+    pablo::write_trace_file(path, r.trace);
+  }
+
+  const pablo::Trace trace = pablo::read_trace_file(path);
+  std::cout << "loaded " << trace.size() << " events spanning ["
+            << trace.start_time() << ", " << trace.end_time() << "] s, "
+            << trace.files().size() << " files\n\n";
+
+  analysis::OperationTable ops(trace);
+  std::cout << analysis::to_text(ops, "Operation table");
+  std::cout << '\n';
+
+  // The three Pablo real-time reductions can equally run post hoc.
+  pablo::FileLifetimeSummary lifetime;
+  lifetime.absorb(trace);
+  std::cout << "File lifetimes:\n";
+  for (const auto& [id, entry] : lifetime.files()) {
+    std::cout << "  " << trace.file_name(id) << ": "
+              << entry.counters.total_ops() << " ops, open "
+              << entry.open_time << " s\n";
+  }
+
+  pablo::TimeWindowSummary windows((trace.end_time() - trace.start_time()) /
+                                       8.0 +
+                                   1e-9);
+  windows.absorb(trace);
+  std::cout << "\nActivity by time window (ops per eighth of the run):\n  ";
+  for (const auto& [idx, counters] : windows.windows()) {
+    std::cout << counters.total_ops() << ' ';
+  }
+  std::cout << "\n\n";
+
+  analysis::PlotOptions po;
+  po.log_y = true;
+  po.title = "Write timeline from the loaded trace";
+  std::cout << analysis::ascii_plot(
+      analysis::timeline(trace, analysis::OpFamily::kWrites), po);
+  return 0;
+}

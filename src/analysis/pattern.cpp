@@ -1,0 +1,107 @@
+#include "analysis/pattern.hpp"
+
+#include <algorithm>
+
+namespace paraio::analysis {
+
+const char* to_string(AccessPattern pattern) {
+  switch (pattern) {
+    case AccessPattern::kSingle:
+      return "single";
+    case AccessPattern::kSequential:
+      return "sequential";
+    case AccessPattern::kStrided:
+      return "strided";
+    case AccessPattern::kRandom:
+      return "random";
+  }
+  return "unknown";
+}
+
+StreamClass classify_stream(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& requests,
+    double threshold) {
+  StreamClass result;
+  result.ops = requests.size();
+  for (const auto& [offset, size] : requests) result.bytes += size;
+  if (requests.size() < 3) {
+    result.pattern = AccessPattern::kSingle;
+    // A 2-request stream still has a meaningful sequential fraction.
+    if (requests.size() == 2) {
+      result.sequential_fraction =
+          requests[1].first == requests[0].first + requests[0].second ? 1.0
+                                                                      : 0.0;
+    }
+    return result;
+  }
+
+  std::size_t sequential = 0;
+  std::map<std::int64_t, std::size_t> stride_votes;
+  for (std::size_t i = 1; i < requests.size(); ++i) {
+    const auto& [prev_off, prev_size] = requests[i - 1];
+    const auto& [off, size] = requests[i];
+    if (off == prev_off + prev_size) ++sequential;
+    ++stride_votes[static_cast<std::int64_t>(off) -
+                   static_cast<std::int64_t>(prev_off)];
+  }
+  const std::size_t transitions = requests.size() - 1;
+  result.sequential_fraction =
+      static_cast<double>(sequential) / static_cast<double>(transitions);
+
+  if (result.sequential_fraction >= threshold) {
+    result.pattern = AccessPattern::kSequential;
+    return result;
+  }
+
+  auto best = std::max_element(
+      stride_votes.begin(), stride_votes.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  const double stride_fraction =
+      static_cast<double>(best->second) / static_cast<double>(transitions);
+  if (stride_fraction >= threshold && best->first != 0) {
+    result.pattern = AccessPattern::kStrided;
+    result.stride = best->first;
+    return result;
+  }
+  result.pattern = AccessPattern::kRandom;
+  return result;
+}
+
+std::map<StreamKey, StreamClass> classify_trace(const pablo::Trace& trace,
+                                                double threshold) {
+  std::map<StreamKey, std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+      streams;
+  for (const auto& e : trace.events()) {
+    if (!e.is_data_op()) continue;
+    StreamKey key{e.file, e.node, e.moves_data_to_app()};
+    streams[key].emplace_back(e.offset, e.transferred);
+  }
+  std::map<StreamKey, StreamClass> result;
+  for (const auto& [key, requests] : streams) {
+    result.emplace(key, classify_stream(requests, threshold));
+  }
+  return result;
+}
+
+PatternMix pattern_mix(const std::map<StreamKey, StreamClass>& streams) {
+  PatternMix mix;
+  for (const auto& [key, cls] : streams) {
+    switch (cls.pattern) {
+      case AccessPattern::kSequential:
+        ++mix.sequential;
+        break;
+      case AccessPattern::kStrided:
+        ++mix.strided;
+        break;
+      case AccessPattern::kRandom:
+        ++mix.random;
+        break;
+      case AccessPattern::kSingle:
+        ++mix.single;
+        break;
+    }
+  }
+  return mix;
+}
+
+}  // namespace paraio::analysis

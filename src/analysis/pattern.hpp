@@ -1,0 +1,70 @@
+// Access-pattern classification.
+//
+// The paper's conclusions (§8, §10) call for file systems that recognize
+// access patterns and choose policies accordingly; its future work proposes
+// "automatically classifying and predicting access patterns".  This is the
+// off-line classifier: per (file, node, direction) request stream it
+// labels the stream sequential, strided, or random, with the sequential
+// fraction and dominant stride.  The ppfs AdaptivePrefetcher uses the same
+// logic on-line.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "pablo/trace.hpp"
+
+namespace paraio::analysis {
+
+enum class AccessPattern {
+  kSingle,      ///< fewer than 3 operations: not classifiable
+  kSequential,  ///< each request starts where the previous ended
+  kStrided,     ///< constant non-zero gap between consecutive requests
+  kRandom,
+};
+
+[[nodiscard]] const char* to_string(AccessPattern pattern);
+
+struct StreamClass {
+  AccessPattern pattern = AccessPattern::kSingle;
+  std::uint64_t ops = 0;
+  std::uint64_t bytes = 0;
+  double sequential_fraction = 0.0;  ///< fraction of sequential transitions
+  std::int64_t stride = 0;           ///< dominant stride (strided streams)
+};
+
+/// Classifies one stream of (offset, size) requests.  `threshold` is the
+/// transition-fraction needed to call a stream sequential or strided.
+[[nodiscard]] StreamClass classify_stream(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& requests,
+    double threshold = 0.9);
+
+struct StreamKey {
+  io::FileId file = 0;
+  io::NodeId node = 0;
+  bool is_read = false;
+  auto operator<=>(const StreamKey&) const = default;
+};
+
+/// Splits a trace into per-(file, node, direction) streams and classifies
+/// each.
+[[nodiscard]] std::map<StreamKey, StreamClass> classify_trace(
+    const pablo::Trace& trace, double threshold = 0.9);
+
+struct PatternMix {
+  std::uint64_t sequential = 0;
+  std::uint64_t strided = 0;
+  std::uint64_t random = 0;
+  std::uint64_t single = 0;
+  [[nodiscard]] std::uint64_t total() const {
+    return sequential + strided + random + single;
+  }
+};
+
+/// Counts streams by class — "the majority of request patterns are
+/// sequential" (§10) is checkable as mix.sequential dominating.
+[[nodiscard]] PatternMix pattern_mix(
+    const std::map<StreamKey, StreamClass>& streams);
+
+}  // namespace paraio::analysis

@@ -1,0 +1,103 @@
+#include "analysis/phases.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace paraio::analysis {
+
+const char* to_string(PhaseKind kind) {
+  switch (kind) {
+    case PhaseKind::kIdle:
+      return "idle";
+    case PhaseKind::kReadIntensive:
+      return "read-intensive";
+    case PhaseKind::kWriteIntensive:
+      return "write-intensive";
+    case PhaseKind::kMixed:
+      return "mixed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+struct WindowAccum {
+  std::uint64_t ops = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+
+  [[nodiscard]] PhaseKind kind(double mixed_threshold) const {
+    if (ops == 0) return PhaseKind::kIdle;
+    const double total =
+        static_cast<double>(bytes_read) + static_cast<double>(bytes_written);
+    if (total == 0.0) return PhaseKind::kMixed;  // control ops only
+    const double minority =
+        std::min(static_cast<double>(bytes_read),
+                 static_cast<double>(bytes_written)) /
+        total;
+    if (minority >= mixed_threshold) return PhaseKind::kMixed;
+    return bytes_read >= bytes_written ? PhaseKind::kReadIntensive
+                                       : PhaseKind::kWriteIntensive;
+  }
+};
+
+}  // namespace
+
+std::vector<DetectedPhase> detect_phases(const pablo::Trace& trace,
+                                         const PhaseDetectorOptions& options) {
+  std::map<std::uint64_t, WindowAccum> windows;
+  for (const auto& e : trace.events()) {
+    if (!e.is_data_op()) continue;
+    auto& w = windows[static_cast<std::uint64_t>(e.timestamp / options.window)];
+    ++w.ops;
+    if (e.moves_data_to_app()) w.bytes_read += e.transferred;
+    if (e.moves_data_to_storage()) w.bytes_written += e.transferred;
+  }
+
+  std::vector<DetectedPhase> phases;
+  for (const auto& [index, accum] : windows) {
+    const PhaseKind kind = accum.kind(options.mixed_threshold);
+    if (kind == PhaseKind::kIdle) continue;  // defensive; ops > 0 here
+    const double start = static_cast<double>(index) * options.window;
+    const double end = start + options.window;
+    if (!phases.empty() && phases.back().kind == kind) {
+      // Same label: extend across any idle gap between the windows.
+      DetectedPhase& prev = phases.back();
+      prev.end = end;
+      prev.ops += accum.ops;
+      prev.bytes_read += accum.bytes_read;
+      prev.bytes_written += accum.bytes_written;
+      continue;
+    }
+    DetectedPhase p;
+    p.kind = kind;
+    p.start = start;
+    p.end = end;
+    p.ops = accum.ops;
+    p.bytes_read = accum.bytes_read;
+    p.bytes_written = accum.bytes_written;
+    phases.push_back(p);
+  }
+  return phases;
+}
+
+std::string to_text(const std::vector<DetectedPhase>& phases) {
+  std::ostringstream out;
+  char line[160];
+  int index = 1;
+  for (const auto& p : phases) {
+    std::snprintf(line, sizeof line,
+                  "  phase %d: %-16s [%9.1f, %9.1f) s  %8llu ops  "
+                  "%12llu B read  %12llu B written\n",
+                  index++, to_string(p.kind), p.start, p.end,
+                  static_cast<unsigned long long>(p.ops),
+                  static_cast<unsigned long long>(p.bytes_read),
+                  static_cast<unsigned long long>(p.bytes_written));
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace paraio::analysis

@@ -1,0 +1,53 @@
+// Automatic I/O phase detection.
+//
+// The paper identifies application phases by inspecting timelines ("the
+// first spike is the initial, compulsory data input; the phase three read
+// operations at the far right..."), and its conclusion calls for systems
+// that recognize access-pattern regimes automatically.  This detector turns
+// the visual procedure into an algorithm: time is bucketed into fixed
+// windows, each window is labeled by its dominant data direction by byte
+// volume (read / write / mixed / idle), and maximal runs of equal labels —
+// idle gaps merging into whichever labeled run they separate when the
+// labels match — become phases.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pablo/trace.hpp"
+
+namespace paraio::analysis {
+
+enum class PhaseKind { kIdle, kReadIntensive, kWriteIntensive, kMixed };
+
+[[nodiscard]] const char* to_string(PhaseKind kind);
+
+struct DetectedPhase {
+  PhaseKind kind = PhaseKind::kIdle;
+  double start = 0.0;  ///< start of the first window of the run
+  double end = 0.0;    ///< end of the last window of the run
+  std::uint64_t ops = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+struct PhaseDetectorOptions {
+  /// Window width in seconds.
+  double window = 60.0;
+  /// A window is "mixed" when the minority direction still carries at
+  /// least this fraction of the window's data bytes.
+  double mixed_threshold = 0.25;
+};
+
+/// Segments `trace` into labeled phases.  Idle stretches between two runs
+/// of the same label are absorbed into the merged run; idle stretches
+/// between different labels are dropped (they belong to computation).
+/// Never returns kIdle phases.
+[[nodiscard]] std::vector<DetectedPhase> detect_phases(
+    const pablo::Trace& trace, const PhaseDetectorOptions& options = {});
+
+/// One line per phase, human-readable.
+[[nodiscard]] std::string to_text(const std::vector<DetectedPhase>& phases);
+
+}  // namespace paraio::analysis

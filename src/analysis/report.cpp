@@ -1,0 +1,142 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace paraio::analysis {
+
+namespace {
+
+struct Range {
+  double lo = 0.0;
+  double hi = 1.0;
+  [[nodiscard]] int bin(double v, int bins) const {
+    if (hi <= lo) return 0;
+    const double f = (v - lo) / (hi - lo);
+    return std::clamp(static_cast<int>(f * bins), 0, bins - 1);
+  }
+};
+
+std::string frame(const std::vector<std::string>& grid,
+                  const PlotOptions& options, const Range& x, const Range& y) {
+  std::ostringstream out;
+  if (!options.title.empty()) out << options.title << '\n';
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%10.3g ", y.hi);
+  out << buf << '+' << std::string(static_cast<std::size_t>(options.width), '-')
+      << "+\n";
+  for (auto it = grid.rbegin(); it != grid.rend(); ++it) {
+    out << std::string(11, ' ') << '|' << *it << "|\n";
+  }
+  std::snprintf(buf, sizeof buf, "%10.3g ", y.lo);
+  out << buf << '+' << std::string(static_cast<std::size_t>(options.width), '-')
+      << "+\n";
+  char lo_buf[32], hi_buf[32];
+  std::snprintf(lo_buf, sizeof lo_buf, "%.4g", x.lo);
+  std::snprintf(hi_buf, sizeof hi_buf, "%.4g", x.hi);
+  std::string footer(12, ' ');
+  footer += lo_buf;
+  const std::size_t pad =
+      12 + static_cast<std::size_t>(options.width) > footer.size()
+          ? 12 + static_cast<std::size_t>(options.width) - footer.size()
+          : 1;
+  footer += std::string(pad > std::string(hi_buf).size()
+                            ? pad - std::string(hi_buf).size()
+                            : 1,
+                        ' ');
+  footer += hi_buf;
+  out << footer << "  " << options.x_label << '\n';
+  return out.str();
+}
+
+}  // namespace
+
+std::string to_csv(const std::vector<TimelinePoint>& points) {
+  std::ostringstream out;
+  out << "time_s,size_bytes,node,file\n";
+  for (const auto& p : points) {
+    out << p.time << ',' << p.size << ',' << p.node << ',' << p.file << '\n';
+  }
+  return out.str();
+}
+
+std::string to_csv(const std::vector<FileAccessPoint>& points) {
+  std::ostringstream out;
+  out << "time_s,file,kind\n";
+  for (const auto& p : points) {
+    out << p.time << ',' << p.file << ',' << (p.is_read ? "read" : "write")
+        << '\n';
+  }
+  return out.str();
+}
+
+std::string ascii_plot(const std::vector<TimelinePoint>& points,
+                       const PlotOptions& options) {
+  std::vector<std::string> grid(
+      static_cast<std::size_t>(options.height),
+      std::string(static_cast<std::size_t>(options.width), ' '));
+  if (points.empty()) {
+    PlotOptions o = options;
+    return (o.title.empty() ? std::string("(empty)") : o.title + " (empty)") +
+           "\n";
+  }
+  Range x{points.front().time, points.front().time};
+  Range y{1e300, -1e300};
+  auto yval = [&](std::uint64_t size) {
+    const double v = static_cast<double>(size);
+    return options.log_y ? std::log2(std::max(v, 1.0)) : v;
+  };
+  for (const auto& p : points) {
+    x.lo = std::min(x.lo, p.time);
+    x.hi = std::max(x.hi, p.time);
+    y.lo = std::min(y.lo, yval(p.size));
+    y.hi = std::max(y.hi, yval(p.size));
+  }
+  for (const auto& p : points) {
+    const int cx = x.bin(p.time, options.width);
+    const int cy = y.bin(yval(p.size), options.height);
+    grid[static_cast<std::size_t>(cy)][static_cast<std::size_t>(cx)] = 'o';
+  }
+  if (options.log_y) {
+    // Report the raw byte range on the axis, not the log values.
+    Range raw{std::exp2(y.lo), std::exp2(y.hi)};
+    return frame(grid, options, x, raw);
+  }
+  return frame(grid, options, x, y);
+}
+
+std::string ascii_plot(const std::vector<FileAccessPoint>& points,
+                       const PlotOptions& options) {
+  std::vector<std::string> grid(
+      static_cast<std::size_t>(options.height),
+      std::string(static_cast<std::size_t>(options.width), ' '));
+  if (points.empty()) {
+    return (options.title.empty() ? std::string("(empty)")
+                                  : options.title + " (empty)") +
+           "\n";
+  }
+  Range x{points.front().time, points.front().time};
+  Range y{1e300, -1e300};
+  for (const auto& p : points) {
+    x.lo = std::min(x.lo, p.time);
+    x.hi = std::max(x.hi, p.time);
+    y.lo = std::min(y.lo, static_cast<double>(p.file));
+    y.hi = std::max(y.hi, static_cast<double>(p.file));
+  }
+  for (const auto& p : points) {
+    const int cx = x.bin(p.time, options.width);
+    const int cy = y.bin(static_cast<double>(p.file), options.height);
+    char& cell = grid[static_cast<std::size_t>(cy)][static_cast<std::size_t>(cx)];
+    const char mark = p.is_read ? 'r' : 'w';
+    if (cell == ' ') {
+      cell = mark;
+    } else if (cell != mark) {
+      cell = '*';
+    }
+  }
+  return frame(grid, options, x, y);
+}
+
+}  // namespace paraio::analysis

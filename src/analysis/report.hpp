@@ -1,0 +1,34 @@
+// Rendering helpers for figure series: CSV for post-processing and ASCII
+// scatter plots so the bench binaries can show the paper's figures directly
+// in a terminal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/timeline.hpp"
+
+namespace paraio::analysis {
+
+[[nodiscard]] std::string to_csv(const std::vector<TimelinePoint>& points);
+[[nodiscard]] std::string to_csv(const std::vector<FileAccessPoint>& points);
+
+struct PlotOptions {
+  int width = 78;
+  int height = 18;
+  std::string title;
+  std::string x_label = "time (s)";
+  std::string y_label;
+  bool log_y = false;  ///< log2 y axis — matches the paper's size timelines
+};
+
+/// Scatter of request size vs. time (Figures 2-4, 6-7, 9-14 style).
+[[nodiscard]] std::string ascii_plot(const std::vector<TimelinePoint>& points,
+                                     const PlotOptions& options);
+
+/// File-access map: file id vs. time, 'r' for reads, 'w' for writes, '*'
+/// where both hit one cell (Figures 5, 8, 15-17 style).
+[[nodiscard]] std::string ascii_plot(
+    const std::vector<FileAccessPoint>& points, const PlotOptions& options);
+
+}  // namespace paraio::analysis

@@ -1,0 +1,192 @@
+#include "analysis/tables.hpp"
+
+#include <array>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace paraio::analysis {
+
+namespace {
+
+using pablo::Op;
+
+// The paper's row order for the operation tables.
+constexpr std::array<Op, 9> kRowOrder = {
+    Op::kRead,  Op::kAsyncRead, Op::kIoWait, Op::kWrite, Op::kSeek,
+    Op::kOpen,  Op::kClose,     Op::kLsize,  Op::kFlush};
+
+std::string format_count(std::uint64_t v) {
+  // Thousands separators, as in the paper's tables.
+  std::string digits = std::to_string(v);
+  std::string out;
+  int c = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (c && c % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++c;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+std::string format_time(double t) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f", t);
+  return buf;
+}
+
+}  // namespace
+
+OperationTable::OperationTable(const pablo::Trace& trace) {
+  build(trace, -std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::infinity());
+}
+
+OperationTable::OperationTable(const pablo::Trace& trace, double t0,
+                               double t1) {
+  build(trace, t0, t1);
+}
+
+void OperationTable::build(const pablo::Trace& trace, double t0, double t1) {
+  std::array<OperationRow, pablo::kOpCount> acc;
+  OperationRow all;
+  all.label = "All I/O";
+  for (const auto& e : trace.events()) {
+    if (e.timestamp < t0 || e.timestamp >= t1) continue;
+    auto& row = acc[static_cast<std::size_t>(e.op)];
+    ++row.count;
+    row.node_time += e.duration;
+    // Volume counts data actually moved by the operation.  I/O-wait volume
+    // is already attributed to the asynchronous issue, so skip it here to
+    // avoid double counting.
+    if (e.is_data_op()) row.bytes += e.transferred;
+    ++all.count;
+    all.node_time += e.duration;
+    if (e.is_data_op()) all.bytes += e.transferred;
+  }
+  rows_.push_back(all);
+  for (Op op : kRowOrder) {
+    auto& row = acc[static_cast<std::size_t>(op)];
+    if (row.count == 0) continue;
+    row.label = pablo::to_string(op);
+    row.pct_io_time =
+        all.node_time > 0 ? 100.0 * row.node_time / all.node_time : 0.0;
+    rows_.push_back(row);
+  }
+  rows_.front().pct_io_time = all.node_time > 0 ? 100.0 : 0.0;
+}
+
+OperationRow OperationTable::row(pablo::Op op) const {
+  const std::string label = pablo::to_string(op);
+  for (const auto& r : rows_) {
+    if (r.label == label) return r;
+  }
+  OperationRow empty;
+  empty.label = label;
+  return empty;
+}
+
+SizeTable::SizeTable(const pablo::Trace& trace) {
+  build(trace, -std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::infinity());
+}
+
+SizeTable::SizeTable(const pablo::Trace& trace, double t0, double t1) {
+  build(trace, t0, t1);
+}
+
+void SizeTable::build(const pablo::Trace& trace, double t0, double t1) {
+  for (const auto& e : trace.events()) {
+    if (e.timestamp < t0 || e.timestamp >= t1) continue;
+    if (e.moves_data_to_app()) read_hist_.add(e.transferred);
+    if (e.moves_data_to_storage()) write_hist_.add(e.transferred);
+  }
+  read_row_.label = "Read";
+  read_row_.counts = read_hist_.counts();
+  write_row_.label = "Write";
+  write_row_.counts = write_hist_.counts();
+}
+
+std::string to_text(const OperationTable& table, const std::string& title) {
+  std::ostringstream out;
+  out << title << '\n';
+  char line[160];
+  std::snprintf(line, sizeof line, "  %-12s %12s %16s %14s %10s\n",
+                "Operation", "Count", "Volume(Bytes)", "NodeTime(s)",
+                "%IO Time");
+  out << line;
+  for (const auto& r : table.rows()) {
+    std::snprintf(line, sizeof line, "  %-12s %12s %16s %14s %9.2f%%\n",
+                  r.label.c_str(), format_count(r.count).c_str(),
+                  r.bytes ? format_count(r.bytes).c_str() : "-",
+                  format_time(r.node_time).c_str(), r.pct_io_time);
+    out << line;
+  }
+  return out.str();
+}
+
+std::string to_text(const SizeTable& table, const std::string& title) {
+  std::ostringstream out;
+  out << title << '\n';
+  char line[160];
+  std::snprintf(line, sizeof line, "  %-10s %10s %10s %10s %10s\n",
+                "Operation", "< 4 KB", "< 64 KB", "< 256 KB", ">= 256 KB");
+  out << line;
+  for (const SizeRow* row : {&table.reads(), &table.writes()}) {
+    std::snprintf(line, sizeof line, "  %-10s %10s %10s %10s %10s\n",
+                  row->label.c_str(), format_count(row->counts[0]).c_str(),
+                  format_count(row->counts[1]).c_str(),
+                  format_count(row->counts[2]).c_str(),
+                  format_count(row->counts[3]).c_str());
+    out << line;
+  }
+  return out.str();
+}
+
+std::string to_csv(const OperationTable& table) {
+  std::ostringstream out;
+  out << "operation,count,bytes,node_time_s,pct_io_time\n";
+  for (const auto& r : table.rows()) {
+    out << r.label << ',' << r.count << ',' << r.bytes << ',' << r.node_time
+        << ',' << r.pct_io_time << '\n';
+  }
+  return out.str();
+}
+
+std::string to_csv(const SizeTable& table) {
+  std::ostringstream out;
+  out << "operation,lt_4k,lt_64k,lt_256k,ge_256k\n";
+  for (const SizeRow* row : {&table.reads(), &table.writes()}) {
+    out << row->label;
+    for (auto c : row->counts) out << ',' << c;
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string to_markdown(const OperationTable& table) {
+  std::ostringstream out;
+  out << "| Operation | Count | Volume (Bytes) | Node Time (s) | % I/O Time |\n"
+      << "|---|---:|---:|---:|---:|\n";
+  for (const auto& r : table.rows()) {
+    out << "| " << r.label << " | " << format_count(r.count) << " | "
+        << (r.bytes ? format_count(r.bytes) : std::string("-")) << " | "
+        << format_time(r.node_time) << " | " << format_time(r.pct_io_time)
+        << " |\n";
+  }
+  return out.str();
+}
+
+std::string to_markdown(const SizeTable& table) {
+  std::ostringstream out;
+  out << "| Operation | < 4 KB | < 64 KB | < 256 KB | >= 256 KB |\n"
+      << "|---|---:|---:|---:|---:|\n";
+  for (const SizeRow* row : {&table.reads(), &table.writes()}) {
+    out << "| " << row->label;
+    for (auto c : row->counts) out << " | " << format_count(c);
+    out << " |\n";
+  }
+  return out.str();
+}
+
+}  // namespace paraio::analysis

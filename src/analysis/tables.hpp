@@ -1,0 +1,93 @@
+// Table generators matching the paper's evaluation tables.
+//
+// OperationTable reproduces the "Number, size, and duration of I/O
+// operations" tables (1, 3, and the three sections of 5): per operation
+// class, the operation count, byte volume, total node time (durations summed
+// over all nodes), and percentage of total I/O time.
+//
+// SizeTable reproduces the read/write size-class tables (2, 4, 6):
+// synchronous and asynchronous transfers are folded into the Read/Write rows,
+// exactly as the paper does (Table 4's 436 large "reads" are Table 3's
+// asynchronous reads).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/histogram.hpp"
+#include "pablo/trace.hpp"
+
+namespace paraio::analysis {
+
+struct OperationRow {
+  std::string label;
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+  double node_time = 0.0;
+  double pct_io_time = 0.0;
+};
+
+class OperationTable {
+ public:
+  /// Builds from every event in `trace`.
+  explicit OperationTable(const pablo::Trace& trace);
+  /// Builds from the events with timestamp in [t0, t1) — used for the
+  /// per-phase HTF tables.
+  OperationTable(const pablo::Trace& trace, double t0, double t1);
+
+  /// Rows: "All I/O" first, then one row per op class that occurred, in the
+  /// paper's order (Read, AsynchRead, I/O Wait, Write, Seek, Open, Close,
+  /// Lsize, Forflush).
+  [[nodiscard]] const std::vector<OperationRow>& rows() const noexcept {
+    return rows_;
+  }
+
+  /// Row for one op class; count==0 row with that label if it never occurred.
+  [[nodiscard]] OperationRow row(pablo::Op op) const;
+  [[nodiscard]] const OperationRow& all() const { return rows_.front(); }
+
+ private:
+  void build(const pablo::Trace& trace, double t0, double t1);
+  std::vector<OperationRow> rows_;
+};
+
+struct SizeRow {
+  std::string label;                                    // "Read" / "Write"
+  std::array<std::uint64_t, SizeClassHistogram::kClasses> counts{};
+};
+
+class SizeTable {
+ public:
+  explicit SizeTable(const pablo::Trace& trace);
+  SizeTable(const pablo::Trace& trace, double t0, double t1);
+
+  [[nodiscard]] const SizeRow& reads() const noexcept { return read_row_; }
+  [[nodiscard]] const SizeRow& writes() const noexcept { return write_row_; }
+  [[nodiscard]] const SizeClassHistogram& read_histogram() const noexcept {
+    return read_hist_;
+  }
+  [[nodiscard]] const SizeClassHistogram& write_histogram() const noexcept {
+    return write_hist_;
+  }
+
+ private:
+  void build(const pablo::Trace& trace, double t0, double t1);
+  SizeClassHistogram read_hist_;
+  SizeClassHistogram write_hist_;
+  SizeRow read_row_;
+  SizeRow write_row_;
+};
+
+/// Paper-style fixed-width text rendering (what the benches print).
+[[nodiscard]] std::string to_text(const OperationTable& table,
+                                  const std::string& title);
+[[nodiscard]] std::string to_text(const SizeTable& table,
+                                  const std::string& title);
+
+/// Machine-readable renderings.
+[[nodiscard]] std::string to_csv(const OperationTable& table);
+[[nodiscard]] std::string to_csv(const SizeTable& table);
+[[nodiscard]] std::string to_markdown(const OperationTable& table);
+[[nodiscard]] std::string to_markdown(const SizeTable& table);
+
+}  // namespace paraio::analysis

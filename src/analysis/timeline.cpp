@@ -1,0 +1,87 @@
+#include "analysis/timeline.hpp"
+
+#include <algorithm>
+
+namespace paraio::analysis {
+
+namespace {
+
+bool in_family(const pablo::IoEvent& e, OpFamily family) {
+  if (family == OpFamily::kReads) return e.moves_data_to_app();
+  return e.moves_data_to_storage();
+}
+
+}  // namespace
+
+std::vector<TimelinePoint> timeline(const pablo::Trace& trace,
+                                    OpFamily family, double t0, double t1) {
+  std::vector<TimelinePoint> points;
+  for (const auto& e : trace.events()) {
+    if (!in_family(e, family)) continue;
+    if (e.timestamp < t0 || e.timestamp >= t1) continue;
+    points.push_back(TimelinePoint{e.timestamp, e.transferred, e.node, e.file});
+  }
+  std::stable_sort(points.begin(), points.end(),
+                   [](const TimelinePoint& a, const TimelinePoint& b) {
+                     return a.time < b.time;
+                   });
+  return points;
+}
+
+std::vector<FileAccessPoint> file_access_map(const pablo::Trace& trace,
+                                             double t0, double t1) {
+  std::vector<FileAccessPoint> points;
+  for (const auto& e : trace.events()) {
+    if (!e.is_data_op()) continue;
+    if (e.timestamp < t0 || e.timestamp >= t1) continue;
+    points.push_back(
+        FileAccessPoint{e.timestamp, e.file, e.moves_data_to_app()});
+  }
+  std::stable_sort(points.begin(), points.end(),
+                   [](const FileAccessPoint& a, const FileAccessPoint& b) {
+                     return a.time < b.time;
+                   });
+  return points;
+}
+
+std::vector<Burst> bursts(const pablo::Trace& trace, OpFamily family,
+                          double gap_threshold) {
+  auto points = timeline(trace, family);
+  std::vector<Burst> result;
+  for (const auto& p : points) {
+    if (result.empty() || p.time - result.back().end > gap_threshold) {
+      result.push_back(Burst{p.time, p.time, 0, 0});
+    }
+    Burst& b = result.back();
+    b.end = p.time;
+    ++b.ops;
+    b.bytes += p.size;
+  }
+  return result;
+}
+
+std::vector<double> burst_gaps(const std::vector<Burst>& all) {
+  std::vector<double> gaps;
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    gaps.push_back(all[i].start - all[i - 1].start);
+  }
+  return gaps;
+}
+
+double gap_trend(const std::vector<double>& gaps) {
+  const std::size_t n = gaps.size();
+  if (n < 2) return 0.0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i);
+    sx += x;
+    sy += gaps[i];
+    sxx += x * x;
+    sxy += x * gaps[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  return denom == 0.0 ? 0.0 : (dn * sxy - sx * sy) / denom;
+}
+
+}  // namespace paraio::analysis

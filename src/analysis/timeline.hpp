@@ -1,0 +1,67 @@
+// Figure-series extraction: the timelines plotted in the paper's Figures
+// 2-17.
+//
+//  * TimelineSeries — request size vs. time for one operation family
+//    (read-family figures 2/3/6/9/11/13; write-family figures 4/7/10/12/14);
+//  * FileAccessMap  — file id vs. time with a read/write mark (figures
+//    5/8/15/16/17);
+//  * burst analysis — clustering of synchronized writes and inter-burst
+//    gaps, quantifying Figure 4's "group spacing shrinks from ~160 s to
+//    ~80 s" observation and the §5.2 PPFS ablation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pablo/trace.hpp"
+
+namespace paraio::analysis {
+
+struct TimelinePoint {
+  double time = 0.0;
+  std::uint64_t size = 0;
+  io::NodeId node = 0;
+  io::FileId file = 0;
+};
+
+enum class OpFamily { kReads, kWrites };
+
+/// Extracts (time, size) points for the chosen family, including the
+/// asynchronous variants, ordered by time.  Optional [t0, t1) window.
+[[nodiscard]] std::vector<TimelinePoint> timeline(
+    const pablo::Trace& trace, OpFamily family,
+    double t0 = -1e300, double t1 = 1e300);
+
+struct FileAccessPoint {
+  double time = 0.0;
+  io::FileId file = 0;
+  bool is_read = false;  // else write
+};
+
+/// Extracts the file-access timeline (diamonds = reads, crosses = writes in
+/// the paper's rendering).
+[[nodiscard]] std::vector<FileAccessPoint> file_access_map(
+    const pablo::Trace& trace, double t0 = -1e300, double t1 = 1e300);
+
+struct Burst {
+  double start = 0.0;   ///< first operation start
+  double end = 0.0;     ///< last operation start
+  std::uint64_t ops = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Clusters a family's operations into bursts: a new burst starts when the
+/// inter-operation gap exceeds `gap_threshold` seconds.  Used for Figure 4's
+/// write-group structure and its disappearance under PPFS write-behind.
+[[nodiscard]] std::vector<Burst> bursts(const pablo::Trace& trace,
+                                        OpFamily family,
+                                        double gap_threshold);
+
+/// Start-to-start gaps between consecutive bursts (size n-1).
+[[nodiscard]] std::vector<double> burst_gaps(const std::vector<Burst>& bursts);
+
+/// Least-squares slope of gap vs. burst index: negative means the spacing
+/// between write groups shrinks over the run, the paper's Fig. 4 trend.
+[[nodiscard]] double gap_trend(const std::vector<double>& gaps);
+
+}  // namespace paraio::analysis

@@ -1,0 +1,178 @@
+#include "apps/synthetic.hpp"
+
+#include <algorithm>
+
+#include "sim/task_group.hpp"
+
+namespace paraio::apps {
+
+SyntheticConfig SyntheticPresets::checkpoint(std::uint32_t nodes,
+                                             std::uint32_t cycles,
+                                             std::uint64_t record) {
+  SyntheticConfig cfg;
+  cfg.nodes = nodes;
+  SyntheticPhase write;
+  write.name = "checkpoint";
+  write.direction = SyntheticDirection::kWrite;
+  write.pattern = SyntheticPattern::kOwnRegion;
+  write.layout = SyntheticFileLayout::kShared;
+  write.requests = cycles;
+  write.size = record;
+  write.think_time = 0.5;
+  write.barrier_entry = true;
+  cfg.phases.push_back(write);
+  return cfg;
+}
+
+SyntheticConfig SyntheticPresets::scan(std::uint32_t nodes,
+                                       std::uint32_t requests,
+                                       std::uint64_t request_size) {
+  SyntheticConfig cfg;
+  cfg.nodes = nodes;
+  cfg.region_bytes = requests * request_size;
+  SyntheticPhase read;
+  read.name = "scan";
+  read.direction = SyntheticDirection::kRead;
+  read.pattern = SyntheticPattern::kSequential;
+  read.layout = SyntheticFileLayout::kPerNode;
+  read.requests = requests;
+  read.size = request_size;
+  cfg.phases.push_back(read);
+  return cfg;
+}
+
+SyntheticConfig SyntheticPresets::probe(std::uint32_t nodes,
+                                        std::uint32_t requests,
+                                        std::uint64_t request_size) {
+  SyntheticConfig cfg;
+  cfg.nodes = nodes;
+  SyntheticPhase read;
+  read.name = "probe";
+  read.direction = SyntheticDirection::kRead;
+  read.pattern = SyntheticPattern::kRandom;
+  read.layout = SyntheticFileLayout::kShared;
+  read.requests = requests;
+  read.size = request_size;
+  cfg.phases.push_back(read);
+  return cfg;
+}
+
+Synthetic::Synthetic(hw::Machine& machine, io::FileSystem& fs,
+                     SyntheticConfig config)
+    : machine_(machine),
+      fs_(fs),
+      config_(std::move(config)),
+      rng_(config_.seed) {
+  barriers_.reserve(config_.phases.size());
+  for (const SyntheticPhase& phase : config_.phases) {
+    barriers_.push_back(std::make_unique<sim::Barrier>(
+        machine_.engine(), participants_of(phase)));
+  }
+}
+
+std::string Synthetic::file_for(const SyntheticPhase& phase,
+                                std::uint32_t node) const {
+  if (phase.layout == SyntheticFileLayout::kShared) {
+    return config_.file_prefix + ".shared";
+  }
+  return config_.file_prefix + "." + std::to_string(node);
+}
+
+sim::Task<> Synthetic::stage(io::FileSystem& bare_fs) {
+  // Shared file covering every node's region, plus per-node files.
+  io::OpenOptions create;
+  create.mode = io::AccessMode::kUnix;
+  create.create = true;
+  bool need_shared = false;
+  bool need_per_node = false;
+  for (const SyntheticPhase& phase : config_.phases) {
+    (phase.layout == SyntheticFileLayout::kShared ? need_shared
+                                                  : need_per_node) = true;
+  }
+  if (need_shared) {
+    auto f = co_await bare_fs.open(0, config_.file_prefix + ".shared", create);
+    co_await f->write(config_.region_bytes * config_.nodes);
+    co_await f->close();
+  }
+  if (need_per_node) {
+    for (std::uint32_t n = 0; n < config_.nodes; ++n) {
+      auto f = co_await bare_fs.open(
+          n, config_.file_prefix + "." + std::to_string(n), create);
+      co_await f->write(config_.region_bytes);
+      co_await f->close();
+    }
+  }
+}
+
+sim::Task<> Synthetic::node_main(std::uint32_t node) {
+  sim::Rng rng = rng_.fork(node + 1);
+  for (std::size_t pi = 0; pi < config_.phases.size(); ++pi) {
+    const SyntheticPhase& phase = config_.phases[pi];
+    if (node >= participants_of(phase)) continue;
+    if (phase.barrier_entry) co_await barriers_[pi]->arrive_and_wait();
+
+    io::OpenOptions open;
+    open.mode = io::AccessMode::kUnix;
+    open.create = true;
+    auto file = co_await fs_.open(node, file_for(phase, node), open);
+
+    const std::uint64_t region = config_.region_bytes;
+    const std::uint64_t base =
+        phase.layout == SyntheticFileLayout::kShared &&
+                phase.pattern == SyntheticPattern::kOwnRegion
+            ? node * region
+            : 0;
+    std::uint64_t cursor = base;
+    for (std::uint32_t r = 0; r < phase.requests; ++r) {
+      if (phase.think_time > 0.0) {
+        co_await machine_.engine().delay(rng.exponential(phase.think_time));
+      }
+      std::uint64_t size = phase.size;
+      if (phase.size_jitter > 0.0) {
+        size = static_cast<std::uint64_t>(
+            rng.uniform(phase.size * (1.0 - phase.size_jitter),
+                        phase.size * (1.0 + phase.size_jitter)));
+        size = std::max<std::uint64_t>(size, 1);
+      }
+      std::uint64_t offset = cursor;
+      switch (phase.pattern) {
+        case SyntheticPattern::kSequential:
+        case SyntheticPattern::kOwnRegion:
+          offset = cursor;
+          cursor += size;
+          break;
+        case SyntheticPattern::kStrided:
+          offset = cursor;
+          cursor += phase.stride > 0 ? phase.stride : size;
+          break;
+        case SyntheticPattern::kRandom: {
+          const std::uint64_t span = region * (phase.layout ==
+                                                       SyntheticFileLayout::kShared
+                                                   ? config_.nodes
+                                                   : 1);
+          const std::uint64_t slots = std::max<std::uint64_t>(span / size, 1);
+          offset = rng.uniform_int(0, slots - 1) * size;
+          break;
+        }
+      }
+      co_await file->seek(offset);
+      if (phase.direction == SyntheticDirection::kWrite) {
+        co_await file->write(size);
+      } else {
+        (void)co_await file->read(size);
+      }
+    }
+    co_await file->close();
+    if (node == 0) phases_.mark(phase.name, machine_.engine().now());
+  }
+}
+
+sim::Task<> Synthetic::run() {
+  sim::TaskGroup group(machine_.engine());
+  for (std::uint32_t node = 0; node < config_.nodes; ++node) {
+    group.spawn(node_main(node));
+  }
+  co_await group.join();
+}
+
+}  // namespace paraio::apps

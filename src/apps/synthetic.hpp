@@ -1,0 +1,118 @@
+// Configurable synthetic workload skeleton.
+//
+// §8 of the paper: "the simple synthetic kernels often used to evaluate new
+// file system ideas may not be good predictors of potential performance on
+// full-scale applications ... the development of larger application
+// skeletons and workload mixes are an essential part of developing high
+// performance input/output systems."
+//
+// This is the skeleton generator: a workload is a sequence of phases, each
+// describing who does I/O (all nodes or one), in which direction, with what
+// request-size distribution, spatial pattern, file layout, and interleaved
+// compute.  The three paper applications are hand-built for count-exact
+// fidelity; Synthetic covers the space around them (and composes into
+// mixes — see bench_workload_mix).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/workload.hpp"
+#include "io/file.hpp"
+
+namespace paraio::apps {
+
+enum class SyntheticPattern {
+  kSequential,   ///< each request follows the previous
+  kStrided,      ///< fixed stride between request starts
+  kRandom,       ///< uniform random offsets within the file
+  kOwnRegion,    ///< sequential within a per-node region of a shared file
+};
+
+enum class SyntheticDirection { kRead, kWrite };
+
+enum class SyntheticFileLayout {
+  kShared,   ///< one file for all nodes
+  kPerNode,  ///< one file per node
+};
+
+struct SyntheticPhase {
+  std::string name = "phase";
+  SyntheticDirection direction = SyntheticDirection::kWrite;
+  SyntheticPattern pattern = SyntheticPattern::kSequential;
+  SyntheticFileLayout layout = SyntheticFileLayout::kShared;
+  /// Requests per node in this phase.
+  std::uint32_t requests = 16;
+  /// Mean request size; sizes are fixed when `size_jitter` is 0, else
+  /// uniform in [size*(1-j), size*(1+j)].
+  std::uint64_t size = 64 * 1024;
+  double size_jitter = 0.0;
+  /// Stride for kStrided (from request start to request start).
+  std::uint64_t stride = 0;
+  /// Mean compute seconds between requests (exponential; 0 = none).
+  double think_time = 0.0;
+  /// Synchronize all nodes with a barrier at the start of the phase.
+  bool barrier_entry = false;
+  /// Only this many nodes participate (0 = all).
+  std::uint32_t participants = 0;
+};
+
+struct SyntheticConfig {
+  std::uint32_t nodes = 16;
+  std::string file_prefix = "/synthetic/data";
+  std::vector<SyntheticPhase> phases;
+  std::uint64_t seed = 0x5EED;
+  /// Capacity reserved per node for random/read phases (bytes); files are
+  /// pre-staged to this size so reads always succeed.
+  std::uint64_t region_bytes = 4 * 1024 * 1024;
+};
+
+/// Common shapes as ready-made configs.
+struct SyntheticPresets {
+  /// N nodes checkpoint small records into disjoint regions (ESCAT-like).
+  static SyntheticConfig checkpoint(std::uint32_t nodes,
+                                    std::uint32_t cycles,
+                                    std::uint64_t record);
+  /// Every node streams its own large file (HTF-SCF-like).
+  static SyntheticConfig scan(std::uint32_t nodes, std::uint32_t requests,
+                              std::uint64_t request_size);
+  /// Random small probes over a shared file.
+  static SyntheticConfig probe(std::uint32_t nodes, std::uint32_t requests,
+                               std::uint64_t request_size);
+};
+
+class Synthetic {
+ public:
+  Synthetic(hw::Machine& machine, io::FileSystem& fs, SyntheticConfig config);
+
+  /// Pre-creates every file a read phase will touch, sized so no request is
+  /// short.  Run against the uninstrumented mount.
+  sim::Task<> stage(io::FileSystem& bare_fs);
+
+  /// Runs all phases in order; phase boundaries are logged by name.
+  sim::Task<> run();
+
+  [[nodiscard]] const PhaseLog& phases() const noexcept { return phases_; }
+  [[nodiscard]] const SyntheticConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  sim::Task<> node_main(std::uint32_t node);
+  [[nodiscard]] std::string file_for(const SyntheticPhase& phase,
+                                     std::uint32_t node) const;
+  [[nodiscard]] std::uint32_t participants_of(const SyntheticPhase& p) const {
+    return p.participants == 0 ? config_.nodes
+                               : std::min(p.participants, config_.nodes);
+  }
+
+  hw::Machine& machine_;
+  io::FileSystem& fs_;
+  SyntheticConfig config_;
+  PhaseLog phases_;
+  sim::Rng rng_;
+  std::vector<std::unique_ptr<sim::Barrier>> barriers_;  // one per phase
+};
+
+}  // namespace paraio::apps

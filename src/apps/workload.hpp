@@ -1,0 +1,64 @@
+// Shared plumbing for the application I/O skeletons.
+//
+// Each application is a coroutine program over an io::FileSystem handle and
+// a hw::Machine (for compute delays, barriers, and message passing).  The
+// skeletons reproduce the *request streams* of the paper's codes — operation
+// counts, sizes, offsets, access modes, and synchronization structure — with
+// compute phases modeled as calibrated delays.  Numeric work is not
+// simulated; the paper's own argument (§8) is that the I/O signature, not
+// the arithmetic, is what characterizes these codes.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "io/file.hpp"
+#include "sim/random.hpp"
+#include "sim/task.hpp"
+
+namespace paraio::apps {
+
+/// Named phase boundaries recorded by each application: (name, end time).
+/// The HTF per-program tables (paper Table 5) are carved out of one trace
+/// using these.
+class PhaseLog {
+ public:
+  void mark(std::string name, sim::SimTime end) {
+    phases_.emplace_back(std::move(name), end);
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, sim::SimTime>>&
+  phases() const noexcept {
+    return phases_;
+  }
+  /// End time of the named phase; -1 if absent.
+  [[nodiscard]] sim::SimTime end_of(const std::string& name) const {
+    for (const auto& [n, t] : phases_) {
+      if (n == name) return t;
+    }
+    return -1.0;
+  }
+  /// Start time of the named phase (end of the previous one, or 0).
+  [[nodiscard]] sim::SimTime start_of(const std::string& name) const {
+    sim::SimTime prev = 0.0;
+    for (const auto& [n, t] : phases_) {
+      if (n == name) return prev;
+      prev = t;
+    }
+    return -1.0;
+  }
+
+ private:
+  std::vector<std::pair<std::string, sim::SimTime>> phases_;
+};
+
+/// Jittered compute delay: base seconds +/- `spread` fraction, from the
+/// node's private stream.  Keeps synchronized phases from being artificially
+/// lock-step while staying deterministic.
+inline sim::SimDuration jittered(sim::Rng& rng, double base,
+                                 double spread = 0.05) {
+  return base * rng.uniform(1.0 - spread, 1.0 + spread);
+}
+
+}  // namespace paraio::apps

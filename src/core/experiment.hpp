@@ -1,0 +1,79 @@
+// Experiment facade: one call builds the machine, mounts a file system,
+// instruments it, stages the input files, runs the selected application, and
+// returns the captured trace plus phase boundaries — everything the table
+// and figure generators need.
+#pragma once
+
+#include <memory>
+#include <variant>
+
+#include "apps/escat.hpp"
+#include "apps/htf.hpp"
+#include "apps/render.hpp"
+#include "hw/machine.hpp"
+#include "pablo/summary.hpp"
+#include "pablo/trace.hpp"
+#include "pfs/pfs.hpp"
+#include "ppfs/ppfs.hpp"
+
+namespace paraio::core {
+
+/// Which file system to mount, with its policy/calibration parameters.
+struct FsChoice {
+  enum class Kind { kPfs, kPpfs };
+  Kind kind = Kind::kPfs;
+  pfs::PfsParams pfs_params;
+  ppfs::PpfsParams ppfs_params;
+
+  static FsChoice pfs(pfs::PfsParams params = {}) {
+    FsChoice c;
+    c.kind = Kind::kPfs;
+    c.pfs_params = params;
+    return c;
+  }
+  static FsChoice ppfs(ppfs::PpfsParams params = {}) {
+    FsChoice c;
+    c.kind = Kind::kPpfs;
+    c.ppfs_params = params;
+    return c;
+  }
+};
+
+using AppConfig =
+    std::variant<apps::EscatConfig, apps::RenderConfig, apps::HtfConfig>;
+
+struct ExperimentConfig {
+  hw::MachineConfig machine = hw::MachineConfig::paragon_xps(128, 16);
+  FsChoice filesystem;
+  AppConfig app;
+};
+
+struct ExperimentResult {
+  pablo::Trace trace;
+  apps::PhaseLog phases;
+  /// Simulated time at which input staging finished and the measured run
+  /// began (trace timestamps are >= this).
+  sim::SimTime run_start = 0.0;
+  sim::SimTime run_end = 0.0;
+  /// Cumulative file-system counters (physical view).
+  pfs::PfsCounters pfs_counters;      // valid for Kind::kPfs mounts
+  ppfs::PpfsCounters ppfs_counters;   // valid for Kind::kPpfs mounts
+};
+
+/// Runs one experiment to completion (blocking; the simulation runs inside).
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// PFS service-time calibrations reproducing each application's measured
+/// operation costs (the CCSF Paragon ran "several versions of OSF/1 1.2",
+/// and the per-op costs in Tables 1/3/5 differ markedly between runs).
+/// See EXPERIMENTS.md for the derivations.
+[[nodiscard]] pfs::PfsParams escat_pfs_params();
+[[nodiscard]] pfs::PfsParams render_pfs_params();
+[[nodiscard]] pfs::PfsParams htf_pfs_params();
+
+/// The experiment configurations behind the paper's tables and figures.
+[[nodiscard]] ExperimentConfig escat_experiment();   // Tables 1-2, Figs 2-5
+[[nodiscard]] ExperimentConfig render_experiment();  // Tables 3-4, Figs 6-8
+[[nodiscard]] ExperimentConfig htf_experiment();     // Tables 5-6, Figs 9-17
+
+}  // namespace paraio::core

@@ -1,0 +1,70 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "analysis/op_stats.hpp"
+#include "analysis/pattern.hpp"
+#include "analysis/phases.hpp"
+#include "analysis/tables.hpp"
+#include "pablo/summary.hpp"
+
+namespace paraio::core {
+
+std::string report(const ExperimentResult& result,
+                   const ReportOptions& options) {
+  std::ostringstream out;
+  const pablo::Trace& trace = result.trace;
+  out << "# " << options.title << "\n\n";
+  out << "- simulated run: " << result.run_end - result.run_start
+      << " s\n- events captured: " << trace.size()
+      << "\n- files touched: " << trace.files().size() << "\n";
+  if (!result.phases.phases().empty()) {
+    out << "- application phases:";
+    for (const auto& [name, t] : result.phases.phases()) {
+      out << " " << name << " (ends " << t - result.run_start << " s)";
+    }
+    out << "\n";
+  }
+  out << "\n## Operations\n\n";
+  analysis::OperationTable ops(trace);
+  out << analysis::to_markdown(ops);
+
+  out << "\n## Request sizes\n\n";
+  analysis::SizeTable sizes(trace);
+  out << analysis::to_markdown(sizes);
+  out << "\nRead-size distribution is "
+      << (sizes.read_histogram().is_bimodal() ? "bimodal" : "not bimodal")
+      << ".\n";
+
+  out << "\n## Duration and size statistics\n\n```\n"
+      << analysis::to_text(analysis::OperationStats(trace), "") << "```\n";
+
+  out << "\n## Detected phases\n\n```\n"
+      << analysis::to_text(analysis::detect_phases(
+             trace, {.window = options.phase_window}))
+      << "```\n";
+
+  out << "\n## Access patterns\n\n";
+  const auto mix = analysis::pattern_mix(analysis::classify_trace(trace));
+  out << "| sequential | strided | random | too short |\n|---:|---:|---:|---:|\n| "
+      << mix.sequential << " | " << mix.strided << " | " << mix.random
+      << " | " << mix.single << " |\n";
+
+  if (options.include_files) {
+    out << "\n## Files\n\n"
+        << "| file | ops | bytes read | bytes written | open time (s) |\n"
+        << "|---|---:|---:|---:|---:|\n";
+    pablo::FileLifetimeSummary lifetime;
+    lifetime.absorb(trace);
+    for (const auto& [id, entry] : lifetime.files()) {
+      out << "| " << trace.file_name(id) << " | "
+          << entry.counters.total_ops() << " | "
+          << entry.counters.bytes_read << " | "
+          << entry.counters.bytes_written << " | " << entry.open_time
+          << " |\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace paraio::core

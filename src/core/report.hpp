@@ -1,0 +1,26 @@
+// One-call characterization report: everything the analysis toolkit knows
+// about an experiment, rendered as a single markdown document — the
+// artifact a characterization study publishes per application.
+#pragma once
+
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace paraio::core {
+
+struct ReportOptions {
+  std::string title = "I/O characterization";
+  /// Window width for the automatic phase detection (seconds).
+  double phase_window = 60.0;
+  /// Include the per-file lifetime table (can be long for many files).
+  bool include_files = true;
+};
+
+/// Renders operation/size tables, duration/size statistics, detected
+/// phases, the access-pattern census, and per-file lifetimes for one
+/// experiment result.
+[[nodiscard]] std::string report(const ExperimentResult& result,
+                                 const ReportOptions& options = {});
+
+}  // namespace paraio::core

@@ -1,0 +1,22 @@
+#include "hw/machine.hpp"
+
+namespace paraio::hw {
+
+Machine::Machine(sim::Engine& engine, const MachineConfig& config)
+    : engine_(engine),
+      config_(config),
+      net_(engine, config.compute_nodes + config.io_nodes, config.net),
+      framebuffer_(engine, config.hippi_bandwidth) {
+  arrays_.reserve(config.io_nodes);
+  for (std::size_t i = 0; i < config.io_nodes; ++i) {
+    arrays_.push_back(std::make_unique<Raid3Array>(engine, config.raid));
+  }
+}
+
+std::uint64_t Machine::total_capacity() const {
+  std::uint64_t total = 0;
+  for (const auto& array : arrays_) total += array->params().capacity();
+  return total;
+}
+
+}  // namespace paraio::hw

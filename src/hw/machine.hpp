@@ -1,0 +1,78 @@
+// Machine composition: compute nodes, I/O nodes with RAID-3 arrays, the
+// interconnect, and the HiPPi frame buffer — the Intel Paragon XP/S as
+// configured at the Caltech Concurrent Supercomputing Facility.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "hw/network.hpp"
+#include "hw/raid.hpp"
+#include "sim/engine.hpp"
+
+namespace paraio::hw {
+
+struct MachineConfig {
+  std::size_t compute_nodes = 512;
+  std::size_t io_nodes = 16;
+  NetParams net;
+  Raid3Params raid;
+  /// HiPPi-class streaming sink bandwidth (bytes/second).
+  double hippi_bandwidth = 80e6;
+
+  /// The CCSF Paragon XP/S the paper measured: 512 compute nodes, 16 I/O
+  /// nodes each with a five-disk RAID-3 array.  `compute` and `ions` let
+  /// experiments scale the partition (the paper's runs used 128 nodes).
+  static MachineConfig paragon_xps(std::size_t compute = 512,
+                                   std::size_t ions = 16) {
+    MachineConfig cfg;
+    cfg.compute_nodes = compute;
+    cfg.io_nodes = ions;
+    return cfg;
+  }
+};
+
+/// Owns the hardware instances for one simulated machine.  Node ids:
+/// compute nodes are [0, compute_nodes); I/O nodes follow at
+/// [compute_nodes, compute_nodes + io_nodes).
+class Machine {
+ public:
+  Machine(sim::Engine& engine, const MachineConfig& config);
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] const MachineConfig& config() const noexcept { return config_; }
+  [[nodiscard]] Interconnect& net() noexcept { return net_; }
+  [[nodiscard]] FrameBuffer& framebuffer() noexcept { return framebuffer_; }
+
+  [[nodiscard]] std::size_t compute_nodes() const noexcept {
+    return config_.compute_nodes;
+  }
+  [[nodiscard]] std::size_t io_nodes() const noexcept {
+    return config_.io_nodes;
+  }
+
+  /// NodeId of I/O node `ion` on the interconnect.
+  [[nodiscard]] NodeId ion_node_id(std::size_t ion) const {
+    return static_cast<NodeId>(config_.compute_nodes + ion);
+  }
+
+  [[nodiscard]] Raid3Array& ion_array(std::size_t ion) {
+    return *arrays_[ion];
+  }
+  [[nodiscard]] const Raid3Array& ion_array(std::size_t ion) const {
+    return *arrays_[ion];
+  }
+
+  /// Total storage capacity across all I/O nodes.
+  [[nodiscard]] std::uint64_t total_capacity() const;
+
+ private:
+  sim::Engine& engine_;
+  MachineConfig config_;
+  Interconnect net_;
+  FrameBuffer framebuffer_;
+  std::vector<std::unique_ptr<Raid3Array>> arrays_;
+};
+
+}  // namespace paraio::hw

@@ -1,0 +1,35 @@
+#include "hw/raid.hpp"
+
+namespace paraio::hw {
+
+sim::SimDuration Raid3Array::service_time(std::uint64_t offset,
+                                          std::uint64_t bytes) const {
+  const bool sequential = offset == head_pos_;
+  const DiskParams& d = params_.disk;
+  sim::SimDuration positioning;
+  if (sequential) {
+    positioning = d.settle;
+  } else if (d.distance_seek) {
+    const std::uint64_t distance =
+        offset > head_pos_ ? offset - head_pos_ : head_pos_ - offset;
+    positioning = d.seek_time(distance) + d.half_rotation();
+  } else {
+    positioning = d.avg_seek + d.half_rotation();
+  }
+  return positioning + static_cast<double>(bytes) / params_.streaming_rate();
+}
+
+sim::Task<> Raid3Array::access(std::uint64_t offset, std::uint64_t bytes) {
+  const sim::SimTime arrival = engine_.now();
+  co_await gate_.acquire();
+  stats_.queue_time += engine_.now() - arrival;
+  const sim::SimDuration service = service_time(offset, bytes);
+  head_pos_ = offset + bytes;
+  ++stats_.requests;
+  stats_.bytes += bytes;
+  stats_.busy_time += service;
+  co_await engine_.delay(service);
+  gate_.release();
+}
+
+}  // namespace paraio::hw

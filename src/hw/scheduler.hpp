@@ -1,0 +1,70 @@
+// Disk-arm scheduling for the RAID arrays.
+//
+// §3 of the paper: minimizing the number of physical accesses and
+// maximizing their efficiency "(e.g., by disk arm scheduling and request
+// aggregation) is the final responsibility of the file system and device
+// drivers."  Aggregation lives in ppfs::IonServer; this is the arm
+// scheduler: a queue in front of one array that admits requests in FIFO
+// order or in elevator (SCAN) order, reducing positioning time when many
+// random requests are outstanding.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "hw/raid.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace paraio::hw {
+
+enum class DiskSchedPolicy {
+  kFifo,  ///< arrival order (what a bare Raid3Array does)
+  kScan,  ///< elevator: sweep up, then down, serving by disk address
+};
+
+[[nodiscard]] const char* to_string(DiskSchedPolicy policy);
+
+/// Wraps one Raid3Array with an admission queue and a scheduling policy.
+/// Callers use `access(...)` exactly like the bare array.
+class ScheduledArray {
+ public:
+  ScheduledArray(sim::Engine& engine, Raid3Array& array,
+                 DiskSchedPolicy policy)
+      : engine_(engine), array_(array), policy_(policy) {}
+
+  sim::Task<> access(std::uint64_t offset, std::uint64_t bytes);
+
+  [[nodiscard]] DiskSchedPolicy policy() const noexcept { return policy_; }
+  [[nodiscard]] std::size_t queue_depth() const noexcept {
+    return waiting_.size();
+  }
+  /// Total requests admitted through the scheduler.
+  [[nodiscard]] std::uint64_t admitted() const noexcept { return admitted_; }
+
+ private:
+  struct Waiter {
+    std::uint64_t offset = 0;
+    std::uint64_t bytes = 0;
+    std::coroutine_handle<> handle;
+  };
+
+  /// Picks the index of the next request to admit per the policy.
+  [[nodiscard]] std::size_t pick_next() const;
+  void admit_next();
+
+  sim::Engine& engine_;
+  Raid3Array& array_;
+  DiskSchedPolicy policy_;
+  std::vector<Waiter> waiting_;
+  bool busy_ = false;
+  bool sweep_up_ = true;
+  std::uint64_t head_ = 0;  // scheduler's view of the arm position
+  std::uint64_t admitted_ = 0;
+
+  friend struct ScheduledArrayAwaiter;
+};
+
+}  // namespace paraio::hw

@@ -1,0 +1,23 @@
+#include "io/file.hpp"
+
+namespace paraio::io {
+
+const char* to_string(AccessMode mode) {
+  switch (mode) {
+    case AccessMode::kUnix:
+      return "M_UNIX";
+    case AccessMode::kLog:
+      return "M_LOG";
+    case AccessMode::kSync:
+      return "M_SYNC";
+    case AccessMode::kRecord:
+      return "M_RECORD";
+    case AccessMode::kGlobal:
+      return "M_GLOBAL";
+    case AccessMode::kAsync:
+      return "M_ASYNC";
+  }
+  return "M_UNKNOWN";
+}
+
+}  // namespace paraio::io

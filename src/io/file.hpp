@@ -1,0 +1,156 @@
+// Abstract parallel-file API the application skeletons program against.
+//
+// Both file-system implementations (pfs — the Intel PFS model; ppfs — the
+// policy-rich portable layer) implement this interface, and the Pablo
+// instrumentation layer decorates it, so an application characterization is
+// "same code, different mount".
+//
+// Data contents are not simulated — only byte counts, offsets, and timing.
+// That is exactly the abstraction level of the paper's traces.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "hw/network.hpp"  // NodeId
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace paraio::io {
+
+using NodeId = hw::NodeId;
+
+/// Stable identifier of a file within one file system instance.
+using FileId = std::uint32_t;
+
+/// Intel PFS parallel access modes (§3.2 of the paper).
+enum class AccessMode {
+  kUnix,    ///< M_UNIX: independent file pointer per node.
+  kLog,     ///< M_LOG: shared pointer, first-come-first-serve, variable size.
+  kSync,    ///< M_SYNC: shared pointer, accesses in node-number order.
+  kRecord,  ///< M_RECORD: independent pointers, fixed-size records laid out
+            ///< in groups of N records in node order.
+  kGlobal,  ///< M_GLOBAL: shared pointer, all nodes perform the same op on
+            ///< the same data; one physical access serves everyone.
+  kAsync,   ///< M_ASYNC: independent pointers, unrestricted, no atomicity.
+};
+
+[[nodiscard]] const char* to_string(AccessMode mode);
+
+struct OpenOptions {
+  AccessMode mode = AccessMode::kUnix;
+  bool create = false;
+  bool truncate = false;
+  /// Number of nodes participating in this (collective) open.  Required
+  /// (> 0) for kSync / kRecord / kGlobal; ignored for independent modes.
+  std::uint32_t parties = 1;
+  /// This node's rank within the participating group (0-based).
+  std::uint32_t rank = 0;
+  /// Fixed record size for kRecord mode, in bytes.
+  std::uint64_t record_size = 0;
+};
+
+/// Completion handle for an asynchronous read/write (Paragon iread/iwrite).
+/// The issuing call returns after the (cheap) issue cost; the remaining time
+/// surfaces as iowait when the caller awaits the handle — matching how the
+/// paper accounts async read time vs. iowait time in Table 3.
+class AsyncOp {
+ public:
+  struct State {
+    explicit State(sim::Engine& engine) : done(engine) {}
+    sim::Event done;
+    std::uint64_t transferred = 0;
+  };
+
+  AsyncOp() = default;
+  explicit AsyncOp(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] bool completed() const { return state_ && state_->done.is_set(); }
+
+  /// Awaits completion and returns the transferred byte count.
+  sim::Task<std::uint64_t> wait() {
+    co_await state_->done.wait();
+    co_return state_->transferred;
+  }
+
+ private:
+  std::shared_ptr<State> state_;
+};
+
+/// One per-node open file handle.
+class File {
+ public:
+  virtual ~File() = default;
+
+  /// Reads `bytes` at the mode-determined position; returns bytes actually
+  /// read (short at end-of-file).
+  virtual sim::Task<std::uint64_t> read(std::uint64_t bytes) = 0;
+
+  /// Writes `bytes`; returns bytes written.  Extends the file.
+  virtual sim::Task<std::uint64_t> write(std::uint64_t bytes) = 0;
+
+  /// Moves this handle's file pointer (independent-pointer modes only).
+  virtual sim::Task<> seek(std::uint64_t offset) = 0;
+
+  /// Queries current file size (Paragon lsize; a metadata RPC).
+  virtual sim::Task<std::uint64_t> size() = 0;
+
+  /// Forces buffered data to storage (Fortran FORFLUSH in the HTF code).
+  virtual sim::Task<> flush() = 0;
+
+  /// Closes the handle.  Must be the last operation.
+  virtual sim::Task<> close() = 0;
+
+  /// Asynchronous variants (Paragon iread/iwrite): awaiting the call charges
+  /// only the issue cost and returns a completion handle; the remaining
+  /// transfer time surfaces as iowait when the handle is awaited.
+  virtual sim::Task<AsyncOp> read_async(std::uint64_t bytes) = 0;
+  virtual sim::Task<AsyncOp> write_async(std::uint64_t bytes) = 0;
+
+  /// Blocks until an asynchronous operation completes (Paragon iowait).
+  /// A distinct File call — not AsyncOp::wait() directly — because iowait is
+  /// an operation in its own right in the paper's accounting (Table 3) and
+  /// the instrumentation layer brackets it like any other call.
+  virtual sim::Task<std::uint64_t> iowait(AsyncOp op) {
+    co_return co_await op.wait();
+  }
+
+  /// Switches the file's access mode in place (Paragon PFS setiomode, a
+  /// collective across options.parties open handles).  ESCAT uses this to
+  /// flip its staging files from M_UNIX writing to M_RECORD reading without
+  /// reopening them.  Default: unsupported.
+  virtual sim::Task<> set_mode(const OpenOptions& options) {
+    (void)options;
+    throw std::logic_error("set_mode not supported by this file system");
+  }
+
+  /// Current handle position (no simulated cost; bookkeeping accessor).
+  [[nodiscard]] virtual std::uint64_t tell() const = 0;
+  [[nodiscard]] virtual FileId id() const = 0;
+  [[nodiscard]] virtual NodeId node() const = 0;
+  [[nodiscard]] virtual AccessMode mode() const = 0;
+};
+
+using FilePtr = std::shared_ptr<File>;
+
+/// A mounted file system.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Opens `path` from `node`.  Creates the file when options.create is set.
+  virtual sim::Task<FilePtr> open(NodeId node, const std::string& path,
+                                  const OpenOptions& options) = 0;
+
+  /// True if `path` exists.
+  [[nodiscard]] virtual bool exists(const std::string& path) const = 0;
+
+  /// Size of `path` in bytes, 0 if absent (bookkeeping, no simulated cost).
+  [[nodiscard]] virtual std::uint64_t file_size(const std::string& path) const = 0;
+};
+
+}  // namespace paraio::io

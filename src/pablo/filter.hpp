@@ -1,0 +1,32 @@
+// Trace manipulation utilities: filtering, slicing, and merging captured
+// traces — the off-line toolbox for working with stored runs (compare two
+// mounts, isolate one node's stream, carve out a phase).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "pablo/trace.hpp"
+
+namespace paraio::pablo {
+
+/// New trace holding the events for which `predicate` returns true.  The
+/// file-name registry is carried over for every file that still appears.
+[[nodiscard]] Trace filter(const Trace& trace,
+                           const std::function<bool(const IoEvent&)>& predicate);
+
+/// Events with timestamp in [t0, t1).
+[[nodiscard]] Trace slice(const Trace& trace, double t0, double t1);
+
+/// Events issued by one node.
+[[nodiscard]] Trace node_stream(const Trace& trace, io::NodeId node);
+
+/// Events touching one file.
+[[nodiscard]] Trace file_stream(const Trace& trace, io::FileId file);
+
+/// Merges traces into one, ordered by timestamp (stable for ties).  File
+/// registries must agree where they overlap; later registrations win
+/// otherwise.  Useful for combining per-partition captures of one run.
+[[nodiscard]] Trace merge(const std::vector<const Trace*>& traces);
+
+}  // namespace paraio::pablo

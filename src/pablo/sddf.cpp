@@ -1,0 +1,144 @@
+#include "pablo/sddf.hpp"
+
+#include <array>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace paraio::pablo {
+
+namespace {
+
+constexpr const char* kMagic = "#SDDF-ASCII paraio-io-trace 1";
+
+constexpr std::array<const char*, kOpCount> kOpTokens = {
+    "read",  "write", "seek",       "open",        "close",
+    "lsize", "flush", "async-read", "async-write", "iowait"};
+
+constexpr std::array<const char*, 6> kModeTokens = {
+    "unix", "log", "sync", "record", "global", "async"};
+
+std::string format_double(double v) {
+  // Hex-float: exact round trip regardless of locale or precision settings.
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+double parse_double(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    throw std::runtime_error("bad double in trace: " + s);
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* op_token(Op op) {
+  return kOpTokens[static_cast<std::size_t>(op)];
+}
+
+Op op_from_token(const std::string& token) {
+  for (std::size_t i = 0; i < kOpTokens.size(); ++i) {
+    if (token == kOpTokens[i]) return static_cast<Op>(i);
+  }
+  throw std::runtime_error("unknown op token: " + token);
+}
+
+const char* mode_token(io::AccessMode mode) {
+  return kModeTokens[static_cast<std::size_t>(mode)];
+}
+
+io::AccessMode mode_from_token(const std::string& token) {
+  for (std::size_t i = 0; i < kModeTokens.size(); ++i) {
+    if (token == kModeTokens[i]) return static_cast<io::AccessMode>(i);
+  }
+  throw std::runtime_error("unknown mode token: " + token);
+}
+
+void write_trace(std::ostream& out, const Trace& trace) {
+  out << kMagic << '\n';
+  out << "#record IoEvent timestamp:f64 duration:f64 node:u32 file:u32 "
+         "op:str offset:u64 requested:u64 transferred:u64 mode:str\n";
+  for (const auto& [id, path] : trace.files()) {
+    out << "#file " << id << ' ' << path << '\n';
+  }
+  for (const auto& e : trace.events()) {
+    out << "E " << format_double(e.timestamp) << ' '
+        << format_double(e.duration) << ' ' << e.node << ' ' << e.file << ' '
+        << op_token(e.op) << ' ' << e.offset << ' ' << e.requested << ' '
+        << e.transferred << ' ' << mode_token(e.mode) << '\n';
+  }
+  if (!out) throw std::runtime_error("trace write failed");
+}
+
+void write_trace_file(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  write_trace(out, trace);
+}
+
+Trace read_trace(std::istream& in) {
+  Trace trace;
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    throw std::runtime_error("bad trace magic");
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string directive;
+      ls >> directive;
+      if (directive == "#file") {
+        std::uint64_t id = 0;
+        std::string path;
+        ls >> id;
+        // The path is the remainder (may contain no spaces in practice, but
+        // be permissive).
+        std::getline(ls, path);
+        if (!path.empty() && path.front() == ' ') path.erase(0, 1);
+        if (!ls && path.empty()) {
+          throw std::runtime_error("bad #file directive: " + line);
+        }
+        trace.on_file(static_cast<io::FileId>(id), path);
+      }
+      // Other directives (#record, future extensions) are informative only.
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag != "E") throw std::runtime_error("bad record tag: " + line);
+    std::string ts, dur, op, mode;
+    std::uint64_t node = 0, file = 0, offset = 0, requested = 0,
+                  transferred = 0;
+    ls >> ts >> dur >> node >> file >> op >> offset >> requested >>
+        transferred >> mode;
+    if (!ls) throw std::runtime_error("truncated record: " + line);
+    IoEvent e;
+    e.timestamp = parse_double(ts);
+    e.duration = parse_double(dur);
+    e.node = static_cast<io::NodeId>(node);
+    e.file = static_cast<io::FileId>(file);
+    e.op = op_from_token(op);
+    e.offset = offset;
+    e.requested = requested;
+    e.transferred = transferred;
+    e.mode = mode_from_token(mode);
+    trace.on_event(e);
+  }
+  return trace;
+}
+
+Trace read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  return read_trace(in);
+}
+
+}  // namespace paraio::pablo

@@ -1,0 +1,87 @@
+#include "pablo/summary.hpp"
+
+#include <cassert>
+
+namespace paraio::pablo {
+
+void OpCounters::add(const IoEvent& event) {
+  const auto idx = static_cast<std::size_t>(event.op);
+  assert(idx < kOpCount);
+  ++count[idx];
+  time[idx] += event.duration;
+  if (event.moves_data_to_app()) bytes_read += event.transferred;
+  if (event.moves_data_to_storage()) bytes_written += event.transferred;
+}
+
+std::uint64_t OpCounters::total_ops() const {
+  std::uint64_t total = 0;
+  for (auto c : count) total += c;
+  return total;
+}
+
+sim::SimDuration OpCounters::total_time() const {
+  sim::SimDuration total = 0.0;
+  for (auto t : time) total += t;
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+
+void FileLifetimeSummary::on_event(const IoEvent& event) {
+  Entry& entry = files_[event.file];
+  entry.counters.add(event);
+  OpenState& state = open_state_[event.file];
+  if (event.op == Op::kOpen) {
+    if (state.open_handles == 0) {
+      state.opened_at = event.timestamp + event.duration;
+    }
+    ++state.open_handles;
+  } else if (event.op == Op::kClose) {
+    if (state.open_handles > 0 && --state.open_handles == 0) {
+      entry.open_time += (event.timestamp + event.duration) - state.opened_at;
+    }
+  }
+}
+
+void FileLifetimeSummary::absorb(const Trace& trace) {
+  for (const auto& event : trace.events()) on_event(event);
+}
+
+const FileLifetimeSummary::Entry* FileLifetimeSummary::find(
+    io::FileId id) const {
+  auto it = files_.find(id);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+
+TimeWindowSummary::TimeWindowSummary(sim::SimDuration window)
+    : window_(window) {
+  assert(window > 0.0);
+}
+
+void TimeWindowSummary::on_event(const IoEvent& event) {
+  windows_[window_of(event.timestamp)].add(event);
+}
+
+void TimeWindowSummary::absorb(const Trace& trace) {
+  for (const auto& event : trace.events()) on_event(event);
+}
+
+// ---------------------------------------------------------------------------
+
+FileRegionSummary::FileRegionSummary(std::uint64_t region_bytes)
+    : region_(region_bytes) {
+  assert(region_bytes > 0);
+}
+
+void FileRegionSummary::on_event(const IoEvent& event) {
+  if (!event.is_data_op() && event.op != Op::kIoWait) return;
+  regions_[{event.file, event.offset / region_}].add(event);
+}
+
+void FileRegionSummary::absorb(const Trace& trace) {
+  for (const auto& event : trace.events()) on_event(event);
+}
+
+}  // namespace paraio::pablo

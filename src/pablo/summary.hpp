@@ -1,0 +1,133 @@
+// Pablo's three real-time performance-data reductions (§3.1):
+//
+//  * file-lifetime summaries — per file: counts and total durations of
+//    reads/writes/seeks/opens/closes, bytes accessed, total open time;
+//  * time-window summaries — the same counters bucketed by a fixed-width
+//    window of simulated time;
+//  * file-region summaries — the spatial analog: counters bucketed by a
+//    fixed-size byte region of each file.
+//
+// Each is a TraceSink, so it can reduce on the fly without retaining the
+// full event trace — Pablo's trade of computation perturbation for
+// input/output perturbation — and can equally be replayed from a stored
+// Trace (`absorb`), which the tests use to cross-check the two paths.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "pablo/event.hpp"
+#include "pablo/trace.hpp"
+
+namespace paraio::pablo {
+
+/// Counter block shared by all three reductions.
+struct OpCounters {
+  std::uint64_t count[kOpCount] = {};
+  sim::SimDuration time[kOpCount] = {};
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+
+  void add(const IoEvent& event);
+
+  [[nodiscard]] std::uint64_t total_ops() const;
+  [[nodiscard]] sim::SimDuration total_time() const;
+  [[nodiscard]] std::uint64_t ops(Op op) const {
+    return count[static_cast<std::size_t>(op)];
+  }
+  [[nodiscard]] sim::SimDuration op_time(Op op) const {
+    return time[static_cast<std::size_t>(op)];
+  }
+
+  friend bool operator==(const OpCounters&, const OpCounters&) = default;
+};
+
+/// The cheapest reduction: whole-run counts and cumulative times per
+/// operation class (the "counts" capture mode of §3.1).  Constant memory,
+/// a few adds per event — what one attaches when even the windowed
+/// summaries would perturb too much.
+class CountSummary final : public TraceSink {
+ public:
+  void on_event(const IoEvent& event) override { counters_.add(event); }
+  void absorb(const Trace& trace) {
+    for (const auto& event : trace.events()) on_event(event);
+  }
+  [[nodiscard]] const OpCounters& counters() const noexcept {
+    return counters_;
+  }
+
+ private:
+  OpCounters counters_;
+};
+
+/// Per-file lifetime reduction.
+class FileLifetimeSummary final : public TraceSink {
+ public:
+  struct Entry {
+    OpCounters counters;
+    sim::SimDuration open_time = 0.0;  ///< sum over handles of open->close
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+
+  void on_event(const IoEvent& event) override;
+
+  void absorb(const Trace& trace);
+
+  [[nodiscard]] const std::map<io::FileId, Entry>& files() const noexcept {
+    return files_;
+  }
+  [[nodiscard]] const Entry* find(io::FileId id) const;
+
+ private:
+  struct OpenState {
+    sim::SimTime opened_at = 0.0;
+    std::uint32_t open_handles = 0;
+  };
+  std::map<io::FileId, Entry> files_;
+  std::map<io::FileId, OpenState> open_state_;
+};
+
+/// Fixed-width time-window reduction.
+class TimeWindowSummary final : public TraceSink {
+ public:
+  explicit TimeWindowSummary(sim::SimDuration window);
+
+  void on_event(const IoEvent& event) override;
+  void absorb(const Trace& trace);
+
+  [[nodiscard]] sim::SimDuration window() const noexcept { return window_; }
+  /// Window index for a timestamp.
+  [[nodiscard]] std::uint64_t window_of(sim::SimTime t) const {
+    return static_cast<std::uint64_t>(t / window_);
+  }
+  [[nodiscard]] const std::map<std::uint64_t, OpCounters>& windows() const noexcept {
+    return windows_;
+  }
+
+ private:
+  sim::SimDuration window_;
+  std::map<std::uint64_t, OpCounters> windows_;
+};
+
+/// Fixed-size file-region reduction (spatial analog of the time window).
+class FileRegionSummary final : public TraceSink {
+ public:
+  explicit FileRegionSummary(std::uint64_t region_bytes);
+
+  void on_event(const IoEvent& event) override;
+  void absorb(const Trace& trace);
+
+  [[nodiscard]] std::uint64_t region_bytes() const noexcept { return region_; }
+
+  using RegionKey = std::pair<io::FileId, std::uint64_t>;  // (file, region)
+  [[nodiscard]] const std::map<RegionKey, OpCounters>& regions() const noexcept {
+    return regions_;
+  }
+
+ private:
+  std::uint64_t region_;
+  std::map<RegionKey, OpCounters> regions_;
+};
+
+}  // namespace paraio::pablo

@@ -1,0 +1,49 @@
+#include "pablo/trace.hpp"
+
+namespace paraio::pablo {
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::kRead:
+      return "Read";
+    case Op::kWrite:
+      return "Write";
+    case Op::kSeek:
+      return "Seek";
+    case Op::kOpen:
+      return "Open";
+    case Op::kClose:
+      return "Close";
+    case Op::kLsize:
+      return "Lsize";
+    case Op::kFlush:
+      return "Forflush";
+    case Op::kAsyncRead:
+      return "AsynchRead";
+    case Op::kAsyncWrite:
+      return "AsynchWrite";
+    case Op::kIoWait:
+      return "I/O Wait";
+  }
+  return "Unknown";
+}
+
+std::string Trace::file_name(io::FileId id) const {
+  auto it = names_.find(id);
+  if (it != names_.end()) return it->second;
+  return "file" + std::to_string(id);
+}
+
+sim::SimTime Trace::start_time() const {
+  return events_.empty() ? 0.0 : events_.front().timestamp;
+}
+
+sim::SimTime Trace::end_time() const {
+  sim::SimTime end = 0.0;
+  for (const auto& e : events_) {
+    end = std::max(end, e.timestamp + e.duration);
+  }
+  return end;
+}
+
+}  // namespace paraio::pablo

@@ -1,0 +1,59 @@
+#include "ppfs/cache.hpp"
+
+namespace paraio::ppfs {
+
+bool BlockCache::lookup(const BlockKey& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  if (it->second->prefetched) {
+    ++stats_.prefetched_used;
+    it->second->prefetched = false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+std::optional<BlockKey> BlockCache::insert(const BlockKey& key,
+                                           bool prefetched) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return std::nullopt;
+  }
+  std::optional<BlockKey> evicted;
+  if (capacity_ == 0) return std::nullopt;  // cache disabled
+  if (map_.size() >= capacity_) {
+    const Entry& victim = lru_.back();
+    evicted = victim.key;
+    map_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{key, prefetched});
+  map_.emplace(key, lru_.begin());
+  return evicted;
+}
+
+void BlockCache::erase(const BlockKey& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+void BlockCache::erase_file(io::FileId file) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.file == file) {
+      map_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace paraio::ppfs

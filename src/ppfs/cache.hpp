@@ -1,0 +1,83 @@
+// Client-side block cache (pure bookkeeping; the Ppfs file system charges
+// the simulated costs).  LRU replacement over (file, block) keys, matching
+// PPFS's user-controllable client caches.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "io/file.hpp"
+
+namespace paraio::ppfs {
+
+struct BlockKey {
+  io::FileId file = 0;
+  std::uint64_t block = 0;
+  friend bool operator==(const BlockKey&, const BlockKey&) = default;
+};
+
+struct BlockKeyHash {
+  std::size_t operator()(const BlockKey& k) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(k.file) << 40) ^ k.block);
+  }
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t prefetched_used = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    const auto total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+class BlockCache {
+ public:
+  explicit BlockCache(std::size_t capacity_blocks)
+      : capacity_(capacity_blocks) {}
+
+  /// Looks a block up and, on a hit, promotes it to most-recently-used.
+  /// Counts hit/miss (and prefetched_used if the hit was a prefetched block
+  /// touched for the first time).
+  [[nodiscard]] bool lookup(const BlockKey& key);
+
+  /// Peeks without stats or LRU update.
+  [[nodiscard]] bool contains(const BlockKey& key) const {
+    return map_.contains(key);
+  }
+
+  /// Inserts a block (no-op if present; refreshes LRU).  Returns the evicted
+  /// key, if the insert displaced one.  `prefetched` marks speculative loads
+  /// so lookup() can credit the prefetcher.
+  std::optional<BlockKey> insert(const BlockKey& key, bool prefetched = false);
+
+  /// Removes a block if present (invalidation on foreign writes).
+  void erase(const BlockKey& key);
+
+  /// Removes all blocks of one file.
+  void erase_file(io::FileId file);
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Entry {
+    BlockKey key;
+    bool prefetched = false;
+  };
+  using LruList = std::list<Entry>;
+
+  std::size_t capacity_;
+  LruList lru_;  // front = most recent
+  std::unordered_map<BlockKey, LruList::iterator, BlockKeyHash> map_;
+  CacheStats stats_;
+};
+
+}  // namespace paraio::ppfs

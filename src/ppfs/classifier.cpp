@@ -1,0 +1,57 @@
+#include "ppfs/classifier.hpp"
+
+namespace paraio::ppfs {
+
+const char* to_string(OnlinePattern pattern) {
+  switch (pattern) {
+    case OnlinePattern::kUnknown:
+      return "unknown";
+    case OnlinePattern::kSequential:
+      return "sequential";
+    case OnlinePattern::kStrided:
+      return "strided";
+    case OnlinePattern::kRandom:
+      return "random";
+  }
+  return "unknown";
+}
+
+void OnlineClassifier::observe(std::uint64_t offset, std::uint64_t length) {
+  if (n_ > 0) {
+    const bool sequential = offset == last_offset_ + last_length_;
+    const std::int64_t stride = static_cast<std::int64_t>(offset) -
+                                static_cast<std::int64_t>(last_offset_);
+    const bool same_stride = n_ > 1 && stride == last_stride_ && stride != 0;
+    seq_score_ = decay_ * seq_score_ + (sequential ? (1.0 - decay_) : 0.0);
+    stride_score_ =
+        decay_ * stride_score_ + (same_stride ? (1.0 - decay_) : 0.0);
+    last_stride_ = stride;
+  }
+  last_offset_ = offset;
+  last_length_ = length;
+  ++n_;
+}
+
+OnlinePattern OnlineClassifier::pattern() const {
+  if (n_ < 3) return OnlinePattern::kUnknown;
+  if (seq_score_ >= confidence_) return OnlinePattern::kSequential;
+  if (stride_score_ >= confidence_) return OnlinePattern::kStrided;
+  return OnlinePattern::kRandom;
+}
+
+std::optional<std::uint64_t> OnlineClassifier::predict_next() const {
+  switch (pattern()) {
+    case OnlinePattern::kSequential:
+      return last_offset_ + last_length_;
+    case OnlinePattern::kStrided: {
+      const std::int64_t next =
+          static_cast<std::int64_t>(last_offset_) + last_stride_;
+      if (next < 0) return std::nullopt;
+      return static_cast<std::uint64_t>(next);
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace paraio::ppfs

@@ -1,0 +1,52 @@
+// On-line access-pattern classifier driving adaptive prefetch.
+//
+// The paper's conclusion (§10) proposes "general, adaptive prefetching
+// methods that can learn to hide input/output latency by automatically
+// classifying and predicting access patterns".  This classifier watches a
+// handle's request stream with an exponentially decayed score per
+// hypothesis (sequential / strided / random) and predicts the next request
+// offset when confident.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace paraio::ppfs {
+
+enum class OnlinePattern { kUnknown, kSequential, kStrided, kRandom };
+
+[[nodiscard]] const char* to_string(OnlinePattern pattern);
+
+class OnlineClassifier {
+ public:
+  /// `decay` in (0, 1]: weight of history vs. the newest transition.
+  /// `confidence` in (0, 1]: score needed to commit to a hypothesis.
+  explicit OnlineClassifier(double decay = 0.75, double confidence = 0.6)
+      : decay_(decay), confidence_(confidence) {}
+
+  /// Feeds one request.
+  void observe(std::uint64_t offset, std::uint64_t length);
+
+  [[nodiscard]] OnlinePattern pattern() const;
+
+  /// Predicted offset of the next request, when the pattern is committed
+  /// (sequential or strided); nullopt otherwise.
+  [[nodiscard]] std::optional<std::uint64_t> predict_next() const;
+
+  /// Current stride estimate (meaningful for kStrided).
+  [[nodiscard]] std::int64_t stride() const noexcept { return last_stride_; }
+
+  [[nodiscard]] std::uint64_t observations() const noexcept { return n_; }
+
+ private:
+  double decay_;
+  double confidence_;
+  double seq_score_ = 0.0;
+  double stride_score_ = 0.0;
+  std::uint64_t n_ = 0;
+  std::uint64_t last_offset_ = 0;
+  std::uint64_t last_length_ = 0;
+  std::int64_t last_stride_ = 0;
+};
+
+}  // namespace paraio::ppfs

@@ -1,0 +1,61 @@
+#include "ppfs/extent.hpp"
+
+#include <algorithm>
+
+namespace paraio::ppfs {
+
+void ExtentSet::insert(std::uint64_t offset, std::uint64_t length) {
+  if (length == 0) return;
+  std::uint64_t lo = offset;
+  std::uint64_t hi = offset + length;
+
+  // Find the first extent that could touch [lo, hi): the one before lo, if
+  // it reaches lo, else the first starting at/after lo.
+  auto it = extents_.lower_bound(lo);
+  if (it != extents_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second >= lo) it = prev;
+  }
+  // Absorb every overlapping-or-adjacent extent.
+  while (it != extents_.end() && it->first <= hi) {
+    lo = std::min(lo, it->first);
+    hi = std::max(hi, it->first + it->second);
+    bytes_ -= it->second;
+    it = extents_.erase(it);
+  }
+  extents_.emplace(lo, hi - lo);
+  bytes_ += hi - lo;
+}
+
+bool ExtentSet::overlaps(std::uint64_t offset, std::uint64_t length) const {
+  if (length == 0) return false;
+  auto it = extents_.upper_bound(offset + length - 1);
+  if (it == extents_.begin()) return false;
+  --it;
+  return it->first + it->second > offset;
+}
+
+bool ExtentSet::covers(std::uint64_t offset, std::uint64_t length) const {
+  if (length == 0) return true;
+  auto it = extents_.upper_bound(offset);
+  if (it == extents_.begin()) return false;
+  --it;
+  return it->first <= offset && it->first + it->second >= offset + length;
+}
+
+std::uint64_t ExtentSet::max_end() const {
+  if (extents_.empty()) return 0;
+  auto last = std::prev(extents_.end());
+  return last->first + last->second;
+}
+
+std::vector<Extent> ExtentSet::extents() const {
+  std::vector<Extent> out;
+  out.reserve(extents_.size());
+  for (const auto& [offset, length] : extents_) {
+    out.push_back(Extent{offset, length});
+  }
+  return out;
+}
+
+}  // namespace paraio::ppfs

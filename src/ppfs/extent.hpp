@@ -1,0 +1,54 @@
+// Ordered set of byte extents with automatic coalescing.
+//
+// The write-behind buffer accumulates application writes as extents; because
+// overlapping and adjacent inserts merge, a burst of small contiguous writes
+// (ESCAT's 2 KB quadrature records) collapses into a handful of large
+// extents before anything reaches an I/O node — the client half of the
+// paper's §5.2 "write behind + request aggregation" result.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace paraio::ppfs {
+
+struct Extent {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  [[nodiscard]] std::uint64_t end() const { return offset + length; }
+  friend bool operator==(const Extent&, const Extent&) = default;
+};
+
+class ExtentSet {
+ public:
+  /// Inserts [offset, offset+length), merging with overlapping or adjacent
+  /// extents.
+  void insert(std::uint64_t offset, std::uint64_t length);
+
+  /// True if any byte of [offset, offset+length) is present.
+  [[nodiscard]] bool overlaps(std::uint64_t offset, std::uint64_t length) const;
+
+  /// True if every byte of [offset, offset+length) is present.
+  [[nodiscard]] bool covers(std::uint64_t offset, std::uint64_t length) const;
+
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::size_t count() const noexcept { return extents_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return extents_.empty(); }
+  /// Largest end offset present (0 when empty).
+  [[nodiscard]] std::uint64_t max_end() const;
+
+  /// Extents in offset order.
+  [[nodiscard]] std::vector<Extent> extents() const;
+
+  void clear() {
+    extents_.clear();
+    bytes_ = 0;
+  }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> extents_;  // offset -> length
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace paraio::ppfs

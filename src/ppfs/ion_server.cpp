@@ -1,0 +1,120 @@
+#include "ppfs/ion_server.hpp"
+
+#include <algorithm>
+
+namespace paraio::ppfs {
+
+namespace {
+constexpr std::uint32_t kControlBytes = 64;
+}  // namespace
+
+namespace {
+constexpr std::uint64_t kCacheBlock = 64 * 1024;
+}
+
+IonServer::IonServer(hw::Machine& machine, std::size_t ion_index,
+                     bool aggregate, std::uint64_t merge_gap,
+                     std::size_t cache_blocks)
+    : machine_(machine),
+      ion_index_(ion_index),
+      aggregate_(aggregate),
+      merge_gap_(merge_gap),
+      queue_(machine.engine(), sim::Channel<Request>::kUnbounded),
+      cache_(cache_blocks) {
+  machine_.engine().spawn(serve());
+}
+
+bool IonServer::cache_covers(std::uint64_t address, std::uint64_t length) {
+  if (cache_.capacity() == 0 || length == 0) return false;
+  for (std::uint64_t b = address / kCacheBlock;
+       b <= (address + length - 1) / kCacheBlock; ++b) {
+    if (!cache_.lookup(BlockKey{0, b})) return false;
+  }
+  return true;
+}
+
+void IonServer::cache_fill(std::uint64_t address, std::uint64_t length) {
+  if (cache_.capacity() == 0 || length == 0) return;
+  for (std::uint64_t b = address / kCacheBlock;
+       b <= (address + length - 1) / kCacheBlock; ++b) {
+    cache_.insert(BlockKey{0, b});
+  }
+}
+
+sim::Task<> IonServer::submit(io::NodeId src, std::uint64_t disk_address,
+                              std::uint64_t length, bool is_write) {
+  const io::NodeId ion_node = machine_.ion_node_id(ion_index_);
+  // Ship the data (write) or the request descriptor (read).
+  co_await machine_.net().send(src, ion_node,
+                               is_write ? length : kControlBytes);
+  Request req;
+  req.address = disk_address;
+  req.length = length;
+  req.is_write = is_write;
+  req.src = src;
+  req.done = std::make_shared<sim::Event>(machine_.engine());
+  auto done = req.done;
+  co_await queue_.send(std::move(req));
+  co_await done->wait();
+  // Reply: the data (read) or an ack (write) travels back.
+  co_await machine_.net().send(ion_node, src,
+                               is_write ? kControlBytes : length);
+}
+
+sim::Task<> IonServer::serve() {
+  for (;;) {
+    std::vector<Request> batch;
+    batch.push_back(co_await queue_.recv());
+    if (aggregate_) {
+      while (auto more = queue_.try_recv()) {
+        batch.push_back(std::move(*more));
+      }
+    }
+    stats_.requests += batch.size();
+    ++stats_.batches;
+
+    // Service in disk-address order, merging physically close extents into
+    // single array accesses.  Reads and writes merge independently.
+    std::vector<std::size_t> order(batch.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (batch[a].is_write != batch[b].is_write) {
+        return batch[a].is_write < batch[b].is_write;
+      }
+      return batch[a].address < batch[b].address;
+    });
+
+    std::size_t i = 0;
+    while (i < order.size()) {
+      const Request& first = batch[order[i]];
+      // Server-side cache: a read whose blocks are all resident skips the
+      // array (the second buffering level of the paper's §8).
+      if (!first.is_write && cache_covers(first.address, first.length)) {
+        ++stats_.cache_hits;
+        batch[order[i]].done->set();
+        ++i;
+        continue;
+      }
+      if (!first.is_write) ++stats_.cache_misses;
+      std::uint64_t lo = first.address;
+      std::uint64_t hi = first.address + first.length;
+      std::size_t j = i + 1;
+      while (j < order.size()) {
+        const Request& next = batch[order[j]];
+        if (next.is_write != first.is_write || next.address > hi + merge_gap_) {
+          break;
+        }
+        hi = std::max(hi, next.address + next.length);
+        ++j;
+      }
+      co_await machine_.ion_array(ion_index_).access(lo, hi - lo);
+      cache_fill(lo, hi - lo);
+      ++stats_.disk_accesses;
+      stats_.bytes += hi - lo;
+      for (std::size_t k = i; k < j; ++k) batch[order[k]].done->set();
+      i = j;
+    }
+  }
+}
+
+}  // namespace paraio::ppfs

@@ -1,0 +1,58 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace paraio::sim {
+
+void Engine::spawn(Task<> task) {
+  assert(task.valid());
+  detached_.push_back(std::move(task));
+  detached_.back().start();
+  reap_finished();
+}
+
+void Engine::reap_finished() {
+  for (auto it = detached_.begin(); it != detached_.end();) {
+    if (it->done()) {
+      it->result();  // rethrows if the detached task failed
+      it = detached_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  auto [when, action] = queue_.pop();
+  assert(when >= now_ && "event scheduled in the past");
+  now_ = when;
+  ++executed_;
+  action();
+  // Reaping scans the detached list, so amortize it: failures surface by
+  // the end of run() at the latest.
+  if ((executed_ & 0xFF) == 0) reap_finished();
+  return true;
+}
+
+SimTime Engine::run() {
+  while (step()) {
+  }
+  reap_finished();
+  return now_;
+}
+
+SimTime Engine::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    step();
+  }
+  if (now_ < deadline && !queue_.empty()) {
+    now_ = deadline;
+  } else if (queue_.empty() && now_ < deadline) {
+    // Queue drained before the deadline; time stops at the last event.
+  }
+  return now_;
+}
+
+}  // namespace paraio::sim

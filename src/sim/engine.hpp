@@ -1,0 +1,94 @@
+// Discrete-event simulation engine.
+//
+// The engine owns simulated time and the pending-event set, and acts as the
+// scheduler for coroutine processes (sim::Task).  It is strictly
+// single-threaded; determinism comes from the EventQueue's FIFO tie-break.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <utility>
+
+#include "sim/event_queue.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace paraio::sim {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time in seconds.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `action` after `delay` seconds of simulated time.
+  EventId call_in(SimDuration delay, EventQueue::Action action) {
+    return queue_.schedule(now_ + delay, std::move(action));
+  }
+
+  /// Schedules `action` at absolute simulated time `when` (>= now()).
+  EventId call_at(SimTime when, EventQueue::Action action) {
+    return queue_.schedule(when, std::move(action));
+  }
+
+  /// Cancels a pending callback.  Returns true if it had not yet fired.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Starts a detached top-level process.  The engine keeps the task alive
+  /// until it finishes; if the task ends with an uncaught exception the next
+  /// run()/step() call rethrows it.
+  void spawn(Task<> task);
+
+  /// Runs until no events remain.  Returns the final simulated time.
+  SimTime run();
+
+  /// Runs events with time <= `deadline`; then sets now() to `deadline` if
+  /// the simulation ran that far, or leaves it at the last event time if the
+  /// queue drained first.  Returns now().
+  SimTime run_until(SimTime deadline);
+
+  /// Executes exactly one event if any is pending.  Returns false when the
+  /// queue is empty.
+  bool step();
+
+  /// Number of pending events.
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  /// Total events executed so far (for microbenchmarks and sanity checks).
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Awaitable that suspends the current task for `delay` simulated seconds.
+  /// Usage: `co_await engine.delay(sim::milliseconds(17));`
+  auto delay(SimDuration d) {
+    struct Awaiter {
+      Engine& engine;
+      SimDuration dur;
+      // Always suspends, even for a zero duration: delay(0) is a
+      // deterministic yield point, not a no-op.
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        engine.call_in(dur, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, d};
+  }
+
+  /// Awaitable that reschedules the current task at the same instant, after
+  /// all events already queued for that instant.  Useful to break ties or
+  /// yield to peers deterministically.
+  auto yield() { return delay(0.0); }
+
+ private:
+  void reap_finished();
+
+  SimTime now_ = 0.0;
+  EventQueue queue_;
+  std::list<Task<>> detached_;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace paraio::sim

@@ -1,0 +1,48 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace paraio::sim {
+
+EventId EventQueue::schedule(SimTime when, Action action) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{when, seq});
+  pending_.emplace(seq, std::move(action));
+  ++live_;
+  return EventId{seq};
+}
+
+bool EventQueue::cancel(EventId id) {
+  auto it = pending_.find(id.seq);
+  if (it == pending_.end()) return false;
+  pending_.erase(it);
+  --live_;
+  return true;
+}
+
+void EventQueue::drop_dead_top() const {
+  while (!heap_.empty() && !pending_.contains(heap_.top().seq)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  drop_dead_top();
+  assert(!heap_.empty() && "next_time() on empty queue");
+  return heap_.top().when;
+}
+
+std::pair<SimTime, EventQueue::Action> EventQueue::pop() {
+  drop_dead_top();
+  assert(!heap_.empty() && "pop() on empty queue");
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = pending_.find(top.seq);
+  assert(it != pending_.end());
+  Action action = std::move(it->second);
+  pending_.erase(it);
+  --live_;
+  return {top.when, std::move(action)};
+}
+
+}  // namespace paraio::sim

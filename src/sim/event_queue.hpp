@@ -1,0 +1,75 @@
+// Deterministic pending-event set for the discrete-event kernel.
+//
+// Events are (time, sequence, action) triples ordered by time with the
+// insertion sequence number as a tie-break, so two events scheduled for the
+// same instant always fire in the order they were scheduled.  That property
+// is load-bearing: every table in the benchmark suite is expected to be
+// bit-for-bit reproducible across runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+
+#include "sim/time.hpp"
+
+namespace paraio::sim {
+
+/// Opaque handle identifying a scheduled event, usable for cancellation.
+struct EventId {
+  std::uint64_t seq = 0;
+  friend bool operator==(EventId, EventId) = default;
+};
+
+/// Min-heap of scheduled actions.  Not thread-safe by design: the kernel is
+/// single-threaded and determinism is the whole point.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `when`.  `when` may equal the
+  /// current time (the event fires after all earlier-scheduled events at the
+  /// same instant).
+  EventId schedule(SimTime when, Action action);
+
+  /// Cancels a previously scheduled event.  Returns true if the event was
+  /// still pending.  Cancellation is lazy: the heap entry is skipped when it
+  /// reaches the top, which keeps schedule/cancel O(log n), but the action
+  /// (and anything it captures) is released eagerly.
+  bool cancel(EventId id);
+
+  /// True if no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  /// Number of live events.
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Time of the earliest live event.  Precondition: !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Removes and returns the earliest live event.  Precondition: !empty().
+  std::pair<SimTime, Action> pop();
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    // std::priority_queue is a max-heap, so invert the comparison.
+    bool operator<(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  /// Pops cancelled entries off the top of the heap.
+  void drop_dead_top() const;
+
+  mutable std::priority_queue<Entry> heap_;
+  std::unordered_map<std::uint64_t, Action> pending_;  // seq -> action
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace paraio::sim

@@ -1,0 +1,96 @@
+#include "sim/random.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace paraio::sim {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+  // All-zero state is the one forbidden state for xoshiro; splitmix64 cannot
+  // produce four zero outputs in a row, but keep the guard explicit.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 1;
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  assert(lo <= hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t range = hi - lo + 1;  // wraps to 0 for the full range
+  if (range == 0) return next_u64();
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = range * (~std::uint64_t{0} / range);
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return lo + v % range;
+}
+
+double Rng::exponential(double mean) {
+  assert(mean > 0.0);
+  // 1 - uniform01() is in (0, 1], so the log is finite.
+  return -mean * std::log(1.0 - uniform01());
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  const double u1 = 1.0 - uniform01();  // (0, 1]
+  const double u2 = uniform01();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+bool Rng::bernoulli(double p) { return uniform01() < p; }
+
+Rng Rng::fork(std::uint64_t stream) const {
+  // Mix the current state with the stream id through SplitMix64 so sibling
+  // streams are decorrelated regardless of how many draws the parent made.
+  std::uint64_t s = state_[0] ^ (stream * 0xd1342543de82ef95ULL + 0x632be59bd9b4e019ULL);
+  return Rng(splitmix64(s));
+}
+
+}  // namespace paraio::sim

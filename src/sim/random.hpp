@@ -1,0 +1,50 @@
+// Deterministic, portable pseudo-random numbers for workload generation.
+//
+// std::mt19937 is portable but std::*_distribution results are
+// implementation-defined; to make every experiment bit-for-bit reproducible
+// across standard libraries we implement xoshiro256** with SplitMix64
+// seeding and our own inverse-CDF / Box-Muller transforms.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace paraio::sim {
+
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value (xoshiro256**).
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).  Precondition: lo <= hi.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Normal via Box-Muller (caches the second variate).
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial.
+  bool bernoulli(double p);
+
+  /// Derives an independent stream (e.g. one per simulated node): applies
+  /// the xoshiro long-jump-equivalent of reseeding with a mixed stream id.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace paraio::sim

@@ -1,0 +1,35 @@
+#include "sim/sync.hpp"
+
+namespace paraio::sim {
+
+void Event::set() {
+  set_ = true;
+  // Resume through the event queue so set() never re-enters user code.
+  for (auto h : waiters_) {
+    engine_.call_in(0.0, [h] { h.resume(); });
+  }
+  waiters_.clear();
+}
+
+void Semaphore::release(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      engine_.call_in(0.0, [h] { h.resume(); });
+    } else {
+      ++count_;
+    }
+  }
+}
+
+void Barrier::release_all() {
+  ++generation_;
+  arrived_ = 0;
+  for (auto h : waiters_) {
+    engine_.call_in(0.0, [h] { h.resume(); });
+  }
+  waiters_.clear();
+}
+
+}  // namespace paraio::sim

@@ -1,0 +1,31 @@
+// Simulated-time representation for the discrete-event kernel.
+//
+// Simulated time is a double counting seconds since the start of the
+// simulation.  Doubles are adequate here: the longest simulated runs in this
+// project are a few times 10^4 seconds with microsecond-scale service times,
+// comfortably inside the 2^53 exact-integer range when expressed in
+// microseconds.  Event ordering never relies on exact float comparison alone;
+// the event queue breaks ties with a monotonically increasing sequence
+// number (see event_queue.hpp), which is what makes runs deterministic.
+#pragma once
+
+#include <limits>
+
+namespace paraio::sim {
+
+/// Seconds of simulated time since Engine construction.
+using SimTime = double;
+
+/// A duration in simulated seconds.
+using SimDuration = double;
+
+/// Sentinel meaning "never" / "no deadline".
+inline constexpr SimTime kTimeInfinity = std::numeric_limits<double>::infinity();
+
+/// Convenience constructors so call sites read in natural units.
+constexpr SimDuration seconds(double s) { return s; }
+constexpr SimDuration milliseconds(double ms) { return ms * 1e-3; }
+constexpr SimDuration microseconds(double us) { return us * 1e-6; }
+constexpr SimDuration nanoseconds(double ns) { return ns * 1e-9; }
+
+}  // namespace paraio::sim

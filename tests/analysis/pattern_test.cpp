@@ -1,0 +1,125 @@
+#include "analysis/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace paraio::analysis {
+namespace {
+
+using Req = std::pair<std::uint64_t, std::uint64_t>;
+
+std::vector<Req> sequential(std::size_t n, std::uint64_t size) {
+  std::vector<Req> r;
+  std::uint64_t off = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    r.emplace_back(off, size);
+    off += size;
+  }
+  return r;
+}
+
+TEST(ClassifyStream, Sequential) {
+  auto cls = classify_stream(sequential(20, 1024));
+  EXPECT_EQ(cls.pattern, AccessPattern::kSequential);
+  EXPECT_DOUBLE_EQ(cls.sequential_fraction, 1.0);
+  EXPECT_EQ(cls.ops, 20u);
+  EXPECT_EQ(cls.bytes, 20u * 1024);
+}
+
+TEST(ClassifyStream, StridedWithGaps) {
+  // 1 KB requests every 64 KB: the ESCAT node-interleaved quadrature layout.
+  std::vector<Req> r;
+  for (int i = 0; i < 20; ++i) r.emplace_back(i * 65536ULL, 1024);
+  auto cls = classify_stream(r);
+  EXPECT_EQ(cls.pattern, AccessPattern::kStrided);
+  EXPECT_EQ(cls.stride, 65536);
+}
+
+TEST(ClassifyStream, Random) {
+  sim::Rng rng(5);
+  std::vector<Req> r;
+  for (int i = 0; i < 50; ++i) {
+    r.emplace_back(rng.uniform_int(0, 1'000'000) * 4096ULL, 4096);
+  }
+  auto cls = classify_stream(r);
+  EXPECT_EQ(cls.pattern, AccessPattern::kRandom);
+}
+
+TEST(ClassifyStream, ShortStreamsAreSingle) {
+  EXPECT_EQ(classify_stream({}).pattern, AccessPattern::kSingle);
+  EXPECT_EQ(classify_stream({{0, 10}}).pattern, AccessPattern::kSingle);
+  auto two = classify_stream({{0, 10}, {10, 10}});
+  EXPECT_EQ(two.pattern, AccessPattern::kSingle);
+  EXPECT_DOUBLE_EQ(two.sequential_fraction, 1.0);
+}
+
+TEST(ClassifyStream, MostlySequentialBelowThresholdIsNotSequential) {
+  auto r = sequential(10, 100);
+  r[5].first += 7777;  // two broken transitions (into and out of the jump)
+  auto strict = classify_stream(r, 0.95);
+  EXPECT_NE(strict.pattern, AccessPattern::kSequential);
+  auto lenient = classify_stream(r, 0.5);
+  EXPECT_EQ(lenient.pattern, AccessPattern::kSequential);
+}
+
+TEST(ClassifyStream, RewindingCyclicReadIsStrided) {
+  // HTF SCF: read the file, seek back, read again — within one pass it is
+  // sequential; the classifier sees the dominant stride equal to the size.
+  std::vector<Req> r;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (int i = 0; i < 10; ++i) r.emplace_back(i * 4096ULL, 4096);
+  }
+  auto cls = classify_stream(r);
+  // 27/29 transitions are +4096 strided (also sequential); classifier says
+  // sequential with threshold <= 27/29.
+  EXPECT_EQ(cls.pattern, AccessPattern::kSequential);
+  EXPECT_NEAR(cls.sequential_fraction, 27.0 / 29.0, 1e-12);
+}
+
+TEST(ClassifyTrace, SplitsByFileNodeDirection) {
+  pablo::Trace trace;
+  auto add = [&](pablo::Op op, io::FileId f, io::NodeId n, std::uint64_t off) {
+    pablo::IoEvent e;
+    e.op = op;
+    e.file = f;
+    e.node = n;
+    e.offset = off;
+    e.requested = e.transferred = 512;
+    trace.on_event(e);
+  };
+  // Node 0 reads file 1 sequentially; node 1 writes file 1 randomly.
+  for (int i = 0; i < 5; ++i) add(pablo::Op::kRead, 1, 0, i * 512ULL);
+  for (auto off : {900001ULL, 13ULL, 500000ULL, 70707ULL}) {
+    add(pablo::Op::kWrite, 1, 1, off);
+  }
+  auto streams = classify_trace(trace);
+  ASSERT_EQ(streams.size(), 2u);
+  EXPECT_EQ(streams.at({1, 0, true}).pattern, AccessPattern::kSequential);
+  EXPECT_EQ(streams.at({1, 1, false}).pattern, AccessPattern::kRandom);
+}
+
+TEST(PatternMix, CountsByClass) {
+  std::map<StreamKey, StreamClass> streams;
+  StreamClass seq;
+  seq.pattern = AccessPattern::kSequential;
+  StreamClass rnd;
+  rnd.pattern = AccessPattern::kRandom;
+  streams[{1, 0, true}] = seq;
+  streams[{1, 1, true}] = seq;
+  streams[{2, 0, false}] = rnd;
+  auto mix = pattern_mix(streams);
+  EXPECT_EQ(mix.sequential, 2u);
+  EXPECT_EQ(mix.random, 1u);
+  EXPECT_EQ(mix.total(), 3u);
+}
+
+TEST(PatternNames, AllDistinct) {
+  EXPECT_STREQ(to_string(AccessPattern::kSequential), "sequential");
+  EXPECT_STREQ(to_string(AccessPattern::kStrided), "strided");
+  EXPECT_STREQ(to_string(AccessPattern::kRandom), "random");
+  EXPECT_STREQ(to_string(AccessPattern::kSingle), "single");
+}
+
+}  // namespace
+}  // namespace paraio::analysis

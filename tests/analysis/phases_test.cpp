@@ -1,0 +1,143 @@
+#include "analysis/phases.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace paraio::analysis {
+namespace {
+
+using pablo::IoEvent;
+using pablo::Op;
+using pablo::Trace;
+
+IoEvent make(Op op, double t, std::uint64_t bytes) {
+  IoEvent e;
+  e.op = op;
+  e.timestamp = t;
+  e.duration = 0.01;
+  e.transferred = bytes;
+  e.requested = bytes;
+  return e;
+}
+
+TEST(PhaseDetect, EmptyTrace) {
+  Trace t;
+  EXPECT_TRUE(detect_phases(t).empty());
+}
+
+TEST(PhaseDetect, SingleReadPhase) {
+  Trace t;
+  for (int i = 0; i < 10; ++i) t.on_event(make(Op::kRead, i * 5.0, 1000));
+  auto phases = detect_phases(t);
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].kind, PhaseKind::kReadIntensive);
+  EXPECT_EQ(phases[0].ops, 10u);
+  EXPECT_EQ(phases[0].bytes_read, 10'000u);
+}
+
+TEST(PhaseDetect, ReadThenWriteSplits) {
+  Trace t;
+  for (int i = 0; i < 5; ++i) t.on_event(make(Op::kRead, i * 10.0, 1000));
+  for (int i = 0; i < 5; ++i) {
+    t.on_event(make(Op::kWrite, 300.0 + i * 10.0, 1000));
+  }
+  auto phases = detect_phases(t);
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0].kind, PhaseKind::kReadIntensive);
+  EXPECT_EQ(phases[1].kind, PhaseKind::kWriteIntensive);
+  EXPECT_LE(phases[0].end, phases[1].start);
+}
+
+TEST(PhaseDetect, IdleGapWithinSameLabelMerges) {
+  // ESCAT's quadrature shape: write bursts separated by long computation.
+  Trace t;
+  for (double burst : {0.0, 300.0, 600.0, 900.0}) {
+    for (int i = 0; i < 8; ++i) {
+      t.on_event(make(Op::kWrite, burst + i * 0.1, 2048));
+    }
+  }
+  auto phases = detect_phases(t);
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].kind, PhaseKind::kWriteIntensive);
+  EXPECT_EQ(phases[0].ops, 32u);
+  EXPECT_GE(phases[0].end - phases[0].start, 900.0);
+}
+
+TEST(PhaseDetect, MixedWindowLabeledMixed) {
+  Trace t;
+  for (int i = 0; i < 5; ++i) {
+    t.on_event(make(Op::kRead, i * 1.0, 1000));
+    t.on_event(make(Op::kWrite, i * 1.0 + 0.5, 900));
+  }
+  auto phases = detect_phases(t);
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].kind, PhaseKind::kMixed);
+}
+
+TEST(PhaseDetect, MinorityBelowThresholdIsNotMixed) {
+  Trace t;
+  for (int i = 0; i < 10; ++i) t.on_event(make(Op::kRead, i * 1.0, 10'000));
+  t.on_event(make(Op::kWrite, 5.0, 100));  // 0.1% of bytes
+  auto phases = detect_phases(t);
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].kind, PhaseKind::kReadIntensive);
+}
+
+TEST(PhaseDetect, AsyncReadsCount) {
+  Trace t;
+  for (int i = 0; i < 4; ++i) t.on_event(make(Op::kAsyncRead, i * 1.0, 1 << 20));
+  auto phases = detect_phases(t);
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].kind, PhaseKind::kReadIntensive);
+}
+
+TEST(PhaseDetect, ControlOpsIgnored) {
+  Trace t;
+  for (int i = 0; i < 20; ++i) t.on_event(make(Op::kSeek, i * 1.0, 0));
+  EXPECT_TRUE(detect_phases(t).empty());
+}
+
+TEST(PhaseDetect, EscatStructureRecovered) {
+  // The full ESCAT trace: read init, write quadrature, read reload, write
+  // output — the detector must find the alternation without being told.
+  core::ExperimentConfig cfg = core::escat_experiment();
+  auto& app = std::get<apps::EscatConfig>(cfg.app);
+  app.nodes = 16;
+  app.iterations = 10;
+  app.seek_free_iterations = 2;
+  app.first_cycle_compute = 30.0;
+  app.last_cycle_compute = 15.0;
+  cfg.machine = hw::MachineConfig::paragon_xps(16, 4);
+  const auto r = core::run_experiment(cfg);
+  auto phases = detect_phases(r.trace, {.window = 30.0});
+  ASSERT_GE(phases.size(), 3u);
+  EXPECT_EQ(phases.front().kind, PhaseKind::kReadIntensive);  // init
+  // Somewhere in the middle, a write-intensive quadrature phase.
+  bool has_write_phase = false;
+  for (std::size_t i = 0; i + 1 < phases.size(); ++i) {
+    has_write_phase |= phases[i].kind == PhaseKind::kWriteIntensive;
+  }
+  EXPECT_TRUE(has_write_phase);
+  // Reload reads follow the quadrature writes.
+  bool read_after_write = false;
+  bool seen_write = false;
+  for (const auto& p : phases) {
+    if (p.kind == PhaseKind::kWriteIntensive) seen_write = true;
+    if (seen_write && p.kind == PhaseKind::kReadIntensive) {
+      read_after_write = true;
+    }
+  }
+  EXPECT_TRUE(read_after_write);
+}
+
+TEST(PhaseDetect, TextRendering) {
+  Trace t;
+  for (int i = 0; i < 3; ++i) t.on_event(make(Op::kRead, i * 1.0, 1000));
+  const std::string text = to_text(detect_phases(t));
+  EXPECT_NE(text.find("read-intensive"), std::string::npos);
+  EXPECT_NE(text.find("phase 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paraio::analysis

@@ -1,0 +1,79 @@
+#include "analysis/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paraio::analysis {
+namespace {
+
+std::vector<TimelinePoint> sample_points() {
+  return {
+      {0.0, 1024, 0, 1},
+      {10.0, 2048, 1, 1},
+      {20.0, 3'000'000, 0, 2},
+  };
+}
+
+TEST(ReportCsv, TimelineColumns) {
+  const std::string csv = to_csv(sample_points());
+  EXPECT_TRUE(csv.starts_with("time_s,size_bytes,node,file\n"));
+  EXPECT_NE(csv.find("10,2048,1,1"), std::string::npos);
+}
+
+TEST(ReportCsv, FileAccessColumns) {
+  std::vector<FileAccessPoint> pts = {{1.0, 3, true}, {2.0, 4, false}};
+  const std::string csv = to_csv(pts);
+  EXPECT_NE(csv.find("1,3,read"), std::string::npos);
+  EXPECT_NE(csv.find("2,4,write"), std::string::npos);
+}
+
+TEST(AsciiPlot, ContainsMarksAndTitle) {
+  PlotOptions opt;
+  opt.title = "Figure T: demo";
+  opt.log_y = true;
+  const std::string plot = ascii_plot(sample_points(), opt);
+  EXPECT_NE(plot.find("Figure T: demo"), std::string::npos);
+  EXPECT_NE(plot.find('o'), std::string::npos);
+  EXPECT_NE(plot.find("time (s)"), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptyInputSaysEmpty) {
+  PlotOptions opt;
+  opt.title = "Nothing";
+  const std::string plot = ascii_plot(std::vector<TimelinePoint>{}, opt);
+  EXPECT_NE(plot.find("(empty)"), std::string::npos);
+}
+
+TEST(AsciiPlot, FileAccessUsesReadWriteMarks) {
+  std::vector<FileAccessPoint> pts;
+  for (int i = 0; i < 10; ++i) pts.push_back({static_cast<double>(i), 1, true});
+  for (int i = 0; i < 10; ++i) pts.push_back({static_cast<double>(i), 9, false});
+  PlotOptions opt;
+  const std::string plot = ascii_plot(pts, opt);
+  EXPECT_NE(plot.find('r'), std::string::npos);
+  EXPECT_NE(plot.find('w'), std::string::npos);
+}
+
+TEST(AsciiPlot, OverlappingMarksBecomeStar) {
+  std::vector<FileAccessPoint> pts = {{1.0, 5, true}, {1.0, 5, false}};
+  PlotOptions opt;
+  const std::string plot = ascii_plot(pts, opt);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, GridDimensionsRespected) {
+  PlotOptions opt;
+  opt.width = 20;
+  opt.height = 5;
+  const std::string plot = ascii_plot(sample_points(), opt);
+  // 5 interior rows between the +----+ borders.
+  int rows = 0;
+  std::size_t pos = 0;
+  while ((pos = plot.find("|", pos)) != std::string::npos) {
+    ++rows;
+    pos = plot.find('\n', pos);
+  }
+  EXPECT_EQ(rows, 5);
+}
+
+}  // namespace
+}  // namespace paraio::analysis

@@ -1,0 +1,88 @@
+#include "analysis/survival.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paraio::analysis {
+namespace {
+
+pablo::IoEvent write(io::FileId file, std::uint64_t offset,
+                     std::uint64_t bytes, double t = 0.0) {
+  pablo::IoEvent e;
+  e.op = pablo::Op::kWrite;
+  e.file = file;
+  e.offset = offset;
+  e.transferred = bytes;
+  e.timestamp = t;
+  return e;
+}
+
+TEST(WriteSurvival, EmptyTrace) {
+  pablo::Trace t;
+  const WriteSurvival s = write_survival(t);
+  EXPECT_EQ(s.bytes_written, 0u);
+  EXPECT_DOUBLE_EQ(s.survival_fraction(), 1.0);
+}
+
+TEST(WriteSurvival, DisjointWritesAllSurvive) {
+  pablo::Trace t;
+  t.on_event(write(1, 0, 100));
+  t.on_event(write(1, 100, 100));
+  t.on_event(write(2, 0, 50));
+  const WriteSurvival s = write_survival(t);
+  EXPECT_EQ(s.bytes_written, 250u);
+  EXPECT_EQ(s.bytes_overwritten, 0u);
+  EXPECT_EQ(s.bytes_surviving, 250u);
+  EXPECT_DOUBLE_EQ(s.survival_fraction(), 1.0);
+}
+
+TEST(WriteSurvival, FullOverwriteCounted) {
+  pablo::Trace t;
+  t.on_event(write(1, 0, 100, 0.0));
+  t.on_event(write(1, 0, 100, 1.0));
+  const WriteSurvival s = write_survival(t);
+  EXPECT_EQ(s.bytes_written, 200u);
+  EXPECT_EQ(s.bytes_overwritten, 100u);
+  EXPECT_EQ(s.bytes_surviving, 100u);
+  EXPECT_DOUBLE_EQ(s.survival_fraction(), 0.5);
+}
+
+TEST(WriteSurvival, PartialOverlap) {
+  pablo::Trace t;
+  t.on_event(write(1, 0, 100));
+  t.on_event(write(1, 50, 100));  // 50 bytes overlap
+  const WriteSurvival s = write_survival(t);
+  EXPECT_EQ(s.bytes_overwritten, 50u);
+  EXPECT_EQ(s.bytes_surviving, 150u);
+}
+
+TEST(WriteSurvival, OverwriteSpanningManyExtents) {
+  pablo::Trace t;
+  for (int i = 0; i < 5; ++i) t.on_event(write(1, i * 100ULL, 50));
+  t.on_event(write(1, 0, 450));  // covers all five 50-byte extents
+  const WriteSurvival s = write_survival(t);
+  EXPECT_EQ(s.bytes_overwritten, 250u);
+  EXPECT_EQ(s.bytes_surviving, 450u);
+}
+
+TEST(WriteSurvival, DifferentFilesIndependent) {
+  pablo::Trace t;
+  t.on_event(write(1, 0, 100));
+  t.on_event(write(2, 0, 100));  // same offsets, other file: no overwrite
+  const WriteSurvival s = write_survival(t);
+  EXPECT_EQ(s.bytes_overwritten, 0u);
+}
+
+TEST(WriteSurvival, ReadsIgnored) {
+  pablo::Trace t;
+  t.on_event(write(1, 0, 100));
+  pablo::IoEvent rd;
+  rd.op = pablo::Op::kRead;
+  rd.file = 1;
+  rd.transferred = 100;
+  t.on_event(rd);
+  const WriteSurvival s = write_survival(t);
+  EXPECT_EQ(s.bytes_written, 100u);
+}
+
+}  // namespace
+}  // namespace paraio::analysis

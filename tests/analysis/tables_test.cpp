@@ -1,0 +1,144 @@
+#include "analysis/tables.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paraio::analysis {
+namespace {
+
+using pablo::IoEvent;
+using pablo::Op;
+using pablo::Trace;
+
+IoEvent make(Op op, double t, double dur, std::uint64_t bytes = 0) {
+  IoEvent e;
+  e.op = op;
+  e.timestamp = t;
+  e.duration = dur;
+  e.requested = bytes;
+  e.transferred = bytes;
+  e.file = 1;
+  return e;
+}
+
+Trace sample() {
+  Trace t;
+  t.on_event(make(Op::kOpen, 0.0, 1.0));
+  t.on_event(make(Op::kRead, 1.0, 2.0, 1000));
+  t.on_event(make(Op::kWrite, 3.0, 3.0, 2048));
+  t.on_event(make(Op::kWrite, 6.0, 3.0, 2048));
+  t.on_event(make(Op::kSeek, 9.0, 0.5));
+  t.on_event(make(Op::kClose, 10.0, 0.5));
+  return t;
+}
+
+TEST(OperationTable, AllRowAggregatesEverything) {
+  OperationTable table(sample());
+  const auto& all = table.all();
+  EXPECT_EQ(all.label, "All I/O");
+  EXPECT_EQ(all.count, 6u);
+  EXPECT_EQ(all.bytes, 1000u + 2 * 2048u);
+  EXPECT_DOUBLE_EQ(all.node_time, 10.0);
+  EXPECT_DOUBLE_EQ(all.pct_io_time, 100.0);
+}
+
+TEST(OperationTable, PerOpRows) {
+  OperationTable table(sample());
+  const auto wr = table.row(Op::kWrite);
+  EXPECT_EQ(wr.count, 2u);
+  EXPECT_EQ(wr.bytes, 4096u);
+  EXPECT_DOUBLE_EQ(wr.node_time, 6.0);
+  EXPECT_DOUBLE_EQ(wr.pct_io_time, 60.0);
+  const auto rd = table.row(Op::kRead);
+  EXPECT_EQ(rd.count, 1u);
+  EXPECT_DOUBLE_EQ(rd.pct_io_time, 20.0);
+}
+
+TEST(OperationTable, AbsentOpRowIsZero) {
+  OperationTable table(sample());
+  const auto fl = table.row(Op::kFlush);
+  EXPECT_EQ(fl.count, 0u);
+  EXPECT_DOUBLE_EQ(fl.node_time, 0.0);
+}
+
+TEST(OperationTable, RowsOmitAbsentOpsAndFollowPaperOrder) {
+  OperationTable table(sample());
+  const auto& rows = table.rows();
+  ASSERT_EQ(rows.size(), 6u);  // All + Read, Write, Seek, Open, Close
+  EXPECT_EQ(rows[0].label, "All I/O");
+  EXPECT_EQ(rows[1].label, "Read");
+  EXPECT_EQ(rows[2].label, "Write");
+  EXPECT_EQ(rows[3].label, "Seek");
+  EXPECT_EQ(rows[4].label, "Open");
+  EXPECT_EQ(rows[5].label, "Close");
+}
+
+TEST(OperationTable, TimeWindowRestriction) {
+  OperationTable table(sample(), 1.0, 9.0);  // read + both writes
+  EXPECT_EQ(table.all().count, 3u);
+  EXPECT_EQ(table.row(Op::kOpen).count, 0u);
+  EXPECT_EQ(table.row(Op::kWrite).count, 2u);
+}
+
+TEST(OperationTable, IoWaitVolumeNotDoubleCounted) {
+  Trace t;
+  IoEvent issue = make(Op::kAsyncRead, 0.0, 0.01, 1 << 20);
+  IoEvent wait = make(Op::kIoWait, 0.01, 1.0, 1 << 20);
+  t.on_event(issue);
+  t.on_event(wait);
+  OperationTable table(t);
+  EXPECT_EQ(table.all().bytes, 1u << 20);  // once, not twice
+  EXPECT_EQ(table.row(Op::kAsyncRead).bytes, 1u << 20);
+  EXPECT_EQ(table.row(Op::kIoWait).bytes, 0u);
+}
+
+TEST(OperationTable, PercentagesSumToHundred) {
+  OperationTable table(sample());
+  double pct = 0;
+  for (std::size_t i = 1; i < table.rows().size(); ++i) {
+    pct += table.rows()[i].pct_io_time;
+  }
+  EXPECT_NEAR(pct, 100.0, 1e-9);
+}
+
+TEST(SizeTable, FoldsAsyncIntoReadWrite) {
+  Trace t;
+  t.on_event(make(Op::kRead, 0, 1, 1000));        // < 4 KB
+  t.on_event(make(Op::kAsyncRead, 1, 1, 500000)); // >= 256 KB
+  t.on_event(make(Op::kWrite, 2, 1, 2048));       // < 4 KB
+  t.on_event(make(Op::kAsyncWrite, 3, 1, 70000)); // < 256 KB
+  t.on_event(make(Op::kIoWait, 4, 1, 500000));    // must NOT count
+  SizeTable table(t);
+  EXPECT_EQ(table.reads().counts[0], 1u);
+  EXPECT_EQ(table.reads().counts[3], 1u);
+  EXPECT_EQ(table.writes().counts[0], 1u);
+  EXPECT_EQ(table.writes().counts[2], 1u);
+  EXPECT_EQ(table.read_histogram().total(), 2u);
+  EXPECT_EQ(table.write_histogram().total(), 2u);
+}
+
+TEST(Render, TextContainsRowsAndTitle) {
+  OperationTable table(sample());
+  const std::string text = to_text(table, "Table X: demo");
+  EXPECT_NE(text.find("Table X: demo"), std::string::npos);
+  EXPECT_NE(text.find("All I/O"), std::string::npos);
+  EXPECT_NE(text.find("Write"), std::string::npos);
+  EXPECT_NE(text.find("4,096"), std::string::npos);  // thousands separator
+}
+
+TEST(Render, CsvIsParseable) {
+  OperationTable table(sample());
+  const std::string csv = to_csv(table);
+  EXPECT_TRUE(csv.starts_with("operation,count,bytes,node_time_s,pct_io_time\n"));
+  // 6 rows + header = 7 lines.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 7);
+}
+
+TEST(Render, MarkdownHasHeaderSeparator) {
+  SizeTable table(sample());
+  const std::string md = to_markdown(table);
+  EXPECT_NE(md.find("|---|"), std::string::npos);
+  EXPECT_NE(md.find("| Read |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paraio::analysis

@@ -1,0 +1,114 @@
+#include "analysis/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paraio::analysis {
+namespace {
+
+using pablo::IoEvent;
+using pablo::Op;
+using pablo::Trace;
+
+IoEvent make(Op op, double t, std::uint64_t bytes, io::FileId file = 1,
+             io::NodeId node = 0) {
+  IoEvent e;
+  e.op = op;
+  e.timestamp = t;
+  e.duration = 0.01;
+  e.transferred = bytes;
+  e.requested = bytes;
+  e.file = file;
+  e.node = node;
+  return e;
+}
+
+TEST(Timeline, ExtractsFamilyInTimeOrder) {
+  Trace t;
+  t.on_event(make(Op::kWrite, 5.0, 100));
+  t.on_event(make(Op::kRead, 1.0, 200));
+  t.on_event(make(Op::kAsyncRead, 3.0, 300));
+  t.on_event(make(Op::kSeek, 2.0, 0));
+  auto reads = timeline(t, OpFamily::kReads);
+  ASSERT_EQ(reads.size(), 2u);
+  EXPECT_DOUBLE_EQ(reads[0].time, 1.0);
+  EXPECT_EQ(reads[0].size, 200u);
+  EXPECT_DOUBLE_EQ(reads[1].time, 3.0);
+  auto writes = timeline(t, OpFamily::kWrites);
+  ASSERT_EQ(writes.size(), 1u);
+  EXPECT_EQ(writes[0].size, 100u);
+}
+
+TEST(Timeline, WindowFilter) {
+  Trace t;
+  for (int i = 0; i < 10; ++i) t.on_event(make(Op::kRead, i, 10));
+  auto pts = timeline(t, OpFamily::kReads, 3.0, 7.0);
+  ASSERT_EQ(pts.size(), 4u);
+  EXPECT_DOUBLE_EQ(pts.front().time, 3.0);
+  EXPECT_DOUBLE_EQ(pts.back().time, 6.0);
+}
+
+TEST(FileAccessMap, MarksReadsAndWrites) {
+  Trace t;
+  t.on_event(make(Op::kRead, 1.0, 10, /*file=*/3));
+  t.on_event(make(Op::kWrite, 2.0, 10, /*file=*/4));
+  t.on_event(make(Op::kOpen, 0.5, 0, /*file=*/3));  // not a data op
+  auto pts = file_access_map(t);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_TRUE(pts[0].is_read);
+  EXPECT_EQ(pts[0].file, 3u);
+  EXPECT_FALSE(pts[1].is_read);
+  EXPECT_EQ(pts[1].file, 4u);
+}
+
+TEST(Bursts, SingleBurstWhenGapsSmall) {
+  Trace t;
+  for (int i = 0; i < 5; ++i) t.on_event(make(Op::kWrite, i * 0.1, 10));
+  auto b = bursts(t, OpFamily::kWrites, 1.0);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0].ops, 5u);
+  EXPECT_EQ(b[0].bytes, 50u);
+}
+
+TEST(Bursts, SplitsOnLargeGaps) {
+  Trace t;
+  // Three groups at t=0..., t=100..., t=180...
+  for (int g : {0, 100, 180}) {
+    for (int i = 0; i < 4; ++i) {
+      t.on_event(make(Op::kWrite, g + i * 0.5, 2048));
+    }
+  }
+  auto b = bursts(t, OpFamily::kWrites, 10.0);
+  ASSERT_EQ(b.size(), 3u);
+  for (const auto& burst : b) {
+    EXPECT_EQ(burst.ops, 4u);
+    EXPECT_EQ(burst.bytes, 4 * 2048u);
+  }
+  auto gaps = burst_gaps(b);
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_DOUBLE_EQ(gaps[0], 100.0);
+  EXPECT_DOUBLE_EQ(gaps[1], 80.0);
+}
+
+TEST(Bursts, EmptyTraceYieldsNoBursts) {
+  Trace t;
+  EXPECT_TRUE(bursts(t, OpFamily::kWrites, 1.0).empty());
+  EXPECT_TRUE(burst_gaps({}).empty());
+}
+
+TEST(GapTrend, DetectsShrinkingSpacing) {
+  // ESCAT Fig 4: spacing decreasing 160 -> 80 over the phase.
+  std::vector<double> shrinking{160, 150, 140, 120, 110, 95, 85, 80};
+  EXPECT_LT(gap_trend(shrinking), 0.0);
+  std::vector<double> steady{100, 100, 100, 100};
+  EXPECT_NEAR(gap_trend(steady), 0.0, 1e-12);
+  std::vector<double> growing{10, 20, 30, 40};
+  EXPECT_NEAR(gap_trend(growing), 10.0, 1e-9);
+}
+
+TEST(GapTrend, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(gap_trend({}), 0.0);
+  EXPECT_DOUBLE_EQ(gap_trend({5.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace paraio::analysis

@@ -1,0 +1,200 @@
+// Integration tests of the experiment facade: small configurations of every
+// application on both file systems, determinism, and cross-component
+// consistency between the trace and the file-system counters.
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/tables.hpp"
+
+namespace paraio::core {
+namespace {
+
+apps::EscatConfig small_escat() {
+  apps::EscatConfig c;
+  c.nodes = 8;
+  c.iterations = 6;
+  c.seek_free_iterations = 2;
+  c.first_cycle_compute = 5.0;
+  c.last_cycle_compute = 2.0;
+  c.energy_phase_compute = 3.0;
+  return c;
+}
+
+apps::RenderConfig small_render() {
+  apps::RenderConfig c;
+  c.renderers = 8;
+  c.frames = 5;
+  c.large_reads_3mb = 8;
+  c.large_reads_15mb = 16;
+  c.header_reads = 4;
+  c.frame_compute = 0.5;
+  return c;
+}
+
+apps::HtfConfig small_htf() {
+  apps::HtfConfig c;
+  c.nodes = 8;
+  c.integral_writes_total = 40;
+  c.scf_iterations = 2;
+  c.scf_extra_large_reads = 3;
+  c.integral_compute_per_record = 1.0;
+  c.scf_compute_per_iteration = 5.0;
+  c.setup_compute = 2.0;
+  return c;
+}
+
+ExperimentConfig config_for(AppConfig app, FsChoice fs,
+                            std::size_t compute_nodes) {
+  ExperimentConfig cfg;
+  cfg.machine = hw::MachineConfig::paragon_xps(compute_nodes, 4);
+  cfg.filesystem = fs;
+  cfg.app = std::move(app);
+  return cfg;
+}
+
+TEST(Experiment, EscatRunsOnPfs) {
+  auto r = run_experiment(config_for(small_escat(), FsChoice::pfs(), 8));
+  EXPECT_GT(r.trace.size(), 0u);
+  EXPECT_GT(r.run_end, r.run_start);
+  // 8 nodes x 6 iterations x 2 files writes + 6 output writes... at least
+  // the write count follows the config arithmetic.
+  analysis::OperationTable t(r.trace);
+  EXPECT_EQ(t.row(pablo::Op::kWrite).count, 8u * 6 * 2 + 18);
+}
+
+TEST(Experiment, EscatRunsOnPpfs) {
+  auto r = run_experiment(config_for(
+      small_escat(), FsChoice::ppfs(ppfs::PpfsParams::write_behind_aggregation()),
+      8));
+  analysis::OperationTable t(r.trace);
+  EXPECT_EQ(t.row(pablo::Op::kWrite).count, 8u * 6 * 2 + 18);
+  // PPFS seeks are client-local and take zero simulated time.
+  EXPECT_DOUBLE_EQ(t.row(pablo::Op::kSeek).node_time, 0.0);
+  EXPECT_GT(t.row(pablo::Op::kSeek).count, 0u);
+}
+
+TEST(Experiment, RenderRunsOnPfs) {
+  auto cfg = config_for(small_render(), FsChoice::pfs(render_pfs_params()), 9);
+  auto r = run_experiment(cfg);
+  analysis::OperationTable t(r.trace);
+  EXPECT_EQ(t.row(pablo::Op::kAsyncRead).count, 24u);
+  EXPECT_EQ(t.row(pablo::Op::kIoWait).count, 24u);
+  EXPECT_EQ(t.row(pablo::Op::kWrite).count, 3u * 5);
+}
+
+TEST(Experiment, HtfRunsOnPfs) {
+  auto r = run_experiment(config_for(small_htf(), FsChoice::pfs(), 8));
+  analysis::OperationTable t(r.trace);
+  // pargos: 40 integral writes + node-0 bookkeeping (2 small + 1 medium);
+  // pscf: per-iteration node-0 aux writes.
+  EXPECT_GE(t.row(pablo::Op::kWrite).count, 40u + 3);
+  EXPECT_EQ(t.row(pablo::Op::kLsize).count, 8u);
+  ASSERT_EQ(r.phases.phases().size(), 3u);
+  EXPECT_LT(r.phases.end_of("psetup"), r.phases.end_of("pargos"));
+  EXPECT_LT(r.phases.end_of("pargos"), r.phases.end_of("pscf"));
+}
+
+TEST(Experiment, DeterministicAcrossRunsAllApps) {
+  for (AppConfig app :
+       {AppConfig(small_escat()), AppConfig(small_render()),
+        AppConfig(small_htf())}) {
+    const std::size_t nodes = std::holds_alternative<apps::RenderConfig>(app)
+                                  ? 9u
+                                  : 8u;
+    auto a = run_experiment(config_for(app, FsChoice::pfs(), nodes));
+    auto b = run_experiment(config_for(app, FsChoice::pfs(), nodes));
+    EXPECT_EQ(a.trace, b.trace);
+    EXPECT_DOUBLE_EQ(a.run_end, b.run_end);
+  }
+}
+
+TEST(Experiment, TraceVolumeAgreesWithFsCounters) {
+  auto r = run_experiment(config_for(small_escat(), FsChoice::pfs(), 8));
+  analysis::OperationTable t(r.trace);
+  // Reads happen only in the instrumented run, so the trace and the
+  // physical counters must agree byte for byte; writes additionally include
+  // the (untraced) input staging, so the counters exceed the trace by
+  // exactly the staged input volume.
+  EXPECT_EQ(t.row(pablo::Op::kRead).bytes, r.pfs_counters.bytes_read);
+  apps::EscatConfig app = small_escat();
+  const std::uint64_t init_volume =
+      app.small_reads * app.small_read_size +
+      app.medium_reads * app.medium_read_size;
+  const std::uint64_t staged = 3 * (init_volume / 3 + app.medium_read_size);
+  EXPECT_EQ(t.row(pablo::Op::kWrite).bytes + staged,
+            r.pfs_counters.bytes_written);
+}
+
+TEST(Experiment, PpfsPhysicalWritesMatchLogicalVolume) {
+  auto r = run_experiment(config_for(
+      small_escat(), FsChoice::ppfs(ppfs::PpfsParams::write_behind_aggregation()),
+      8));
+  analysis::OperationTable t(r.trace);
+  // Same invariant on the PPFS mount (staging bytes accounted separately).
+  EXPECT_GT(r.ppfs_counters.bytes_written, t.row(pablo::Op::kWrite).bytes);
+  EXPECT_EQ(t.row(pablo::Op::kRead).bytes, r.ppfs_counters.bytes_read);
+}
+
+TEST(Experiment, PaperPresetsAreWellFormed) {
+  EXPECT_EQ(escat_experiment().machine.compute_nodes, 128u);
+  EXPECT_EQ(render_experiment().machine.compute_nodes, 129u);  // +gateway
+  EXPECT_EQ(htf_experiment().machine.compute_nodes, 128u);
+  EXPECT_EQ(escat_experiment().machine.io_nodes, 16u);
+  EXPECT_TRUE(std::holds_alternative<apps::EscatConfig>(escat_experiment().app));
+  EXPECT_TRUE(
+      std::holds_alternative<apps::RenderConfig>(render_experiment().app));
+  EXPECT_TRUE(std::holds_alternative<apps::HtfConfig>(htf_experiment().app));
+}
+
+TEST(Experiment, CalibrationsDiffersAsDocumented) {
+  // The HTF create cost must dwarf its plain-open cost; ESCAT's seek RPC
+  // must be non-trivial; RENDER must not charge per-write metadata.
+  EXPECT_GT(htf_pfs_params().effective_create_service(),
+            10 * htf_pfs_params().open_service);
+  EXPECT_GT(escat_pfs_params().meta_service, 0.01);
+  EXPECT_FALSE(render_pfs_params().write_control_rpc);
+}
+
+TEST(Experiment, ScalingNodesScalesEscatWrites) {
+  for (std::uint32_t nodes : {4u, 8u, 16u}) {
+    apps::EscatConfig app = small_escat();
+    app.nodes = nodes;
+    auto r = run_experiment(config_for(app, FsChoice::pfs(), nodes));
+    analysis::OperationTable t(r.trace);
+    EXPECT_EQ(t.row(pablo::Op::kWrite).count,
+              static_cast<std::uint64_t>(nodes) * 6 * 2 + 18);
+  }
+}
+
+}  // namespace
+}  // namespace paraio::core
+
+#include "core/report.hpp"
+
+namespace paraio::core {
+namespace {
+
+TEST(Report, ContainsAllSections) {
+  auto r = run_experiment(config_for(small_escat(), FsChoice::pfs(), 8));
+  ReportOptions opts;
+  opts.title = "ESCAT (small)";
+  const std::string md = report(r, opts);
+  for (const char* section :
+       {"# ESCAT (small)", "## Operations", "## Request sizes",
+        "## Duration and size statistics", "## Detected phases",
+        "## Access patterns", "## Files", "| All I/O |", "/escat/quad.0"}) {
+    EXPECT_NE(md.find(section), std::string::npos) << section;
+  }
+}
+
+TEST(Report, FilesSectionOptional) {
+  auto r = run_experiment(config_for(small_escat(), FsChoice::pfs(), 8));
+  ReportOptions opts;
+  opts.include_files = false;
+  const std::string md = report(r, opts);
+  EXPECT_EQ(md.find("## Files"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paraio::core

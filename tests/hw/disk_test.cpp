@@ -1,0 +1,104 @@
+#include "hw/disk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace paraio::hw {
+namespace {
+
+DiskParams test_params() {
+  DiskParams p;
+  p.avg_seek = 0.010;
+  p.settle = 0.001;
+  p.rpm = 6000.0;  // half rotation = 5 ms
+  p.media_rate = 2e6;
+  return p;
+}
+
+TEST(Disk, RandomAccessPaysSeekPlusRotation) {
+  sim::Engine e;
+  Disk d(e, test_params());
+  // Head at 0; request at a different offset is a random access.
+  const double t = d.service_time(1'000'000, 0);
+  EXPECT_DOUBLE_EQ(t, 0.010 + 0.005);
+}
+
+TEST(Disk, SequentialAccessPaysOnlySettle) {
+  sim::Engine e;
+  Disk d(e, test_params());
+  const double t = d.service_time(0, 0);  // head starts at 0
+  EXPECT_DOUBLE_EQ(t, 0.001);
+}
+
+TEST(Disk, TransferTimeProportionalToBytes) {
+  sim::Engine e;
+  Disk d(e, test_params());
+  const double t1 = d.service_time(0, 2'000'000);
+  EXPECT_DOUBLE_EQ(t1, 0.001 + 1.0);
+}
+
+TEST(Disk, ServiceTimeMonotonicInSize) {
+  sim::Engine e;
+  Disk d(e, test_params());
+  double prev = 0.0;
+  for (std::uint64_t bytes = 0; bytes <= 1 << 20; bytes += 64 * 1024) {
+    const double t = d.service_time(123456, bytes);
+    EXPECT_GT(t, prev - 1e-12);
+    prev = t;
+  }
+}
+
+TEST(Disk, AccessAdvancesSimTime) {
+  sim::Engine e;
+  Disk d(e, test_params());
+  auto proc = [&]() -> sim::Task<> { co_await d.access(500, 2'000'000); };
+  e.spawn(proc());
+  e.run();
+  // random positioning (15 ms) + 1 s transfer
+  EXPECT_NEAR(e.now(), 1.015, 1e-9);
+}
+
+TEST(Disk, SequentialFollowOnIsCheap) {
+  sim::Engine e;
+  Disk d(e, test_params());
+  auto proc = [&]() -> sim::Task<> {
+    co_await d.access(0, 1'000'000);      // random (head at 0, offset 0: sequential!)
+    co_await d.access(1'000'000, 1'000'000);  // continues where head left off
+  };
+  e.spawn(proc());
+  e.run();
+  // Both are sequential: 2 x (settle + 0.5 s)
+  EXPECT_NEAR(e.now(), 2 * (0.001 + 0.5), 1e-9);
+}
+
+TEST(Disk, ConcurrentRequestsSerialize) {
+  sim::Engine e;
+  Disk d(e, test_params());
+  auto proc = [&]() -> sim::Task<> { co_await d.access(0, 2'000'000); };
+  e.spawn(proc());
+  e.spawn(proc());
+  e.run();
+  // First: settle + 1 s. Second: head now at 2e6, offset 0 -> random
+  // positioning (15 ms) + 1 s, queued behind the first.
+  EXPECT_NEAR(e.now(), 1.001 + 1.015, 1e-9);
+  EXPECT_EQ(d.stats().requests, 2u);
+  EXPECT_EQ(d.stats().bytes, 4'000'000u);
+  EXPECT_GT(d.stats().queue_time, 1.0);
+}
+
+TEST(Disk, StatsAccumulate) {
+  sim::Engine e;
+  Disk d(e, test_params());
+  auto proc = [&]() -> sim::Task<> {
+    for (int i = 0; i < 5; ++i) co_await d.access(0, 1000);
+  };
+  e.spawn(proc());
+  e.run();
+  EXPECT_EQ(d.stats().requests, 5u);
+  EXPECT_EQ(d.stats().bytes, 5000u);
+  EXPECT_GT(d.stats().busy_time, 0.0);
+}
+
+}  // namespace
+}  // namespace paraio::hw

@@ -1,0 +1,67 @@
+#include "hw/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace paraio::hw {
+namespace {
+
+TEST(Machine, ParagonPresetMatchesPaper) {
+  MachineConfig cfg = MachineConfig::paragon_xps();
+  EXPECT_EQ(cfg.compute_nodes, 512u);
+  EXPECT_EQ(cfg.io_nodes, 16u);
+  EXPECT_EQ(cfg.raid.disks, 5u);
+  EXPECT_EQ(cfg.raid.disk.capacity, 1'200'000'000ULL);
+}
+
+TEST(Machine, ScaledPartition) {
+  MachineConfig cfg = MachineConfig::paragon_xps(128, 16);
+  EXPECT_EQ(cfg.compute_nodes, 128u);
+  EXPECT_EQ(cfg.io_nodes, 16u);
+}
+
+TEST(Machine, IonNodeIdsFollowComputeNodes) {
+  sim::Engine e;
+  Machine m(e, MachineConfig::paragon_xps(128, 16));
+  EXPECT_EQ(m.ion_node_id(0), 128u);
+  EXPECT_EQ(m.ion_node_id(15), 143u);
+}
+
+TEST(Machine, InterconnectCoversAllNodes) {
+  sim::Engine e;
+  Machine m(e, MachineConfig::paragon_xps(128, 16));
+  EXPECT_EQ(m.net().node_count(), 144u);
+}
+
+TEST(Machine, EachIonHasItsOwnArray) {
+  sim::Engine e;
+  Machine m(e, MachineConfig::paragon_xps(4, 2));
+  EXPECT_NE(&m.ion_array(0), &m.ion_array(1));
+}
+
+TEST(Machine, TotalCapacitySumsArrays) {
+  sim::Engine e;
+  Machine m(e, MachineConfig::paragon_xps(4, 16));
+  // 16 arrays x 4 data disks x 1.2 GB
+  EXPECT_EQ(m.total_capacity(), 16ULL * 4ULL * 1'200'000'000ULL);
+}
+
+TEST(Machine, ArraysOperateIndependently) {
+  sim::Engine e;
+  Machine m(e, MachineConfig::paragon_xps(4, 2));
+  auto proc = [&](std::size_t ion) -> sim::Task<> {
+    co_await m.ion_array(ion).access(12345, 1'000'000);
+  };
+  e.spawn(proc(0));
+  e.spawn(proc(1));
+  e.run();
+  // Both arrays service concurrently: elapsed == one access, not two.
+  const double one =
+      m.ion_array(0).service_time(99999, 0) +
+      1'000'000 / m.config().raid.streaming_rate();
+  EXPECT_NEAR(e.now(), one, 1e-6);
+}
+
+}  // namespace
+}  // namespace paraio::hw

@@ -1,0 +1,131 @@
+#include "hw/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace paraio::hw {
+namespace {
+
+NetParams test_net() {
+  NetParams p;
+  p.latency = 0.0001;  // 100 us
+  p.bandwidth = 50e6;
+  return p;
+}
+
+TEST(Interconnect, TransferTimeIsLatencyPlusSerialization) {
+  sim::Engine e;
+  Interconnect net(e, 4, test_net());
+  EXPECT_DOUBLE_EQ(net.transfer_time(5'000'000), 0.0001 + 0.1);
+}
+
+TEST(Interconnect, SendTakesTransferTime) {
+  sim::Engine e;
+  Interconnect net(e, 4, test_net());
+  auto proc = [&]() -> sim::Task<> { co_await net.send(0, 1, 5'000'000); };
+  e.spawn(proc());
+  e.run();
+  EXPECT_NEAR(e.now(), 0.1001, 1e-9);
+}
+
+TEST(Interconnect, SameSourceSerializes) {
+  sim::Engine e;
+  Interconnect net(e, 4, test_net());
+  auto proc = [&](NodeId dst) -> sim::Task<> {
+    co_await net.send(0, dst, 5'000'000);
+  };
+  e.spawn(proc(1));
+  e.spawn(proc(2));
+  e.run();
+  EXPECT_NEAR(e.now(), 2 * 0.1001, 1e-9);
+}
+
+TEST(Interconnect, DisjointPairsProceedInParallel) {
+  sim::Engine e;
+  Interconnect net(e, 4, test_net());
+  auto proc = [&](NodeId src, NodeId dst) -> sim::Task<> {
+    co_await net.send(src, dst, 5'000'000);
+  };
+  e.spawn(proc(0, 2));
+  e.spawn(proc(1, 3));
+  e.run();
+  EXPECT_NEAR(e.now(), 0.1001, 1e-9);  // concurrent, not 2x
+}
+
+TEST(Interconnect, SameDestinationSerializes) {
+  // The receiver's link is a resource: two senders into one node take twice
+  // as long — the effect that bottlenecks RENDER's gateway (§6.2).
+  sim::Engine e;
+  Interconnect net(e, 4, test_net());
+  auto proc = [&](NodeId src) -> sim::Task<> {
+    co_await net.send(src, 3, 5'000'000);
+  };
+  e.spawn(proc(0));
+  e.spawn(proc(1));
+  e.run();
+  EXPECT_NEAR(e.now(), 2 * 0.1001, 1e-9);
+}
+
+TEST(Interconnect, BroadcastStages) {
+  EXPECT_EQ(Interconnect::broadcast_stages(1), 0u);
+  EXPECT_EQ(Interconnect::broadcast_stages(2), 1u);
+  EXPECT_EQ(Interconnect::broadcast_stages(3), 2u);
+  EXPECT_EQ(Interconnect::broadcast_stages(4), 2u);
+  EXPECT_EQ(Interconnect::broadcast_stages(128), 7u);
+  EXPECT_EQ(Interconnect::broadcast_stages(129), 8u);
+}
+
+TEST(Interconnect, BroadcastToOneIsFree) {
+  sim::Engine e;
+  Interconnect net(e, 4, test_net());
+  auto proc = [&]() -> sim::Task<> { co_await net.broadcast(0, 1'000'000, 1); };
+  e.spawn(proc());
+  e.run();
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);
+}
+
+TEST(Interconnect, BroadcastCostIsLogStages) {
+  sim::Engine e;
+  Interconnect net(e, 130, test_net());
+  auto proc = [&]() -> sim::Task<> { co_await net.broadcast(0, 5'000'000, 128); };
+  e.spawn(proc());
+  e.run();
+  EXPECT_NEAR(e.now(), 7 * 0.1001, 1e-9);
+}
+
+TEST(Interconnect, StatsCountDeliveredBytes) {
+  sim::Engine e;
+  Interconnect net(e, 8, test_net());
+  auto proc = [&]() -> sim::Task<> {
+    co_await net.send(0, 1, 1000);
+    co_await net.broadcast(0, 1000, 4);
+  };
+  e.spawn(proc());
+  e.run();
+  EXPECT_EQ(net.stats().requests, 2u);
+  EXPECT_EQ(net.stats().bytes, 1000u + 3000u);
+}
+
+TEST(FrameBuffer, WriteTimeIsBytesOverBandwidth) {
+  sim::Engine e;
+  FrameBuffer fb(e, 80e6);
+  auto proc = [&]() -> sim::Task<> { co_await fb.write(8'000'000); };
+  e.spawn(proc());
+  e.run();
+  EXPECT_NEAR(e.now(), 0.1, 1e-9);
+}
+
+TEST(FrameBuffer, ConcurrentWritesSerialize) {
+  sim::Engine e;
+  FrameBuffer fb(e, 80e6);
+  auto proc = [&]() -> sim::Task<> { co_await fb.write(8'000'000); };
+  e.spawn(proc());
+  e.spawn(proc());
+  e.run();
+  EXPECT_NEAR(e.now(), 0.2, 1e-9);
+  EXPECT_EQ(fb.stats().requests, 2u);
+}
+
+}  // namespace
+}  // namespace paraio::hw

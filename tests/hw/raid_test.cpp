@@ -1,0 +1,110 @@
+#include "hw/raid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace paraio::hw {
+namespace {
+
+Raid3Params test_params() {
+  Raid3Params p;
+  p.disk.avg_seek = 0.010;
+  p.disk.settle = 0.001;
+  p.disk.rpm = 6000.0;  // half rotation = 5 ms
+  p.disk.media_rate = 2e6;
+  p.disk.capacity = 1'200'000'000ULL;
+  p.disks = 5;
+  return p;
+}
+
+TEST(Raid3, StreamingRateIsDataDisksTimesMediaRate) {
+  Raid3Params p = test_params();
+  EXPECT_DOUBLE_EQ(p.streaming_rate(), 8e6);
+  EXPECT_EQ(p.data_disks(), 4u);
+}
+
+TEST(Raid3, CapacityExcludesParityDisk) {
+  Raid3Params p = test_params();
+  EXPECT_EQ(p.capacity(), 4ULL * 1'200'000'000ULL);
+}
+
+TEST(Raid3, ArrayFasterThanSingleDiskForLargeTransfers) {
+  sim::Engine e;
+  Raid3Array array(e, test_params());
+  Disk disk(e, test_params().disk);
+  const std::uint64_t bytes = 8'000'000;
+  // Compare non-sequential service times.
+  const double t_array = array.service_time(bytes, bytes);
+  const double t_disk = disk.service_time(bytes, bytes);
+  EXPECT_LT(t_array, t_disk);
+  // Transfer term is exactly 4x faster; positioning identical.
+  EXPECT_NEAR(t_disk - t_array, bytes / 2e6 - bytes / 8e6, 1e-9);
+}
+
+TEST(Raid3, PositioningPenaltySameAsSingleDisk) {
+  sim::Engine e;
+  Raid3Array array(e, test_params());
+  // Zero-byte random request isolates positioning.
+  EXPECT_DOUBLE_EQ(array.service_time(777, 0), 0.015);
+}
+
+TEST(Raid3, SmallRequestsDominatedByPositioning) {
+  sim::Engine e;
+  Raid3Array array(e, test_params());
+  // A 2 KB write (ESCAT's quadrature record) at a random offset: transfer
+  // is 0.25 ms, positioning is 15 ms — positioning dominates 60:1.  This is
+  // the effect behind the paper's Table 1 write/seek costs.
+  const double t = array.service_time(999, 2048);
+  const double transfer = 2048 / 8e6;
+  EXPECT_GT((t - transfer) / transfer, 50.0);
+}
+
+TEST(Raid3, FifoQueueing) {
+  sim::Engine e;
+  Raid3Array array(e, test_params());
+  std::vector<int> order;
+  auto proc = [&](int id) -> sim::Task<> {
+    co_await array.access(static_cast<std::uint64_t>(id) * 1'000'000, 8000);
+    order.push_back(id);
+  };
+  for (int i = 0; i < 4; ++i) e.spawn(proc(i));
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(array.stats().requests, 4u);
+}
+
+TEST(Raid3, BusyTimeMatchesSumOfServiceTimes) {
+  sim::Engine e;
+  Raid3Array array(e, test_params());
+  auto proc = [&]() -> sim::Task<> {
+    co_await array.access(0, 1'000'000);
+    co_await array.access(5'000'000, 1'000'000);
+  };
+  e.spawn(proc());
+  e.run();
+  // Sequential total time equals busy time (no queueing overlap).
+  EXPECT_NEAR(array.stats().busy_time, e.now(), 1e-9);
+}
+
+// Property: aggregate bandwidth advantage holds across disk counts.
+class RaidWidthProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RaidWidthProperty, ServiceTimeScalesWithDataDisks) {
+  Raid3Params p = test_params();
+  p.disks = GetParam();
+  sim::Engine e;
+  Raid3Array array(e, p);
+  const std::uint64_t bytes = 64 * 1024;
+  const double t = array.service_time(bytes, bytes);
+  const double expected =
+      0.015 + static_cast<double>(bytes) /
+                  (static_cast<double>(p.disks - 1) * p.disk.media_rate);
+  EXPECT_NEAR(t, expected, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RaidWidthProperty,
+                         ::testing::Values(2u, 3u, 5u, 9u));
+
+}  // namespace
+}  // namespace paraio::hw

@@ -1,0 +1,42 @@
+#include <gtest/gtest.h>
+
+#include "pablo/summary.hpp"
+
+namespace paraio::pablo {
+namespace {
+
+IoEvent make(Op op, double t, std::uint64_t bytes) {
+  IoEvent e;
+  e.op = op;
+  e.timestamp = t;
+  e.duration = 0.5;
+  e.transferred = bytes;
+  return e;
+}
+
+TEST(CountSummary, CountsAndTimes) {
+  CountSummary s;
+  s.on_event(make(Op::kRead, 0, 100));
+  s.on_event(make(Op::kRead, 1, 200));
+  s.on_event(make(Op::kWrite, 2, 50));
+  EXPECT_EQ(s.counters().ops(Op::kRead), 2u);
+  EXPECT_EQ(s.counters().ops(Op::kWrite), 1u);
+  EXPECT_DOUBLE_EQ(s.counters().op_time(Op::kRead), 1.0);
+  EXPECT_EQ(s.counters().bytes_read, 300u);
+  EXPECT_EQ(s.counters().bytes_written, 50u);
+}
+
+TEST(CountSummary, AbsorbEqualsLive) {
+  Trace trace;
+  for (int i = 0; i < 20; ++i) {
+    trace.on_event(make(i % 2 ? Op::kRead : Op::kWrite, i, 64));
+  }
+  CountSummary live;
+  for (const auto& e : trace.events()) live.on_event(e);
+  CountSummary replayed;
+  replayed.absorb(trace);
+  EXPECT_EQ(live.counters(), replayed.counters());
+}
+
+}  // namespace
+}  // namespace paraio::pablo

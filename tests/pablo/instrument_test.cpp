@@ -1,0 +1,208 @@
+#include "pablo/instrument.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/machine.hpp"
+#include "pfs/pfs.hpp"
+#include "sim/engine.hpp"
+
+namespace paraio::pablo {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : machine(engine, hw::MachineConfig::paragon_xps(4, 2)),
+        pfs(machine),
+        fs(pfs, engine) {
+    fs.add_sink(trace);
+  }
+  sim::Engine engine;
+  hw::Machine machine;
+  pfs::Pfs pfs;
+  InstrumentedFs fs;
+  Trace trace;
+};
+
+io::OpenOptions create_unix() {
+  io::OpenOptions o;
+  o.mode = io::AccessMode::kUnix;
+  o.create = true;
+  return o;
+}
+
+std::uint64_t count_op(const Trace& t, Op op) {
+  std::uint64_t n = 0;
+  for (const auto& e : t.events()) {
+    if (e.op == op) ++n;
+  }
+  return n;
+}
+
+TEST(Instrument, EveryOperationProducesOneEvent) {
+  Fixture fx;
+  auto proc = [&]() -> sim::Task<> {
+    auto f = co_await fx.fs.open(0, "/f", create_unix());
+    co_await f->write(100);
+    co_await f->seek(0);
+    (void)co_await f->read(50);
+    (void)co_await f->size();
+    co_await f->flush();
+    co_await f->close();
+  };
+  fx.engine.spawn(proc());
+  fx.engine.run();
+  EXPECT_EQ(fx.trace.size(), 7u);
+  EXPECT_EQ(count_op(fx.trace, Op::kOpen), 1u);
+  EXPECT_EQ(count_op(fx.trace, Op::kWrite), 1u);
+  EXPECT_EQ(count_op(fx.trace, Op::kSeek), 1u);
+  EXPECT_EQ(count_op(fx.trace, Op::kRead), 1u);
+  EXPECT_EQ(count_op(fx.trace, Op::kLsize), 1u);
+  EXPECT_EQ(count_op(fx.trace, Op::kFlush), 1u);
+  EXPECT_EQ(count_op(fx.trace, Op::kClose), 1u);
+}
+
+TEST(Instrument, EventsCarryParametersAndResults) {
+  Fixture fx;
+  auto proc = [&]() -> sim::Task<> {
+    auto f = co_await fx.fs.open(3, "/data", create_unix());
+    co_await f->write(256);
+    co_await f->seek(100);
+    (void)co_await f->read(1000);  // clipped to 156
+    co_await f->close();
+  };
+  fx.engine.spawn(proc());
+  fx.engine.run();
+  const auto& events = fx.trace.events();
+  ASSERT_EQ(events.size(), 5u);
+  const IoEvent& wr = events[1];
+  EXPECT_EQ(wr.op, Op::kWrite);
+  EXPECT_EQ(wr.node, 3u);
+  EXPECT_EQ(wr.offset, 0u);
+  EXPECT_EQ(wr.requested, 256u);
+  EXPECT_EQ(wr.transferred, 256u);
+  EXPECT_EQ(wr.mode, io::AccessMode::kUnix);
+  const IoEvent& rd = events[3];
+  EXPECT_EQ(rd.op, Op::kRead);
+  EXPECT_EQ(rd.offset, 100u);
+  EXPECT_EQ(rd.requested, 1000u);
+  EXPECT_EQ(rd.transferred, 156u);
+}
+
+TEST(Instrument, DurationsArePositiveAndOrdered) {
+  Fixture fx;
+  auto proc = [&]() -> sim::Task<> {
+    auto f = co_await fx.fs.open(0, "/f", create_unix());
+    co_await f->write(64 * 1024);
+    co_await f->close();
+  };
+  fx.engine.spawn(proc());
+  fx.engine.run();
+  double prev_start = -1.0;
+  for (const auto& e : fx.trace.events()) {
+    EXPECT_GT(e.duration, 0.0);
+    EXPECT_GE(e.timestamp, prev_start);
+    prev_start = e.timestamp;
+  }
+}
+
+TEST(Instrument, FileNamesRegistered) {
+  Fixture fx;
+  auto proc = [&]() -> sim::Task<> {
+    auto a = co_await fx.fs.open(0, "/alpha", create_unix());
+    auto b = co_await fx.fs.open(0, "/beta", create_unix());
+    co_await a->close();
+    co_await b->close();
+  };
+  fx.engine.spawn(proc());
+  fx.engine.run();
+  EXPECT_EQ(fx.trace.file_name(1), "/alpha");
+  EXPECT_EQ(fx.trace.file_name(2), "/beta");
+  EXPECT_EQ(fx.trace.file_name(99), "file99");
+}
+
+TEST(Instrument, AsyncSplitsIntoIssueAndIoWait) {
+  Fixture fx;
+  auto proc = [&]() -> sim::Task<> {
+    auto f = co_await fx.fs.open(0, "/f", create_unix());
+    co_await f->write(2 * 1024 * 1024);
+    co_await f->seek(0);
+    io::AsyncOp op = co_await f->read_async(2 * 1024 * 1024);
+    (void)co_await f->iowait(std::move(op));
+    co_await f->close();
+  };
+  fx.engine.spawn(proc());
+  fx.engine.run();
+  EXPECT_EQ(count_op(fx.trace, Op::kAsyncRead), 1u);
+  EXPECT_EQ(count_op(fx.trace, Op::kIoWait), 1u);
+  // Find both events; issue must be much cheaper than the wait.
+  double issue = -1, wait = -1;
+  std::uint64_t wait_bytes = 0;
+  for (const auto& e : fx.trace.events()) {
+    if (e.op == Op::kAsyncRead) issue = e.duration;
+    if (e.op == Op::kIoWait) {
+      wait = e.duration;
+      wait_bytes = e.transferred;
+    }
+  }
+  EXPECT_GT(issue, 0.0);
+  EXPECT_GT(wait, issue);
+  EXPECT_EQ(wait_bytes, 2u * 1024 * 1024);
+}
+
+TEST(Instrument, MultipleSinksAllReceiveEvents) {
+  Fixture fx;
+  Trace second;
+  fx.fs.add_sink(second);
+  auto proc = [&]() -> sim::Task<> {
+    auto f = co_await fx.fs.open(0, "/f", create_unix());
+    co_await f->write(10);
+    co_await f->close();
+  };
+  fx.engine.spawn(proc());
+  fx.engine.run();
+  EXPECT_EQ(fx.trace, second);
+}
+
+TEST(Instrument, InstrumentationAddsNoSimulatedTime) {
+  // Same workload, instrumented vs bare: identical end times.
+  auto run = [](bool instrumented) {
+    sim::Engine engine;
+    hw::Machine machine(engine, hw::MachineConfig::paragon_xps(4, 2));
+    pfs::Pfs bare(machine);
+    InstrumentedFs wrapped(bare, engine);
+    Trace trace;
+    wrapped.add_sink(trace);
+    io::FileSystem& fs = instrumented
+                             ? static_cast<io::FileSystem&>(wrapped)
+                             : static_cast<io::FileSystem&>(bare);
+    auto proc = [&]() -> sim::Task<> {
+      io::OpenOptions o;
+      o.mode = io::AccessMode::kUnix;
+      o.create = true;
+      auto f = co_await fs.open(0, "/f", o);
+      for (int i = 0; i < 10; ++i) co_await f->write(2048);
+      co_await f->close();
+    };
+    engine.spawn(proc());
+    return engine.run();
+  };
+  EXPECT_DOUBLE_EQ(run(true), run(false));
+}
+
+TEST(Instrument, TraceTimesBracketRun) {
+  Fixture fx;
+  auto proc = [&]() -> sim::Task<> {
+    co_await fx.engine.delay(5.0);
+    auto f = co_await fx.fs.open(0, "/f", create_unix());
+    co_await f->write(100);
+    co_await f->close();
+  };
+  fx.engine.spawn(proc());
+  const double end = fx.engine.run();
+  EXPECT_GE(fx.trace.start_time(), 5.0);
+  EXPECT_LE(fx.trace.end_time(), end + 1e-12);
+  EXPECT_GT(fx.trace.end_time(), fx.trace.start_time());
+}
+
+}  // namespace
+}  // namespace paraio::pablo

@@ -1,0 +1,127 @@
+#include "pablo/sddf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace paraio::pablo {
+namespace {
+
+Trace sample_trace() {
+  Trace t;
+  t.on_file(1, "/input/mesh.dat");
+  t.on_file(2, "/scratch/quad.0");
+  IoEvent e;
+  e.timestamp = 1.25;
+  e.duration = 0.0625;
+  e.node = 7;
+  e.file = 1;
+  e.op = Op::kRead;
+  e.offset = 4096;
+  e.requested = 2048;
+  e.transferred = 2048;
+  e.mode = io::AccessMode::kUnix;
+  t.on_event(e);
+  e.timestamp = 3.141592653589793;  // exercise exact double round trip
+  e.op = Op::kAsyncWrite;
+  e.mode = io::AccessMode::kRecord;
+  e.file = 2;
+  e.transferred = 17;
+  t.on_event(e);
+  e.op = Op::kIoWait;
+  e.duration = 1e-9;
+  t.on_event(e);
+  return t;
+}
+
+TEST(Sddf, RoundTripIsLossless) {
+  const Trace original = sample_trace();
+  std::stringstream buffer;
+  write_trace(buffer, original);
+  const Trace loaded = read_trace(buffer);
+  EXPECT_EQ(original, loaded);
+}
+
+TEST(Sddf, HeaderIsSelfDescribing) {
+  std::stringstream buffer;
+  write_trace(buffer, sample_trace());
+  std::string line;
+  std::getline(buffer, line);
+  EXPECT_EQ(line, "#SDDF-ASCII paraio-io-trace 1");
+  std::getline(buffer, line);
+  EXPECT_TRUE(line.starts_with("#record IoEvent"));
+}
+
+TEST(Sddf, FileRegistryPreserved) {
+  std::stringstream buffer;
+  write_trace(buffer, sample_trace());
+  const Trace loaded = read_trace(buffer);
+  EXPECT_EQ(loaded.file_name(1), "/input/mesh.dat");
+  EXPECT_EQ(loaded.file_name(2), "/scratch/quad.0");
+}
+
+TEST(Sddf, EmptyTraceRoundTrips) {
+  Trace empty;
+  std::stringstream buffer;
+  write_trace(buffer, empty);
+  const Trace loaded = read_trace(buffer);
+  EXPECT_EQ(empty, loaded);
+}
+
+TEST(Sddf, BadMagicThrows) {
+  std::stringstream buffer("#not-a-trace\n");
+  EXPECT_THROW(read_trace(buffer), std::runtime_error);
+}
+
+TEST(Sddf, TruncatedRecordThrows) {
+  std::stringstream buffer;
+  buffer << "#SDDF-ASCII paraio-io-trace 1\n"
+         << "E 0x0p+0 0x0p+0 1 1 read\n";  // missing fields
+  EXPECT_THROW(read_trace(buffer), std::runtime_error);
+}
+
+TEST(Sddf, UnknownOpTokenThrows) {
+  std::stringstream buffer;
+  buffer << "#SDDF-ASCII paraio-io-trace 1\n"
+         << "E 0x0p+0 0x0p+0 1 1 frobnicate 0 0 0 unix\n";
+  EXPECT_THROW(read_trace(buffer), std::runtime_error);
+}
+
+TEST(Sddf, UnknownDirectiveSkipped) {
+  std::stringstream buffer;
+  buffer << "#SDDF-ASCII paraio-io-trace 1\n"
+         << "#future-extension foo bar\n"
+         << "E 0x0p+0 0x1p+0 1 1 read 0 8 8 unix\n";
+  const Trace loaded = read_trace(buffer);
+  EXPECT_EQ(loaded.size(), 1u);
+}
+
+TEST(Sddf, AllOpTokensRoundTrip) {
+  for (std::size_t i = 0; i < kOpCount; ++i) {
+    const Op op = static_cast<Op>(i);
+    EXPECT_EQ(op_from_token(op_token(op)), op);
+  }
+}
+
+TEST(Sddf, AllModeTokensRoundTrip) {
+  for (int i = 0; i < 6; ++i) {
+    const auto mode = static_cast<io::AccessMode>(i);
+    EXPECT_EQ(mode_from_token(mode_token(mode)), mode);
+  }
+}
+
+TEST(Sddf, FileIoRoundTrip) {
+  const Trace original = sample_trace();
+  const std::string path = ::testing::TempDir() + "/paraio_trace_test.sddf";
+  write_trace_file(path, original);
+  const Trace loaded = read_trace_file(path);
+  EXPECT_EQ(original, loaded);
+}
+
+TEST(Sddf, MissingFileThrows) {
+  EXPECT_THROW(read_trace_file("/nonexistent/paraio.sddf"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace paraio::pablo

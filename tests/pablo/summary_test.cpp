@@ -1,0 +1,156 @@
+#include "pablo/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pablo/trace.hpp"
+
+namespace paraio::pablo {
+namespace {
+
+IoEvent make(Op op, double t, double dur, io::FileId file, io::NodeId node,
+             std::uint64_t offset = 0, std::uint64_t bytes = 0) {
+  IoEvent e;
+  e.op = op;
+  e.timestamp = t;
+  e.duration = dur;
+  e.file = file;
+  e.node = node;
+  e.offset = offset;
+  e.requested = bytes;
+  e.transferred = bytes;
+  return e;
+}
+
+TEST(OpCounters, AccumulatesCountsTimesAndBytes) {
+  OpCounters c;
+  c.add(make(Op::kRead, 0, 1.5, 1, 0, 0, 100));
+  c.add(make(Op::kRead, 2, 0.5, 1, 0, 100, 200));
+  c.add(make(Op::kWrite, 3, 2.0, 1, 0, 0, 50));
+  c.add(make(Op::kSeek, 4, 0.1, 1, 0));
+  EXPECT_EQ(c.ops(Op::kRead), 2u);
+  EXPECT_EQ(c.ops(Op::kWrite), 1u);
+  EXPECT_EQ(c.ops(Op::kSeek), 1u);
+  EXPECT_DOUBLE_EQ(c.op_time(Op::kRead), 2.0);
+  EXPECT_DOUBLE_EQ(c.op_time(Op::kWrite), 2.0);
+  EXPECT_EQ(c.bytes_read, 300u);
+  EXPECT_EQ(c.bytes_written, 50u);
+  EXPECT_EQ(c.total_ops(), 4u);
+  EXPECT_DOUBLE_EQ(c.total_time(), 4.1);
+}
+
+TEST(OpCounters, AsyncOpsCountAsDataMovement) {
+  OpCounters c;
+  c.add(make(Op::kAsyncRead, 0, 0.01, 1, 0, 0, 1000));
+  c.add(make(Op::kAsyncWrite, 1, 0.01, 1, 0, 0, 2000));
+  EXPECT_EQ(c.bytes_read, 1000u);
+  EXPECT_EQ(c.bytes_written, 2000u);
+}
+
+TEST(FileLifetime, PerFileSeparation) {
+  FileLifetimeSummary s;
+  s.on_event(make(Op::kWrite, 0, 1, /*file=*/1, 0, 0, 10));
+  s.on_event(make(Op::kWrite, 1, 1, /*file=*/2, 0, 0, 20));
+  s.on_event(make(Op::kRead, 2, 1, /*file=*/1, 0, 0, 5));
+  ASSERT_EQ(s.files().size(), 2u);
+  EXPECT_EQ(s.find(1)->counters.bytes_written, 10u);
+  EXPECT_EQ(s.find(1)->counters.bytes_read, 5u);
+  EXPECT_EQ(s.find(2)->counters.bytes_written, 20u);
+  EXPECT_EQ(s.find(3), nullptr);
+}
+
+TEST(FileLifetime, OpenTimeSpansOpenToLastClose) {
+  FileLifetimeSummary s;
+  s.on_event(make(Op::kOpen, 10.0, 0.5, 1, 0));   // open completes at 10.5
+  s.on_event(make(Op::kOpen, 11.0, 0.5, 1, 1));   // second handle
+  s.on_event(make(Op::kClose, 20.0, 0.0, 1, 0));  // one closes
+  s.on_event(make(Op::kClose, 30.0, 0.5, 1, 1));  // last closes at 30.5
+  EXPECT_DOUBLE_EQ(s.find(1)->open_time, 30.5 - 10.5);
+}
+
+TEST(FileLifetime, ReopenAccumulatesOpenTime) {
+  FileLifetimeSummary s;
+  s.on_event(make(Op::kOpen, 0.0, 0.0, 1, 0));
+  s.on_event(make(Op::kClose, 5.0, 0.0, 1, 0));
+  s.on_event(make(Op::kOpen, 10.0, 0.0, 1, 0));
+  s.on_event(make(Op::kClose, 12.0, 0.0, 1, 0));
+  EXPECT_DOUBLE_EQ(s.find(1)->open_time, 7.0);
+}
+
+TEST(FileLifetime, AbsorbMatchesLive) {
+  Trace trace;
+  trace.on_event(make(Op::kOpen, 0, 0.1, 1, 0));
+  trace.on_event(make(Op::kWrite, 1, 0.2, 1, 0, 0, 100));
+  trace.on_event(make(Op::kClose, 2, 0.1, 1, 0));
+  FileLifetimeSummary live;
+  for (const auto& e : trace.events()) live.on_event(e);
+  FileLifetimeSummary replayed;
+  replayed.absorb(trace);
+  EXPECT_EQ(live.files(), replayed.files());
+}
+
+TEST(TimeWindow, BucketsByTimestamp) {
+  TimeWindowSummary s(10.0);
+  s.on_event(make(Op::kRead, 0.0, 1, 1, 0, 0, 10));
+  s.on_event(make(Op::kRead, 9.99, 1, 1, 0, 0, 10));
+  s.on_event(make(Op::kRead, 10.0, 1, 1, 0, 0, 10));
+  s.on_event(make(Op::kWrite, 25.0, 1, 1, 0, 0, 10));
+  ASSERT_EQ(s.windows().size(), 3u);
+  EXPECT_EQ(s.windows().at(0).ops(Op::kRead), 2u);
+  EXPECT_EQ(s.windows().at(1).ops(Op::kRead), 1u);
+  EXPECT_EQ(s.windows().at(2).ops(Op::kWrite), 1u);
+}
+
+TEST(TimeWindow, WindowOfComputesIndex) {
+  TimeWindowSummary s(2.5);
+  EXPECT_EQ(s.window_of(0.0), 0u);
+  EXPECT_EQ(s.window_of(2.49), 0u);
+  EXPECT_EQ(s.window_of(2.5), 1u);
+  EXPECT_EQ(s.window_of(100.0), 40u);
+}
+
+TEST(FileRegion, BucketsByFileAndRegion) {
+  FileRegionSummary s(1024);
+  s.on_event(make(Op::kWrite, 0, 1, /*file=*/1, 0, /*offset=*/0, 100));
+  s.on_event(make(Op::kWrite, 1, 1, /*file=*/1, 0, /*offset=*/1023, 100));
+  s.on_event(make(Op::kWrite, 2, 1, /*file=*/1, 0, /*offset=*/1024, 100));
+  s.on_event(make(Op::kWrite, 3, 1, /*file=*/2, 0, /*offset=*/0, 100));
+  ASSERT_EQ(s.regions().size(), 3u);
+  EXPECT_EQ(s.regions().at({1, 0}).ops(Op::kWrite), 2u);
+  EXPECT_EQ(s.regions().at({1, 1}).ops(Op::kWrite), 1u);
+  EXPECT_EQ(s.regions().at({2, 0}).ops(Op::kWrite), 1u);
+}
+
+TEST(FileRegion, IgnoresControlOps) {
+  FileRegionSummary s(1024);
+  s.on_event(make(Op::kOpen, 0, 1, 1, 0));
+  s.on_event(make(Op::kSeek, 1, 1, 1, 0, 500));
+  s.on_event(make(Op::kClose, 2, 1, 1, 0));
+  EXPECT_TRUE(s.regions().empty());
+}
+
+// Property: time-window totals equal whole-trace totals for any window size.
+class WindowConservation : public ::testing::TestWithParam<double> {};
+
+TEST_P(WindowConservation, WindowedCountsSumToTotal) {
+  Trace trace;
+  for (int i = 0; i < 250; ++i) {
+    trace.on_event(make(i % 3 == 0 ? Op::kWrite : Op::kRead,
+                        static_cast<double>(i) * 0.37, 0.01, 1, 0, 0, 64));
+  }
+  TimeWindowSummary s(GetParam());
+  s.absorb(trace);
+  std::uint64_t ops = 0, rbytes = 0, wbytes = 0;
+  for (const auto& [idx, c] : s.windows()) {
+    ops += c.total_ops();
+    rbytes += c.bytes_read;
+    wbytes += c.bytes_written;
+  }
+  EXPECT_EQ(ops, 250u);
+  EXPECT_EQ(rbytes + wbytes, 250u * 64u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowConservation,
+                         ::testing::Values(0.1, 1.0, 7.3, 1000.0));
+
+}  // namespace
+}  // namespace paraio::pablo

@@ -1,0 +1,203 @@
+// setiomode (set_mode) collective semantics and the remaining PFS mode
+// edges (M_GLOBAL writes, M_LOG end-of-file clipping).
+#include <gtest/gtest.h>
+
+#include "hw/machine.hpp"
+#include "pfs/pfs.hpp"
+#include "sim/engine.hpp"
+#include "sim/task_group.hpp"
+
+namespace paraio::pfs {
+namespace {
+
+using io::AccessMode;
+using io::OpenOptions;
+
+struct Fixture {
+  Fixture() : machine(engine, hw::MachineConfig::paragon_xps(4, 2)), fs(machine) {}
+  sim::Engine engine;
+  hw::Machine machine;
+  Pfs fs;
+};
+
+OpenOptions create_unix() {
+  OpenOptions o;
+  o.mode = AccessMode::kUnix;
+  o.create = true;
+  return o;
+}
+
+TEST(SetMode, CollectiveSwitchUnixToRecord) {
+  Fixture fx;
+  std::vector<std::uint64_t> read_sizes;
+  auto proc = [&](io::NodeId node, std::uint32_t rank) -> sim::Task<> {
+    OpenOptions o = create_unix();
+    auto f = co_await fx.fs.open(node, "/f", o);
+    // Each node writes its 1 KB block at its own offset under M_UNIX.
+    co_await f->seek(rank * 1024ULL);
+    co_await f->write(1024);
+    // Collective switch to M_RECORD, then read back own block.
+    OpenOptions rec;
+    rec.mode = AccessMode::kRecord;
+    rec.parties = 2;
+    rec.rank = rank;
+    rec.record_size = 1024;
+    co_await f->set_mode(rec);
+    read_sizes.push_back(co_await f->read(1024));
+    co_await f->close();
+  };
+  fx.engine.spawn(proc(0, 0));
+  fx.engine.spawn(proc(1, 1));
+  fx.engine.run();
+  EXPECT_EQ(read_sizes, (std::vector<std::uint64_t>{1024, 1024}));
+  // No reopen happened: exactly 2 opens.
+  EXPECT_EQ(fx.fs.counters().opens, 2u);
+}
+
+TEST(SetMode, LastArrivalReleasesEveryone) {
+  Fixture fx;
+  std::vector<double> released_at;
+  auto proc = [&](io::NodeId node, std::uint32_t rank,
+                  double arrive) -> sim::Task<> {
+    auto f = co_await fx.fs.open(node, "/f", create_unix());
+    co_await fx.engine.delay(arrive);
+    OpenOptions rec;
+    rec.mode = AccessMode::kRecord;
+    rec.parties = 3;
+    rec.rank = rank;
+    rec.record_size = 512;
+    co_await f->set_mode(rec);
+    released_at.push_back(fx.engine.now());
+    co_await f->close();
+  };
+  fx.engine.spawn(proc(0, 0, 1.0));
+  fx.engine.spawn(proc(1, 1, 5.0));
+  fx.engine.spawn(proc(2, 2, 3.0));
+  fx.engine.run();
+  ASSERT_EQ(released_at.size(), 3u);
+  // Nobody proceeds before the last arrival (t=5 plus its RPC).
+  for (double t : released_at) EXPECT_GE(t, 5.0);
+}
+
+TEST(SetMode, RecordWithoutSizeThrows) {
+  Fixture fx;
+  bool threw = false;
+  auto proc = [&]() -> sim::Task<> {
+    auto f = co_await fx.fs.open(0, "/f", create_unix());
+    OpenOptions rec;
+    rec.mode = AccessMode::kRecord;
+    rec.parties = 1;
+    try {
+      co_await f->set_mode(rec);
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    co_await f->close();
+  };
+  fx.engine.spawn(proc());
+  fx.engine.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(SetMode, ReusableAcrossRounds) {
+  // ESCAT's verification rounds: repeated collectives on one file.
+  Fixture fx;
+  int reads_ok = 0;
+  auto proc = [&](io::NodeId node, std::uint32_t rank) -> sim::Task<> {
+    auto f = co_await fx.fs.open(node, "/f", create_unix());
+    co_await f->seek(rank * 100ULL);
+    co_await f->write(100);
+    OpenOptions rec;
+    rec.mode = AccessMode::kRecord;
+    rec.parties = 2;
+    rec.rank = rank;
+    rec.record_size = 100;
+    for (int round = 0; round < 3; ++round) {
+      co_await f->set_mode(rec);
+      if (co_await f->read(100) == 100) ++reads_ok;
+    }
+    co_await f->close();
+  };
+  fx.engine.spawn(proc(0, 0));
+  fx.engine.spawn(proc(1, 1));
+  fx.engine.run();
+  EXPECT_EQ(reads_ok, 6);
+}
+
+TEST(GlobalMode, CollectiveWriteAdvancesPointerOnce) {
+  Fixture fx;
+  auto proc = [&](io::NodeId node, std::uint32_t rank) -> sim::Task<> {
+    OpenOptions o;
+    o.mode = AccessMode::kGlobal;
+    o.create = true;
+    o.parties = 3;
+    o.rank = rank;
+    auto f = co_await fx.fs.open(node, "/g", o);
+    for (int round = 0; round < 4; ++round) {
+      co_await f->write(1000);  // everyone writes the same 1000 bytes
+    }
+    co_await f->close();
+  };
+  for (std::uint32_t r = 0; r < 3; ++r) fx.engine.spawn(proc(r, r));
+  fx.engine.run();
+  // 4 rounds x 1000 bytes, not 12,000: one logical write per rendezvous.
+  EXPECT_EQ(fx.fs.file_size("/g"), 4000u);
+  EXPECT_EQ(fx.fs.counters().writes, 4u);
+}
+
+TEST(LogMode, ReadsClipAtEofUnderSharedPointer) {
+  Fixture fx;
+  std::vector<std::uint64_t> got;
+  auto writer = [&]() -> sim::Task<> {
+    auto f = co_await fx.fs.open(0, "/log", create_unix());
+    co_await f->write(2500);
+    co_await f->close();
+  };
+  auto reader = [&](io::NodeId node) -> sim::Task<> {
+    OpenOptions o;
+    o.mode = AccessMode::kLog;
+    auto f = co_await fx.fs.open(node, "/log", o);
+    got.push_back(co_await f->read(1000));
+    co_await f->close();
+  };
+  auto driver = [&]() -> sim::Task<> {
+    co_await writer();
+    fx.engine.spawn(reader(0));
+    fx.engine.spawn(reader(1));
+    fx.engine.spawn(reader(2));
+  };
+  fx.engine.spawn(driver());
+  fx.engine.run();
+  // Shared pointer: 1000 + 1000 + 500 (clipped), in FCFS order.
+  std::uint64_t total = 0;
+  for (auto n : got) total += n;
+  EXPECT_EQ(total, 2500u);
+  EXPECT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[2], 500u);
+}
+
+TEST(RecordMode, ReadPastEndReturnsZero) {
+  Fixture fx;
+  std::uint64_t last = 99;
+  auto proc = [&]() -> sim::Task<> {
+    OpenOptions o;
+    o.mode = AccessMode::kRecord;
+    o.create = true;
+    o.parties = 1;
+    o.rank = 0;
+    o.record_size = 100;
+    auto f = co_await fx.fs.open(0, "/r", o);
+    co_await f->write(100);
+    co_await f->close();
+    auto g = co_await fx.fs.open(0, "/r", o);
+    (void)co_await g->read(100);
+    last = co_await g->read(100);  // record 1 does not exist
+    co_await g->close();
+  };
+  fx.engine.spawn(proc());
+  fx.engine.run();
+  EXPECT_EQ(last, 0u);
+}
+
+}  // namespace
+}  // namespace paraio::pfs

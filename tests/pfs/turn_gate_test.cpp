@@ -1,0 +1,78 @@
+#include "pfs/turn_gate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace paraio::pfs {
+namespace {
+
+TEST(TurnGate, StartsAtRankZero) {
+  sim::Engine e;
+  TurnGate gate(e, 4);
+  EXPECT_EQ(gate.turn(), 0u);
+}
+
+TEST(TurnGate, AdvanceCyclesThroughRanks) {
+  sim::Engine e;
+  TurnGate gate(e, 3);
+  gate.advance();
+  EXPECT_EQ(gate.turn(), 1u);
+  gate.advance();
+  EXPECT_EQ(gate.turn(), 2u);
+  gate.advance();
+  EXPECT_EQ(gate.turn(), 0u);
+}
+
+TEST(TurnGate, CurrentRankPassesImmediately) {
+  sim::Engine e;
+  TurnGate gate(e, 2);
+  bool passed = false;
+  auto proc = [&]() -> sim::Task<> {
+    co_await gate.await_turn(0);
+    passed = true;
+  };
+  e.spawn(proc());
+  e.run();
+  EXPECT_TRUE(passed);
+}
+
+TEST(TurnGate, OutOfTurnRankWaitsForAdvance) {
+  sim::Engine e;
+  TurnGate gate(e, 2);
+  double passed_at = -1;
+  auto proc = [&]() -> sim::Task<> {
+    co_await gate.await_turn(1);
+    passed_at = e.now();
+  };
+  e.spawn(proc());
+  e.call_in(5.0, [&] { gate.advance(); });
+  e.run();
+  EXPECT_DOUBLE_EQ(passed_at, 5.0);
+}
+
+TEST(TurnGate, EnforcesRoundRobinAcrossTasks) {
+  sim::Engine e;
+  TurnGate gate(e, 3);
+  std::vector<std::uint32_t> order;
+  auto proc = [&](std::uint32_t rank, double arrival) -> sim::Task<> {
+    co_await e.delay(arrival);
+    for (int round = 0; round < 2; ++round) {
+      co_await gate.await_turn(rank);
+      order.push_back(rank);
+      gate.advance();
+    }
+  };
+  // Arrivals reversed; output must still be 0,1,2,0,1,2.
+  e.spawn(proc(0, 3.0));
+  e.spawn(proc(1, 2.0));
+  e.spawn(proc(2, 1.0));
+  e.run();
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{0, 1, 2, 0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace paraio::pfs

@@ -1,0 +1,114 @@
+#include "ppfs/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paraio::ppfs {
+namespace {
+
+TEST(BlockCache, MissOnEmpty) {
+  BlockCache c(4);
+  EXPECT_FALSE(c.lookup({1, 0}));
+  EXPECT_EQ(c.stats().misses, 1u);
+  EXPECT_EQ(c.stats().hits, 0u);
+}
+
+TEST(BlockCache, HitAfterInsert) {
+  BlockCache c(4);
+  c.insert({1, 0});
+  EXPECT_TRUE(c.lookup({1, 0}));
+  EXPECT_EQ(c.stats().hits, 1u);
+}
+
+TEST(BlockCache, DistinctFilesDistinctBlocks) {
+  BlockCache c(4);
+  c.insert({1, 7});
+  EXPECT_FALSE(c.contains({2, 7}));
+  EXPECT_TRUE(c.contains({1, 7}));
+}
+
+TEST(BlockCache, EvictsLeastRecentlyUsed) {
+  BlockCache c(3);
+  c.insert({1, 0});
+  c.insert({1, 1});
+  c.insert({1, 2});
+  EXPECT_TRUE(c.lookup({1, 0}));  // 0 is now MRU; LRU is 1
+  auto evicted = c.insert({1, 3});
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->block, 1u);
+  EXPECT_FALSE(c.contains({1, 1}));
+  EXPECT_TRUE(c.contains({1, 0}));
+  EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(BlockCache, ReinsertRefreshesLru) {
+  BlockCache c(2);
+  c.insert({1, 0});
+  c.insert({1, 1});
+  c.insert({1, 0});  // refresh, no eviction
+  EXPECT_EQ(c.size(), 2u);
+  auto evicted = c.insert({1, 2});
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->block, 1u);  // 1 was LRU after 0's refresh
+}
+
+TEST(BlockCache, ZeroCapacityNeverStores) {
+  BlockCache c(0);
+  EXPECT_EQ(c.insert({1, 0}), std::nullopt);
+  EXPECT_FALSE(c.contains({1, 0}));
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(BlockCache, EraseRemovesBlock) {
+  BlockCache c(4);
+  c.insert({1, 0});
+  c.erase({1, 0});
+  EXPECT_FALSE(c.contains({1, 0}));
+  c.erase({1, 99});  // absent: no-op
+}
+
+TEST(BlockCache, EraseFileRemovesOnlyThatFile) {
+  BlockCache c(8);
+  c.insert({1, 0});
+  c.insert({1, 1});
+  c.insert({2, 0});
+  c.erase_file(1);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_TRUE(c.contains({2, 0}));
+}
+
+TEST(BlockCache, PrefetchedUseCountedOnce) {
+  BlockCache c(4);
+  c.insert({1, 0}, /*prefetched=*/true);
+  EXPECT_TRUE(c.lookup({1, 0}));
+  EXPECT_TRUE(c.lookup({1, 0}));
+  EXPECT_EQ(c.stats().prefetched_used, 1u);  // credited only on first touch
+  EXPECT_EQ(c.stats().hits, 2u);
+}
+
+TEST(BlockCache, HitRate) {
+  BlockCache c(4);
+  c.insert({1, 0});
+  EXPECT_TRUE(c.lookup({1, 0}));
+  EXPECT_FALSE(c.lookup({1, 1}));
+  EXPECT_FALSE(c.lookup({1, 2}));
+  EXPECT_TRUE(c.lookup({1, 0}));
+  EXPECT_DOUBLE_EQ(c.stats().hit_rate(), 0.5);
+}
+
+// Property: the cache never exceeds capacity under interleaved workloads.
+class CacheCapacityProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CacheCapacityProperty, SizeBoundedByCapacity) {
+  BlockCache c(GetParam());
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    c.insert({static_cast<io::FileId>(i % 5), i * 37 % 23});
+    (void)c.lookup({static_cast<io::FileId>(i % 3), i % 11});
+    EXPECT_LE(c.size(), GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, CacheCapacityProperty,
+                         ::testing::Values(1u, 2u, 7u, 64u));
+
+}  // namespace
+}  // namespace paraio::ppfs

@@ -1,0 +1,95 @@
+#include "ppfs/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace paraio::ppfs {
+namespace {
+
+TEST(OnlineClassifier, UnknownUntilThreeObservations) {
+  OnlineClassifier c;
+  EXPECT_EQ(c.pattern(), OnlinePattern::kUnknown);
+  c.observe(0, 100);
+  c.observe(100, 100);
+  EXPECT_EQ(c.pattern(), OnlinePattern::kUnknown);
+  EXPECT_EQ(c.predict_next(), std::nullopt);
+}
+
+TEST(OnlineClassifier, DetectsSequentialStream) {
+  OnlineClassifier c;
+  for (int i = 0; i < 10; ++i) c.observe(i * 4096ULL, 4096);
+  EXPECT_EQ(c.pattern(), OnlinePattern::kSequential);
+  EXPECT_EQ(c.predict_next(), std::optional<std::uint64_t>(10 * 4096ULL));
+}
+
+TEST(OnlineClassifier, DetectsStridedStream) {
+  OnlineClassifier c;
+  // 1 KB requests at a 64 KB stride (gap-strided, not sequential).
+  for (int i = 0; i < 10; ++i) c.observe(i * 65536ULL, 1024);
+  EXPECT_EQ(c.pattern(), OnlinePattern::kStrided);
+  EXPECT_EQ(c.stride(), 65536);
+  EXPECT_EQ(c.predict_next(), std::optional<std::uint64_t>(10 * 65536ULL));
+}
+
+TEST(OnlineClassifier, DetectsRandomStream) {
+  OnlineClassifier c;
+  sim::Rng rng(7);
+  for (int i = 0; i < 30; ++i) {
+    c.observe(rng.uniform_int(0, 1'000'000) * 512, 512);
+  }
+  EXPECT_EQ(c.pattern(), OnlinePattern::kRandom);
+  EXPECT_EQ(c.predict_next(), std::nullopt);
+}
+
+TEST(OnlineClassifier, AdaptsWhenPatternChanges) {
+  OnlineClassifier c;
+  sim::Rng rng(9);
+  for (int i = 0; i < 30; ++i) {
+    c.observe(rng.uniform_int(0, 1'000'000) * 512, 512);
+  }
+  ASSERT_EQ(c.pattern(), OnlinePattern::kRandom);
+  // Switch to sequential; decayed scoring should re-learn quickly.
+  std::uint64_t off = 5'000'000;
+  for (int i = 0; i < 12; ++i) {
+    c.observe(off, 8192);
+    off += 8192;
+  }
+  EXPECT_EQ(c.pattern(), OnlinePattern::kSequential);
+}
+
+TEST(OnlineClassifier, SequentialPreferredOverStrideWhenBothHold) {
+  // A pure sequential stream also has constant stride == length; the
+  // classifier must report sequential (prediction identical anyway).
+  OnlineClassifier c;
+  for (int i = 0; i < 8; ++i) c.observe(i * 1000ULL, 1000);
+  EXPECT_EQ(c.pattern(), OnlinePattern::kSequential);
+}
+
+TEST(OnlineClassifier, ObservationsCount) {
+  OnlineClassifier c;
+  for (int i = 0; i < 5; ++i) c.observe(0, 1);
+  EXPECT_EQ(c.observations(), 5u);
+}
+
+TEST(OnlineClassifier, NegativePredictionClamped) {
+  OnlineClassifier c;
+  // Descending strided stream reaching 0: prediction would go negative.
+  c.observe(3000, 10);
+  c.observe(2000, 10);
+  c.observe(1000, 10);
+  c.observe(0, 10);
+  if (c.pattern() == OnlinePattern::kStrided) {
+    EXPECT_EQ(c.predict_next(), std::nullopt);
+  }
+}
+
+TEST(OnlineClassifier, ToStringNames) {
+  EXPECT_STREQ(to_string(OnlinePattern::kUnknown), "unknown");
+  EXPECT_STREQ(to_string(OnlinePattern::kSequential), "sequential");
+  EXPECT_STREQ(to_string(OnlinePattern::kStrided), "strided");
+  EXPECT_STREQ(to_string(OnlinePattern::kRandom), "random");
+}
+
+}  // namespace
+}  // namespace paraio::ppfs

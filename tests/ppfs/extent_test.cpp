@@ -1,0 +1,160 @@
+#include "ppfs/extent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace paraio::ppfs {
+namespace {
+
+TEST(ExtentSet, StartsEmpty) {
+  ExtentSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.total_bytes(), 0u);
+  EXPECT_EQ(s.max_end(), 0u);
+}
+
+TEST(ExtentSet, SingleInsert) {
+  ExtentSet s;
+  s.insert(100, 50);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.total_bytes(), 50u);
+  EXPECT_EQ(s.max_end(), 150u);
+  EXPECT_EQ(s.extents(), (std::vector<Extent>{{100, 50}}));
+}
+
+TEST(ExtentSet, ZeroLengthIgnored) {
+  ExtentSet s;
+  s.insert(100, 0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(ExtentSet, AdjacentExtentsMerge) {
+  ExtentSet s;
+  s.insert(0, 100);
+  s.insert(100, 100);  // exactly adjacent
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.extents(), (std::vector<Extent>{{0, 200}}));
+}
+
+TEST(ExtentSet, SequentialSmallWritesCollapse) {
+  // ESCAT's pattern: 2 KB appends into a node's region.
+  ExtentSet s;
+  for (int i = 0; i < 100; ++i) s.insert(i * 2048ULL, 2048);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.total_bytes(), 100u * 2048);
+}
+
+TEST(ExtentSet, DisjointExtentsStaySeparate) {
+  ExtentSet s;
+  s.insert(0, 10);
+  s.insert(100, 10);
+  s.insert(50, 10);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_EQ(s.extents(),
+            (std::vector<Extent>{{0, 10}, {50, 10}, {100, 10}}));
+}
+
+TEST(ExtentSet, OverlapMergesAndCountsBytesOnce) {
+  ExtentSet s;
+  s.insert(0, 100);
+  s.insert(50, 100);  // overlaps [50,100)
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.total_bytes(), 150u);
+}
+
+TEST(ExtentSet, InsertBridgingTwoExtents) {
+  ExtentSet s;
+  s.insert(0, 10);
+  s.insert(20, 10);
+  s.insert(5, 20);  // bridges both
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.extents(), (std::vector<Extent>{{0, 30}}));
+}
+
+TEST(ExtentSet, InsertSwallowingManyExtents) {
+  ExtentSet s;
+  for (int i = 0; i < 10; ++i) s.insert(i * 100ULL, 10);
+  s.insert(0, 2000);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.total_bytes(), 2000u);
+}
+
+TEST(ExtentSet, ContainedInsertIsNoop) {
+  ExtentSet s;
+  s.insert(0, 1000);
+  s.insert(200, 100);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.total_bytes(), 1000u);
+}
+
+TEST(ExtentSet, OverlapsQuery) {
+  ExtentSet s;
+  s.insert(100, 100);
+  EXPECT_TRUE(s.overlaps(150, 10));
+  EXPECT_TRUE(s.overlaps(50, 60));    // touches the first byte
+  EXPECT_TRUE(s.overlaps(199, 100));  // touches the last byte
+  EXPECT_FALSE(s.overlaps(0, 100));   // ends exactly at 100 (exclusive)
+  EXPECT_FALSE(s.overlaps(200, 50));  // starts exactly at the end
+  EXPECT_FALSE(s.overlaps(150, 0));
+}
+
+TEST(ExtentSet, CoversQuery) {
+  ExtentSet s;
+  s.insert(100, 100);
+  EXPECT_TRUE(s.covers(100, 100));
+  EXPECT_TRUE(s.covers(150, 50));
+  EXPECT_FALSE(s.covers(150, 51));
+  EXPECT_FALSE(s.covers(99, 2));
+  EXPECT_TRUE(s.covers(0, 0));  // empty range is trivially covered
+}
+
+TEST(ExtentSet, CoversAcrossUnmergedGapIsFalse) {
+  ExtentSet s;
+  s.insert(0, 10);
+  s.insert(20, 10);
+  EXPECT_FALSE(s.covers(0, 30));
+}
+
+TEST(ExtentSet, ClearResets) {
+  ExtentSet s;
+  s.insert(0, 100);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.total_bytes(), 0u);
+}
+
+// Property: random inserts — total_bytes equals brute-force bitmap count and
+// extents are sorted, disjoint, non-adjacent.
+class ExtentFuzzProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExtentFuzzProperty, MatchesBitmapModel) {
+  sim::Rng rng(GetParam());
+  ExtentSet s;
+  std::vector<bool> bitmap(4096, false);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t off = rng.uniform_int(0, 4000);
+    const std::uint64_t len = rng.uniform_int(1, 95);
+    s.insert(off, len);
+    for (std::uint64_t b = off; b < off + len; ++b) bitmap[b] = true;
+  }
+  std::uint64_t expected = 0;
+  for (bool b : bitmap) expected += b ? 1 : 0;
+  EXPECT_EQ(s.total_bytes(), expected);
+  const auto extents = s.extents();
+  for (std::size_t i = 1; i < extents.size(); ++i) {
+    EXPECT_GT(extents[i].offset, extents[i - 1].end())
+        << "extents must be disjoint and non-adjacent";
+  }
+  for (const auto& e : extents) {
+    for (std::uint64_t b = e.offset; b < e.end(); ++b) {
+      EXPECT_TRUE(bitmap[b]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtentFuzzProperty,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1234u));
+
+}  // namespace
+}  // namespace paraio::ppfs

@@ -1,0 +1,122 @@
+// Two-level buffering (§8): the ION-side block cache.
+#include <gtest/gtest.h>
+
+#include "hw/machine.hpp"
+#include "ppfs/ppfs.hpp"
+#include "sim/engine.hpp"
+
+namespace paraio::ppfs {
+namespace {
+
+PpfsParams ion_cached() {
+  PpfsParams p = PpfsParams::no_policies();  // isolate the server cache
+  p.ion_cache_blocks = 1024;
+  return p;
+}
+
+struct Fixture {
+  explicit Fixture(PpfsParams params)
+      : machine(engine, hw::MachineConfig::paragon_xps(4, 1)), fs(machine, params) {}
+  sim::Engine engine;
+  hw::Machine machine;
+  Ppfs fs;
+};
+
+io::OpenOptions unix_create() {
+  io::OpenOptions o;
+  o.mode = io::AccessMode::kUnix;
+  o.create = true;
+  return o;
+}
+
+TEST(IonCache, CrossNodeRereadHitsServerCache) {
+  Fixture fx(ion_cached());
+  auto writer = [&]() -> sim::Task<> {
+    auto f = co_await fx.fs.open(0, "/f", unix_create());
+    co_await f->write(128 * 1024);
+    co_await f->close();
+  };
+  auto reader = [&](io::NodeId node) -> sim::Task<> {
+    io::OpenOptions o;
+    o.mode = io::AccessMode::kUnix;
+    auto f = co_await fx.fs.open(node, "/f", o);
+    (void)co_await f->read(128 * 1024);
+    co_await f->close();
+  };
+  auto driver = [&]() -> sim::Task<> {
+    co_await writer();
+    co_await reader(1);  // populates / hits the write-filled cache
+    co_await reader(2);  // a *different* node: client caches can't help
+  };
+  fx.engine.spawn(driver());
+  fx.engine.run();
+  const auto& stats = fx.fs.ion_stats(0);
+  // The write already filled the server cache, so both readers hit.
+  EXPECT_GE(stats.cache_hits, 1u);
+}
+
+TEST(IonCache, HitsSkipTheDiskArray) {
+  Fixture fx(ion_cached());
+  std::uint64_t disk_after_first = 0, disk_after_second = 0;
+  auto driver = [&]() -> sim::Task<> {
+    auto f = co_await fx.fs.open(0, "/f", unix_create());
+    co_await f->write(64 * 1024);
+    co_await f->seek(0);
+    (void)co_await f->read(64 * 1024);
+    disk_after_first = fx.machine.ion_array(0).stats().requests;
+    co_await f->seek(0);
+    (void)co_await f->read(64 * 1024);
+    disk_after_second = fx.machine.ion_array(0).stats().requests;
+    co_await f->close();
+  };
+  fx.engine.spawn(driver());
+  fx.engine.run();
+  EXPECT_EQ(disk_after_first, disk_after_second);  // second read: no disk
+}
+
+TEST(IonCache, DisabledByDefault) {
+  Fixture fx(PpfsParams::no_policies());
+  auto driver = [&]() -> sim::Task<> {
+    auto f = co_await fx.fs.open(0, "/f", unix_create());
+    co_await f->write(64 * 1024);
+    co_await f->seek(0);
+    (void)co_await f->read(64 * 1024);
+    co_await f->seek(0);
+    (void)co_await f->read(64 * 1024);
+    co_await f->close();
+  };
+  fx.engine.spawn(driver());
+  fx.engine.run();
+  EXPECT_EQ(fx.fs.ion_stats(0).cache_hits, 0u);
+  // Every read touched the array.
+  EXPECT_EQ(fx.fs.ion_stats(0).cache_misses, 2u);
+}
+
+TEST(IonCache, MakesCrossNodeRereadFaster) {
+  auto run = [](PpfsParams params) {
+    Fixture fx(params);
+    double second_read = 0;
+    auto driver = [&]() -> sim::Task<> {
+      auto f = co_await fx.fs.open(0, "/f", unix_create());
+      co_await f->write(512 * 1024);
+      co_await f->close();
+      io::OpenOptions o;
+      o.mode = io::AccessMode::kUnix;
+      auto a = co_await fx.fs.open(1, "/f", o);
+      (void)co_await a->read(512 * 1024);
+      co_await a->close();
+      auto b = co_await fx.fs.open(2, "/f", o);
+      const double t0 = fx.engine.now();
+      (void)co_await b->read(512 * 1024);
+      second_read = fx.engine.now() - t0;
+      co_await b->close();
+    };
+    fx.engine.spawn(driver());
+    fx.engine.run();
+    return second_read;
+  };
+  EXPECT_LT(run(ion_cached()), run(PpfsParams::no_policies()));
+}
+
+}  // namespace
+}  // namespace paraio::ppfs

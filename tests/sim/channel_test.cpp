@@ -1,0 +1,197 @@
+#include "sim/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace paraio::sim {
+namespace {
+
+TEST(Channel, SendThenRecv) {
+  Engine e;
+  Channel<int> ch(e, 4);
+  int got = 0;
+  auto producer = [&]() -> Task<> { co_await ch.send(42); };
+  auto consumer = [&]() -> Task<> { got = co_await ch.recv(); };
+  e.spawn(producer());
+  e.spawn(consumer());
+  e.run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(Channel, RecvBlocksUntilSend) {
+  Engine e;
+  Channel<int> ch(e, 4);
+  double recv_time = -1.0;
+  auto consumer = [&](Engine& eng) -> Task<> {
+    (void)co_await ch.recv();
+    recv_time = eng.now();
+  };
+  auto producer = [&](Engine& eng) -> Task<> {
+    co_await eng.delay(3.0);
+    co_await ch.send(1);
+  };
+  e.spawn(consumer(e));
+  e.spawn(producer(e));
+  e.run();
+  EXPECT_DOUBLE_EQ(recv_time, 3.0);
+}
+
+TEST(Channel, SendBlocksWhenFull) {
+  Engine e;
+  Channel<int> ch(e, 2);
+  std::vector<double> send_times;
+  auto producer = [&](Engine& eng) -> Task<> {
+    for (int i = 0; i < 4; ++i) {
+      co_await ch.send(i);
+      send_times.push_back(eng.now());
+    }
+  };
+  auto consumer = [&](Engine& eng) -> Task<> {
+    co_await eng.delay(10.0);
+    for (int i = 0; i < 4; ++i) {
+      (void)co_await ch.recv();
+      co_await eng.delay(1.0);
+    }
+  };
+  e.spawn(producer(e));
+  e.spawn(consumer(e));
+  e.run();
+  ASSERT_EQ(send_times.size(), 4u);
+  EXPECT_DOUBLE_EQ(send_times[0], 0.0);
+  EXPECT_DOUBLE_EQ(send_times[1], 0.0);
+  EXPECT_GE(send_times[2], 10.0);  // had to wait for a slot
+  EXPECT_GE(send_times[3], 11.0);
+}
+
+TEST(Channel, FifoOrderPreserved) {
+  Engine e;
+  Channel<int> ch(e, 3);
+  std::vector<int> got;
+  auto producer = [&]() -> Task<> {
+    for (int i = 0; i < 10; ++i) co_await ch.send(i);
+  };
+  auto consumer = [&]() -> Task<> {
+    for (int i = 0; i < 10; ++i) got.push_back(co_await ch.recv());
+  };
+  e.spawn(producer());
+  e.spawn(consumer());
+  e.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(Channel, MultipleConsumersEachGetOneValue) {
+  Engine e;
+  Channel<int> ch(e, 1);
+  std::vector<int> got;
+  auto consumer = [&]() -> Task<> { got.push_back(co_await ch.recv()); };
+  auto producer = [&](Engine& eng) -> Task<> {
+    for (int i = 0; i < 3; ++i) {
+      co_await eng.delay(1.0);
+      co_await ch.send(i);
+    }
+  };
+  for (int i = 0; i < 3; ++i) e.spawn(consumer());
+  e.spawn(producer(e));
+  e.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2}));  // FIFO consumer wake order
+}
+
+TEST(Channel, TryRecvEmptyReturnsNullopt) {
+  Engine e;
+  Channel<int> ch(e, 2);
+  EXPECT_EQ(ch.try_recv(), std::nullopt);
+}
+
+TEST(Channel, TryRecvDrainsBuffer) {
+  Engine e;
+  Channel<int> ch(e, 4);
+  auto producer = [&]() -> Task<> {
+    co_await ch.send(1);
+    co_await ch.send(2);
+  };
+  e.spawn(producer());
+  e.run();
+  EXPECT_EQ(ch.try_recv(), std::optional<int>(1));
+  EXPECT_EQ(ch.try_recv(), std::optional<int>(2));
+  EXPECT_EQ(ch.try_recv(), std::nullopt);
+}
+
+TEST(Channel, TryRecvUnblocksSender) {
+  Engine e;
+  Channel<int> ch(e, 1);
+  std::vector<double> send_times;
+  auto producer = [&](Engine& eng) -> Task<> {
+    co_await ch.send(1);
+    send_times.push_back(eng.now());
+    co_await ch.send(2);
+    send_times.push_back(eng.now());
+  };
+  e.spawn(producer(e));
+  e.call_in(5.0, [&] { (void)ch.try_recv(); });
+  e.run();
+  ASSERT_EQ(send_times.size(), 2u);
+  EXPECT_DOUBLE_EQ(send_times[1], 5.0);
+}
+
+TEST(Channel, MoveOnlyValues) {
+  Engine e;
+  Channel<std::unique_ptr<int>> ch(e, 2);
+  int got = 0;
+  auto producer = [&]() -> Task<> {
+    co_await ch.send(std::make_unique<int>(99));
+  };
+  auto consumer = [&]() -> Task<> {
+    auto p = co_await ch.recv();
+    got = *p;
+  };
+  e.spawn(producer());
+  e.spawn(consumer());
+  e.run();
+  EXPECT_EQ(got, 99);
+}
+
+TEST(Channel, ZeroCapacityPromotedToOne) {
+  Engine e;
+  Channel<int> ch(e, 0);
+  EXPECT_EQ(ch.capacity(), 1u);
+}
+
+// Property: producer/consumer pairs transfer every message exactly once for
+// various capacities.
+class ChannelCapacityProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChannelCapacityProperty, AllMessagesDeliveredInOrder) {
+  Engine e;
+  Channel<int> ch(e, GetParam());
+  constexpr int kMessages = 200;
+  std::vector<int> got;
+  auto producer = [&](Engine& eng) -> Task<> {
+    for (int i = 0; i < kMessages; ++i) {
+      if (i % 7 == 0) co_await eng.delay(0.01);
+      co_await ch.send(i);
+    }
+  };
+  auto consumer = [&](Engine& eng) -> Task<> {
+    for (int i = 0; i < kMessages; ++i) {
+      if (i % 5 == 0) co_await eng.delay(0.02);
+      got.push_back(co_await ch.recv());
+    }
+  };
+  e.spawn(producer(e));
+  e.spawn(consumer(e));
+  e.run();
+  ASSERT_EQ(got.size(), static_cast<size_t>(kMessages));
+  for (int i = 0; i < kMessages; ++i) EXPECT_EQ(got[static_cast<size_t>(i)], i);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, ChannelCapacityProperty,
+                         ::testing::Values(1u, 2u, 16u,
+                                           Channel<int>::kUnbounded));
+
+}  // namespace
+}  // namespace paraio::sim

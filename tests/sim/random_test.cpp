@@ -1,0 +1,143 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace paraio::sim {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng r(11);
+  double sum = 0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(13);
+  for (int i = 0; i < 1000; ++i) {
+    double v = r.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    auto v = r.uniform_int(3, 7);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all 5 values appear in 1000 draws
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng r(19);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_int(42, 42), 42u);
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng r(23);
+  double sum = 0;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Rng, ExponentialNonNegative) {
+  Rng r(29);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(r.exponential(1.0), 0.0);
+}
+
+TEST(Rng, NormalMomentsConverge) {
+  Rng r(31);
+  double sum = 0, sumsq = 0;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double v = r.normal(10.0, 3.0);
+    sum += v;
+    sumsq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, BernoulliProbabilityConverges) {
+  Rng r(37);
+  int hits = 0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng parent(41);
+  Rng a1 = parent.fork(1);
+  Rng a2 = parent.fork(1);
+  Rng b = parent.fork(2);
+  // Same stream id: identical.
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a1.next_u64(), a2.next_u64());
+  // Different stream id: different.
+  Rng a3 = parent.fork(1);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a3.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+// Property: chi-squared-ish uniformity check over bucketed uniform_int draws
+// for several range sizes.
+class RngUniformityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RngUniformityProperty, BucketsRoughlyEven) {
+  const int buckets = GetParam();
+  Rng r(static_cast<std::uint64_t>(buckets) * 1000 + 5);
+  std::vector<int> counts(static_cast<size_t>(buckets), 0);
+  const int per_bucket = 2000;
+  const int n = buckets * per_bucket;
+  for (int i = 0; i < n; ++i) {
+    ++counts[r.uniform_int(0, static_cast<std::uint64_t>(buckets) - 1)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, per_bucket, per_bucket * 0.15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Buckets, RngUniformityProperty,
+                         ::testing::Values(2, 5, 10, 64, 100));
+
+}  // namespace
+}  // namespace paraio::sim

@@ -1,0 +1,174 @@
+#include "sim/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace paraio::sim {
+namespace {
+
+TEST(Task, LazyStart) {
+  bool started = false;
+  auto make = [&]() -> Task<> {
+    started = true;
+    co_return;
+  };
+  Task<> t = make();
+  EXPECT_FALSE(started);
+  EXPECT_TRUE(t.valid());
+  t.start();
+  EXPECT_TRUE(started);
+  EXPECT_TRUE(t.done());
+}
+
+TEST(Task, AwaitReturnsValue) {
+  Engine e;
+  int got = 0;
+  auto child = []() -> Task<int> { co_return 42; };
+  auto parent = [&](Task<int> c) -> Task<> { got = co_await std::move(c); };
+  e.spawn(parent(child()));
+  e.run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(Task, AwaitChainsThroughLevels) {
+  Engine e;
+  std::string got;
+  auto leaf = []() -> Task<std::string> { co_return "leaf"; };
+  auto mid = [&]() -> Task<std::string> {
+    std::string s = co_await leaf();
+    co_return s + "+mid";
+  };
+  auto root = [&]() -> Task<> { got = co_await mid(); };
+  e.spawn(root());
+  e.run();
+  EXPECT_EQ(got, "leaf+mid");
+}
+
+TEST(Task, DeepAwaitChainDoesNotOverflowStack) {
+  Engine e;
+  // Iterative awaits in a loop: each co_await completes via symmetric
+  // transfer, so 100k sequential children must be fine.
+  auto child = []() -> Task<int> { co_return 1; };
+  auto root = [&](long n, long& total) -> Task<> {
+    for (long i = 0; i < n; ++i) total += co_await child();
+  };
+  long total = 0;
+  e.spawn(root(100000, total));
+  e.run();
+  EXPECT_EQ(total, 100000);
+}
+
+TEST(Task, ExceptionPropagatesToAwaiter) {
+  Engine e;
+  bool caught = false;
+  auto child = []() -> Task<int> {
+    throw std::runtime_error("child failed");
+    co_return 0;
+  };
+  auto parent = [&]() -> Task<> {
+    try {
+      (void)co_await child();
+    } catch (const std::runtime_error& err) {
+      caught = std::string(err.what()) == "child failed";
+    }
+  };
+  e.spawn(parent());
+  e.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Task, ExceptionAfterSuspensionPropagates) {
+  Engine e;
+  bool caught = false;
+  auto child = [](Engine& eng) -> Task<> {
+    co_await eng.delay(1.0);
+    throw std::logic_error("late failure");
+  };
+  auto parent = [&](Engine& eng) -> Task<> {
+    try {
+      co_await child(eng);
+    } catch (const std::logic_error&) {
+      caught = true;
+    }
+  };
+  e.spawn(parent(e));
+  e.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Task, MoveTransfersOwnership) {
+  auto make = []() -> Task<int> { co_return 7; };
+  Task<int> a = make();
+  Task<int> b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): testing move
+  EXPECT_TRUE(b.valid());
+}
+
+TEST(Task, DestroyingUnstartedTaskIsSafe) {
+  auto make = []() -> Task<int> { co_return 3; };
+  { Task<int> t = make(); }  // no start, no await — must not leak or crash
+  SUCCEED();
+}
+
+TEST(Task, DestroyingSuspendedTaskIsSafe) {
+  Engine e;
+  {
+    auto proc = [](Engine& eng) -> Task<> { co_await eng.delay(100.0); };
+    Task<> t = proc(e);
+    t.start();
+    EXPECT_FALSE(t.done());
+    // t destroyed here while suspended on a timer.  The timer callback
+    // remains queued; resuming a destroyed coroutine would be UB, so we must
+    // not run the engine past this point in real code.  Destruction itself
+    // must be clean.
+  }
+  SUCCEED();
+}
+
+TEST(Task, ValueTypesMoveCorrectly) {
+  Engine e;
+  std::vector<int> got;
+  auto child = []() -> Task<std::vector<int>> {
+    co_return std::vector<int>{1, 2, 3};
+  };
+  auto parent = [&]() -> Task<> { got = co_await child(); };
+  e.spawn(parent());
+  e.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Task, SequentialChildrenRunInOrder) {
+  Engine e;
+  std::vector<int> order;
+  auto child = [](Engine& eng, std::vector<int>& ord, int id) -> Task<> {
+    co_await eng.delay(1.0);
+    ord.push_back(id);
+  };
+  auto parent = [&](Engine& eng) -> Task<> {
+    for (int i = 0; i < 4; ++i) co_await child(eng, order, i);
+  };
+  e.spawn(parent(e));
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 4.0);  // sequential: delays add up
+}
+
+TEST(Task, FailedFlagSetOnException) {
+  auto make = []() -> Task<> {
+    throw std::runtime_error("x");
+    co_return;
+  };
+  Task<> t = make();
+  t.start();
+  EXPECT_TRUE(t.done());
+  EXPECT_TRUE(t.failed());
+  EXPECT_THROW(t.result(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace paraio::sim
