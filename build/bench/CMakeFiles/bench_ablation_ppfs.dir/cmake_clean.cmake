@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ppfs.dir/bench_ablation_ppfs.cpp.o"
+  "CMakeFiles/bench_ablation_ppfs.dir/bench_ablation_ppfs.cpp.o.d"
+  "bench_ablation_ppfs"
+  "bench_ablation_ppfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ppfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

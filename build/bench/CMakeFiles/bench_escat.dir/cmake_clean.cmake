@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_escat.dir/bench_escat.cpp.o"
+  "CMakeFiles/bench_escat.dir/bench_escat.cpp.o.d"
+  "bench_escat"
+  "bench_escat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_escat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_htf.dir/bench_htf.cpp.o"
+  "CMakeFiles/bench_htf.dir/bench_htf.cpp.o.d"
+  "bench_htf"
+  "bench_htf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_htf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_htf_crossover.dir/bench_htf_crossover.cpp.o"
+  "CMakeFiles/bench_htf_crossover.dir/bench_htf_crossover.cpp.o.d"
+  "bench_htf_crossover"
+  "bench_htf_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_htf_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_pablo.dir/bench_micro_pablo.cpp.o"
+  "CMakeFiles/bench_micro_pablo.dir/bench_micro_pablo.cpp.o.d"
+  "bench_micro_pablo"
+  "bench_micro_pablo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_pablo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

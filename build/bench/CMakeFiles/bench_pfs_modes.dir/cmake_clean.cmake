@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pfs_modes.dir/bench_pfs_modes.cpp.o"
+  "CMakeFiles/bench_pfs_modes.dir/bench_pfs_modes.cpp.o.d"
+  "bench_pfs_modes"
+  "bench_pfs_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pfs_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

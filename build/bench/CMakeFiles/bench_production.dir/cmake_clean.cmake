@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_production.dir/bench_production.cpp.o"
+  "CMakeFiles/bench_production.dir/bench_production.cpp.o.d"
+  "bench_production"
+  "bench_production.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_production.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_render_scaling.dir/bench_render_scaling.cpp.o"
+  "CMakeFiles/bench_render_scaling.dir/bench_render_scaling.cpp.o.d"
+  "bench_render_scaling"
+  "bench_render_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_render_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

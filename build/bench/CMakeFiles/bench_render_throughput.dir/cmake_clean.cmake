@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_render_throughput.dir/bench_render_throughput.cpp.o"
+  "CMakeFiles/bench_render_throughput.dir/bench_render_throughput.cpp.o.d"
+  "bench_render_throughput"
+  "bench_render_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_render_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_workload_mix.dir/bench_workload_mix.cpp.o"
+  "CMakeFiles/bench_workload_mix.dir/bench_workload_mix.cpp.o.d"
+  "bench_workload_mix"
+  "bench_workload_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workload_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

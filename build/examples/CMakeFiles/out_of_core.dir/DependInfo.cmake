@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/out_of_core.cpp" "examples/CMakeFiles/out_of_core.dir/out_of_core.cpp.o" "gcc" "examples/CMakeFiles/out_of_core.dir/out_of_core.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/paraio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/paraio_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/paraio_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/pablo/CMakeFiles/paraio_pablo.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppfs/CMakeFiles/paraio_ppfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/paraio_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/paraio_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/paraio_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/paraio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

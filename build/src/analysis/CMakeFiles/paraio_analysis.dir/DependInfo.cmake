@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/histogram.cpp" "src/analysis/CMakeFiles/paraio_analysis.dir/histogram.cpp.o" "gcc" "src/analysis/CMakeFiles/paraio_analysis.dir/histogram.cpp.o.d"
+  "/root/repo/src/analysis/op_stats.cpp" "src/analysis/CMakeFiles/paraio_analysis.dir/op_stats.cpp.o" "gcc" "src/analysis/CMakeFiles/paraio_analysis.dir/op_stats.cpp.o.d"
+  "/root/repo/src/analysis/pattern.cpp" "src/analysis/CMakeFiles/paraio_analysis.dir/pattern.cpp.o" "gcc" "src/analysis/CMakeFiles/paraio_analysis.dir/pattern.cpp.o.d"
+  "/root/repo/src/analysis/phases.cpp" "src/analysis/CMakeFiles/paraio_analysis.dir/phases.cpp.o" "gcc" "src/analysis/CMakeFiles/paraio_analysis.dir/phases.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/paraio_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/paraio_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/analysis/CMakeFiles/paraio_analysis.dir/stats.cpp.o" "gcc" "src/analysis/CMakeFiles/paraio_analysis.dir/stats.cpp.o.d"
+  "/root/repo/src/analysis/survival.cpp" "src/analysis/CMakeFiles/paraio_analysis.dir/survival.cpp.o" "gcc" "src/analysis/CMakeFiles/paraio_analysis.dir/survival.cpp.o.d"
+  "/root/repo/src/analysis/tables.cpp" "src/analysis/CMakeFiles/paraio_analysis.dir/tables.cpp.o" "gcc" "src/analysis/CMakeFiles/paraio_analysis.dir/tables.cpp.o.d"
+  "/root/repo/src/analysis/timeline.cpp" "src/analysis/CMakeFiles/paraio_analysis.dir/timeline.cpp.o" "gcc" "src/analysis/CMakeFiles/paraio_analysis.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pablo/CMakeFiles/paraio_pablo.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/paraio_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/paraio_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/paraio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paraio_analysis.dir/histogram.cpp.o"
+  "CMakeFiles/paraio_analysis.dir/histogram.cpp.o.d"
+  "CMakeFiles/paraio_analysis.dir/op_stats.cpp.o"
+  "CMakeFiles/paraio_analysis.dir/op_stats.cpp.o.d"
+  "CMakeFiles/paraio_analysis.dir/pattern.cpp.o"
+  "CMakeFiles/paraio_analysis.dir/pattern.cpp.o.d"
+  "CMakeFiles/paraio_analysis.dir/phases.cpp.o"
+  "CMakeFiles/paraio_analysis.dir/phases.cpp.o.d"
+  "CMakeFiles/paraio_analysis.dir/report.cpp.o"
+  "CMakeFiles/paraio_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/paraio_analysis.dir/stats.cpp.o"
+  "CMakeFiles/paraio_analysis.dir/stats.cpp.o.d"
+  "CMakeFiles/paraio_analysis.dir/survival.cpp.o"
+  "CMakeFiles/paraio_analysis.dir/survival.cpp.o.d"
+  "CMakeFiles/paraio_analysis.dir/tables.cpp.o"
+  "CMakeFiles/paraio_analysis.dir/tables.cpp.o.d"
+  "CMakeFiles/paraio_analysis.dir/timeline.cpp.o"
+  "CMakeFiles/paraio_analysis.dir/timeline.cpp.o.d"
+  "libparaio_analysis.a"
+  "libparaio_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paraio_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

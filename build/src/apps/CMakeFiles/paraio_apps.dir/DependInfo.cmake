@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/escat.cpp" "src/apps/CMakeFiles/paraio_apps.dir/escat.cpp.o" "gcc" "src/apps/CMakeFiles/paraio_apps.dir/escat.cpp.o.d"
+  "/root/repo/src/apps/htf.cpp" "src/apps/CMakeFiles/paraio_apps.dir/htf.cpp.o" "gcc" "src/apps/CMakeFiles/paraio_apps.dir/htf.cpp.o.d"
+  "/root/repo/src/apps/render.cpp" "src/apps/CMakeFiles/paraio_apps.dir/render.cpp.o" "gcc" "src/apps/CMakeFiles/paraio_apps.dir/render.cpp.o.d"
+  "/root/repo/src/apps/replay.cpp" "src/apps/CMakeFiles/paraio_apps.dir/replay.cpp.o" "gcc" "src/apps/CMakeFiles/paraio_apps.dir/replay.cpp.o.d"
+  "/root/repo/src/apps/synthetic.cpp" "src/apps/CMakeFiles/paraio_apps.dir/synthetic.cpp.o" "gcc" "src/apps/CMakeFiles/paraio_apps.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/paraio_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/paraio_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/paraio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paraio_apps.dir/escat.cpp.o"
+  "CMakeFiles/paraio_apps.dir/escat.cpp.o.d"
+  "CMakeFiles/paraio_apps.dir/htf.cpp.o"
+  "CMakeFiles/paraio_apps.dir/htf.cpp.o.d"
+  "CMakeFiles/paraio_apps.dir/render.cpp.o"
+  "CMakeFiles/paraio_apps.dir/render.cpp.o.d"
+  "CMakeFiles/paraio_apps.dir/replay.cpp.o"
+  "CMakeFiles/paraio_apps.dir/replay.cpp.o.d"
+  "CMakeFiles/paraio_apps.dir/synthetic.cpp.o"
+  "CMakeFiles/paraio_apps.dir/synthetic.cpp.o.d"
+  "libparaio_apps.a"
+  "libparaio_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paraio_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

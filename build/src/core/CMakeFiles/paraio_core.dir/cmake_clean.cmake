@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paraio_core.dir/experiment.cpp.o"
+  "CMakeFiles/paraio_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/paraio_core.dir/report.cpp.o"
+  "CMakeFiles/paraio_core.dir/report.cpp.o.d"
+  "libparaio_core.a"
+  "libparaio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paraio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paraio_hw.dir/disk.cpp.o"
+  "CMakeFiles/paraio_hw.dir/disk.cpp.o.d"
+  "CMakeFiles/paraio_hw.dir/machine.cpp.o"
+  "CMakeFiles/paraio_hw.dir/machine.cpp.o.d"
+  "CMakeFiles/paraio_hw.dir/network.cpp.o"
+  "CMakeFiles/paraio_hw.dir/network.cpp.o.d"
+  "CMakeFiles/paraio_hw.dir/raid.cpp.o"
+  "CMakeFiles/paraio_hw.dir/raid.cpp.o.d"
+  "CMakeFiles/paraio_hw.dir/scheduler.cpp.o"
+  "CMakeFiles/paraio_hw.dir/scheduler.cpp.o.d"
+  "libparaio_hw.a"
+  "libparaio_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paraio_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

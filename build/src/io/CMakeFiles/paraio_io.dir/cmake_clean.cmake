@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paraio_io.dir/file.cpp.o"
+  "CMakeFiles/paraio_io.dir/file.cpp.o.d"
+  "libparaio_io.a"
+  "libparaio_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paraio_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pablo/filter.cpp" "src/pablo/CMakeFiles/paraio_pablo.dir/filter.cpp.o" "gcc" "src/pablo/CMakeFiles/paraio_pablo.dir/filter.cpp.o.d"
+  "/root/repo/src/pablo/instrument.cpp" "src/pablo/CMakeFiles/paraio_pablo.dir/instrument.cpp.o" "gcc" "src/pablo/CMakeFiles/paraio_pablo.dir/instrument.cpp.o.d"
+  "/root/repo/src/pablo/sddf.cpp" "src/pablo/CMakeFiles/paraio_pablo.dir/sddf.cpp.o" "gcc" "src/pablo/CMakeFiles/paraio_pablo.dir/sddf.cpp.o.d"
+  "/root/repo/src/pablo/summary.cpp" "src/pablo/CMakeFiles/paraio_pablo.dir/summary.cpp.o" "gcc" "src/pablo/CMakeFiles/paraio_pablo.dir/summary.cpp.o.d"
+  "/root/repo/src/pablo/trace.cpp" "src/pablo/CMakeFiles/paraio_pablo.dir/trace.cpp.o" "gcc" "src/pablo/CMakeFiles/paraio_pablo.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/paraio_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/paraio_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/paraio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

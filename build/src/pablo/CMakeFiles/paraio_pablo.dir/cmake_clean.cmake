@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paraio_pablo.dir/filter.cpp.o"
+  "CMakeFiles/paraio_pablo.dir/filter.cpp.o.d"
+  "CMakeFiles/paraio_pablo.dir/instrument.cpp.o"
+  "CMakeFiles/paraio_pablo.dir/instrument.cpp.o.d"
+  "CMakeFiles/paraio_pablo.dir/sddf.cpp.o"
+  "CMakeFiles/paraio_pablo.dir/sddf.cpp.o.d"
+  "CMakeFiles/paraio_pablo.dir/summary.cpp.o"
+  "CMakeFiles/paraio_pablo.dir/summary.cpp.o.d"
+  "CMakeFiles/paraio_pablo.dir/trace.cpp.o"
+  "CMakeFiles/paraio_pablo.dir/trace.cpp.o.d"
+  "libparaio_pablo.a"
+  "libparaio_pablo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paraio_pablo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paraio_pfs.dir/pfs.cpp.o"
+  "CMakeFiles/paraio_pfs.dir/pfs.cpp.o.d"
+  "CMakeFiles/paraio_pfs.dir/stripe.cpp.o"
+  "CMakeFiles/paraio_pfs.dir/stripe.cpp.o.d"
+  "libparaio_pfs.a"
+  "libparaio_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paraio_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparaio_pfs.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ppfs/cache.cpp" "src/ppfs/CMakeFiles/paraio_ppfs.dir/cache.cpp.o" "gcc" "src/ppfs/CMakeFiles/paraio_ppfs.dir/cache.cpp.o.d"
+  "/root/repo/src/ppfs/classifier.cpp" "src/ppfs/CMakeFiles/paraio_ppfs.dir/classifier.cpp.o" "gcc" "src/ppfs/CMakeFiles/paraio_ppfs.dir/classifier.cpp.o.d"
+  "/root/repo/src/ppfs/extent.cpp" "src/ppfs/CMakeFiles/paraio_ppfs.dir/extent.cpp.o" "gcc" "src/ppfs/CMakeFiles/paraio_ppfs.dir/extent.cpp.o.d"
+  "/root/repo/src/ppfs/ion_server.cpp" "src/ppfs/CMakeFiles/paraio_ppfs.dir/ion_server.cpp.o" "gcc" "src/ppfs/CMakeFiles/paraio_ppfs.dir/ion_server.cpp.o.d"
+  "/root/repo/src/ppfs/ppfs.cpp" "src/ppfs/CMakeFiles/paraio_ppfs.dir/ppfs.cpp.o" "gcc" "src/ppfs/CMakeFiles/paraio_ppfs.dir/ppfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/paraio_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/paraio_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/paraio_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/paraio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

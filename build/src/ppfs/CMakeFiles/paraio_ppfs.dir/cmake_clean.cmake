@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paraio_ppfs.dir/cache.cpp.o"
+  "CMakeFiles/paraio_ppfs.dir/cache.cpp.o.d"
+  "CMakeFiles/paraio_ppfs.dir/classifier.cpp.o"
+  "CMakeFiles/paraio_ppfs.dir/classifier.cpp.o.d"
+  "CMakeFiles/paraio_ppfs.dir/extent.cpp.o"
+  "CMakeFiles/paraio_ppfs.dir/extent.cpp.o.d"
+  "CMakeFiles/paraio_ppfs.dir/ion_server.cpp.o"
+  "CMakeFiles/paraio_ppfs.dir/ion_server.cpp.o.d"
+  "CMakeFiles/paraio_ppfs.dir/ppfs.cpp.o"
+  "CMakeFiles/paraio_ppfs.dir/ppfs.cpp.o.d"
+  "libparaio_ppfs.a"
+  "libparaio_ppfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paraio_ppfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for paraio_ppfs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paraio_sim.dir/engine.cpp.o"
+  "CMakeFiles/paraio_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/paraio_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/paraio_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/paraio_sim.dir/random.cpp.o"
+  "CMakeFiles/paraio_sim.dir/random.cpp.o.d"
+  "CMakeFiles/paraio_sim.dir/sync.cpp.o"
+  "CMakeFiles/paraio_sim.dir/sync.cpp.o.d"
+  "libparaio_sim.a"
+  "libparaio_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paraio_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

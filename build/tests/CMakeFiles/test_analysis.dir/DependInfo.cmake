@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/histogram_test.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/histogram_test.cpp.o.d"
+  "/root/repo/tests/analysis/op_stats_test.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/op_stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/op_stats_test.cpp.o.d"
+  "/root/repo/tests/analysis/pattern_test.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/pattern_test.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/pattern_test.cpp.o.d"
+  "/root/repo/tests/analysis/report_test.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/report_test.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/report_test.cpp.o.d"
+  "/root/repo/tests/analysis/stats_test.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/stats_test.cpp.o.d"
+  "/root/repo/tests/analysis/survival_test.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/survival_test.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/survival_test.cpp.o.d"
+  "/root/repo/tests/analysis/tables_test.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/tables_test.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/tables_test.cpp.o.d"
+  "/root/repo/tests/analysis/timeline_test.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/timeline_test.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/timeline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/paraio_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/paraio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pablo/CMakeFiles/paraio_pablo.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/paraio_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/paraio_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

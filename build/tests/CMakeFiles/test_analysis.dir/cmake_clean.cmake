@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/histogram_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/histogram_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/op_stats_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/op_stats_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/pattern_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/pattern_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/report_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/report_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/stats_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/stats_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/survival_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/survival_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/tables_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/tables_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/timeline_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/timeline_test.cpp.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+  "test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_escat.dir/apps/consistency_test.cpp.o"
+  "CMakeFiles/test_apps_escat.dir/apps/consistency_test.cpp.o.d"
+  "CMakeFiles/test_apps_escat.dir/apps/escat_test.cpp.o"
+  "CMakeFiles/test_apps_escat.dir/apps/escat_test.cpp.o.d"
+  "test_apps_escat"
+  "test_apps_escat.pdb"
+  "test_apps_escat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_escat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

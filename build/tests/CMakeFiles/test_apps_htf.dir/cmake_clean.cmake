@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_htf.dir/apps/htf_test.cpp.o"
+  "CMakeFiles/test_apps_htf.dir/apps/htf_test.cpp.o.d"
+  "test_apps_htf"
+  "test_apps_htf.pdb"
+  "test_apps_htf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_htf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_render.dir/apps/render_test.cpp.o"
+  "CMakeFiles/test_apps_render.dir/apps/render_test.cpp.o.d"
+  "test_apps_render"
+  "test_apps_render.pdb"
+  "test_apps_render[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

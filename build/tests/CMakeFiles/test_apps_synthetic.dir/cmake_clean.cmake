@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_synthetic.dir/apps/replay_test.cpp.o"
+  "CMakeFiles/test_apps_synthetic.dir/apps/replay_test.cpp.o.d"
+  "CMakeFiles/test_apps_synthetic.dir/apps/synthetic_test.cpp.o"
+  "CMakeFiles/test_apps_synthetic.dir/apps/synthetic_test.cpp.o.d"
+  "test_apps_synthetic"
+  "test_apps_synthetic.pdb"
+  "test_apps_synthetic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pablo.dir/pablo/count_summary_test.cpp.o"
+  "CMakeFiles/test_pablo.dir/pablo/count_summary_test.cpp.o.d"
+  "CMakeFiles/test_pablo.dir/pablo/filter_test.cpp.o"
+  "CMakeFiles/test_pablo.dir/pablo/filter_test.cpp.o.d"
+  "CMakeFiles/test_pablo.dir/pablo/instrument_test.cpp.o"
+  "CMakeFiles/test_pablo.dir/pablo/instrument_test.cpp.o.d"
+  "CMakeFiles/test_pablo.dir/pablo/sddf_test.cpp.o"
+  "CMakeFiles/test_pablo.dir/pablo/sddf_test.cpp.o.d"
+  "CMakeFiles/test_pablo.dir/pablo/summary_test.cpp.o"
+  "CMakeFiles/test_pablo.dir/pablo/summary_test.cpp.o.d"
+  "test_pablo"
+  "test_pablo.pdb"
+  "test_pablo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pablo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

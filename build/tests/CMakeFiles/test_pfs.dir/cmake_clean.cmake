@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pfs.dir/pfs/pfs_test.cpp.o"
+  "CMakeFiles/test_pfs.dir/pfs/pfs_test.cpp.o.d"
+  "CMakeFiles/test_pfs.dir/pfs/set_mode_test.cpp.o"
+  "CMakeFiles/test_pfs.dir/pfs/set_mode_test.cpp.o.d"
+  "CMakeFiles/test_pfs.dir/pfs/stripe_test.cpp.o"
+  "CMakeFiles/test_pfs.dir/pfs/stripe_test.cpp.o.d"
+  "CMakeFiles/test_pfs.dir/pfs/turn_gate_test.cpp.o"
+  "CMakeFiles/test_pfs.dir/pfs/turn_gate_test.cpp.o.d"
+  "test_pfs"
+  "test_pfs.pdb"
+  "test_pfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

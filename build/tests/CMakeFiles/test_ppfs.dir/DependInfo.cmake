@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ppfs/cache_test.cpp" "tests/CMakeFiles/test_ppfs.dir/ppfs/cache_test.cpp.o" "gcc" "tests/CMakeFiles/test_ppfs.dir/ppfs/cache_test.cpp.o.d"
+  "/root/repo/tests/ppfs/classifier_test.cpp" "tests/CMakeFiles/test_ppfs.dir/ppfs/classifier_test.cpp.o" "gcc" "tests/CMakeFiles/test_ppfs.dir/ppfs/classifier_test.cpp.o.d"
+  "/root/repo/tests/ppfs/extent_test.cpp" "tests/CMakeFiles/test_ppfs.dir/ppfs/extent_test.cpp.o" "gcc" "tests/CMakeFiles/test_ppfs.dir/ppfs/extent_test.cpp.o.d"
+  "/root/repo/tests/ppfs/ion_cache_test.cpp" "tests/CMakeFiles/test_ppfs.dir/ppfs/ion_cache_test.cpp.o" "gcc" "tests/CMakeFiles/test_ppfs.dir/ppfs/ion_cache_test.cpp.o.d"
+  "/root/repo/tests/ppfs/ion_server_test.cpp" "tests/CMakeFiles/test_ppfs.dir/ppfs/ion_server_test.cpp.o" "gcc" "tests/CMakeFiles/test_ppfs.dir/ppfs/ion_server_test.cpp.o.d"
+  "/root/repo/tests/ppfs/ppfs_test.cpp" "tests/CMakeFiles/test_ppfs.dir/ppfs/ppfs_test.cpp.o" "gcc" "tests/CMakeFiles/test_ppfs.dir/ppfs/ppfs_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ppfs/CMakeFiles/paraio_ppfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/paraio_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/paraio_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/paraio_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/paraio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ppfs.dir/ppfs/cache_test.cpp.o"
+  "CMakeFiles/test_ppfs.dir/ppfs/cache_test.cpp.o.d"
+  "CMakeFiles/test_ppfs.dir/ppfs/classifier_test.cpp.o"
+  "CMakeFiles/test_ppfs.dir/ppfs/classifier_test.cpp.o.d"
+  "CMakeFiles/test_ppfs.dir/ppfs/extent_test.cpp.o"
+  "CMakeFiles/test_ppfs.dir/ppfs/extent_test.cpp.o.d"
+  "CMakeFiles/test_ppfs.dir/ppfs/ion_cache_test.cpp.o"
+  "CMakeFiles/test_ppfs.dir/ppfs/ion_cache_test.cpp.o.d"
+  "CMakeFiles/test_ppfs.dir/ppfs/ion_server_test.cpp.o"
+  "CMakeFiles/test_ppfs.dir/ppfs/ion_server_test.cpp.o.d"
+  "CMakeFiles/test_ppfs.dir/ppfs/ppfs_test.cpp.o"
+  "CMakeFiles/test_ppfs.dir/ppfs/ppfs_test.cpp.o.d"
+  "test_ppfs"
+  "test_ppfs.pdb"
+  "test_ppfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ppfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

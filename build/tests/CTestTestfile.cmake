@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_hw[1]_include.cmake")
+include("/root/repo/build/tests/test_pfs[1]_include.cmake")
+include("/root/repo/build/tests/test_pablo[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_ppfs[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_escat[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_render[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_htf[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_synthetic[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
