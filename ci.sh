@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Continuous-integration entry point: the tier-1 verification (build + full
+# test suite) in a plain build, then the same suite under AddressSanitizer +
+# UBSanitizer (-DPARAIO_SANITIZE=ON).
+#
+#   ./ci.sh            # both stages
+#   ./ci.sh --fast     # plain stage only
+set -euo pipefail
+cd "$(dirname "$0")"
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+run_stage() {
+  local dir="$1"; shift
+  echo "== configure ${dir} ($*) =="
+  cmake -B "${dir}" -S . "$@"
+  echo "== build ${dir} =="
+  cmake --build "${dir}" -j "${jobs}"
+  echo "== test ${dir} =="
+  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+}
+
+run_stage build
+
+if [[ "${1:-}" != "--fast" ]]; then
+  run_stage build-asan -DPARAIO_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+
+echo "CI OK"

@@ -7,11 +7,13 @@ namespace paraio::core {
 
 namespace {
 
-/// Application wrapper so the driver can treat the three codes uniformly.
+/// Application wrapper so the driver can treat the application codes
+/// uniformly.
 template <typename App>
-sim::Task<> drive(App& app, io::FileSystem& bare,
-                  ExperimentResult& result, sim::Engine& engine) {
+sim::Task<> drive(App& app, io::FileSystem& bare, ExperimentResult& result,
+                  sim::Engine& engine, pfs::IoObserver* io_observer) {
   co_await app.stage(bare);
+  if (io_observer) io_observer->on_measured_run_start();
   result.run_start = engine.now();
   co_await app.run();
   result.run_end = engine.now();
@@ -21,6 +23,7 @@ sim::Task<> drive(App& app, io::FileSystem& bare,
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   sim::Engine engine;
+  engine.set_observer(config.hooks.engine);
   hw::Machine machine(engine, config.machine);
 
   std::unique_ptr<pfs::Pfs> pfs_fs;
@@ -28,10 +31,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   io::FileSystem* bare = nullptr;
   if (config.filesystem.kind == FsChoice::Kind::kPfs) {
     pfs_fs = std::make_unique<pfs::Pfs>(machine, config.filesystem.pfs_params);
+    pfs_fs->set_observer(config.hooks.io);
     bare = pfs_fs.get();
   } else {
     ppfs_fs =
         std::make_unique<ppfs::Ppfs>(machine, config.filesystem.ppfs_params);
+    ppfs_fs->set_observer(config.hooks.io);
     bare = ppfs_fs.get();
   }
 
@@ -44,17 +49,22 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         using Config = std::decay_t<decltype(app_config)>;
         if constexpr (std::is_same_v<Config, apps::EscatConfig>) {
           apps::Escat app(machine, instrumented, app_config);
-          engine.spawn(drive(app, *bare, result, engine));
+          engine.spawn(drive(app, *bare, result, engine, config.hooks.io));
           engine.run();
           result.phases = app.phases();
         } else if constexpr (std::is_same_v<Config, apps::RenderConfig>) {
           apps::Render app(machine, instrumented, app_config);
-          engine.spawn(drive(app, *bare, result, engine));
+          engine.spawn(drive(app, *bare, result, engine, config.hooks.io));
+          engine.run();
+          result.phases = app.phases();
+        } else if constexpr (std::is_same_v<Config, apps::SyntheticConfig>) {
+          apps::Synthetic app(machine, instrumented, app_config);
+          engine.spawn(drive(app, *bare, result, engine, config.hooks.io));
           engine.run();
           result.phases = app.phases();
         } else {
           apps::Htf app(machine, instrumented, app_config);
-          engine.spawn(drive(app, *bare, result, engine));
+          engine.spawn(drive(app, *bare, result, engine, config.hooks.io));
           engine.run();
           result.phases = app.phases();
         }

@@ -10,9 +10,11 @@
 #include "apps/escat.hpp"
 #include "apps/htf.hpp"
 #include "apps/render.hpp"
+#include "apps/synthetic.hpp"
 #include "hw/machine.hpp"
 #include "pablo/summary.hpp"
 #include "pablo/trace.hpp"
+#include "pfs/observer.hpp"
 #include "pfs/pfs.hpp"
 #include "ppfs/ppfs.hpp"
 
@@ -39,13 +41,24 @@ struct FsChoice {
   }
 };
 
-using AppConfig =
-    std::variant<apps::EscatConfig, apps::RenderConfig, apps::HtfConfig>;
+using AppConfig = std::variant<apps::EscatConfig, apps::RenderConfig,
+                               apps::HtfConfig, apps::SyntheticConfig>;
+
+/// Debug observer hooks (see sim::EngineObserver and pfs::IoObserver).
+/// The engine observer is attached for the whole simulation, the I/O
+/// observer as soon as the mount exists; io->on_measured_run_start() fires
+/// after input staging so checkers can separate staging traffic from the
+/// measured run.  Both default to "nothing attached".
+struct ExperimentHooks {
+  sim::EngineObserver* engine = nullptr;
+  pfs::IoObserver* io = nullptr;
+};
 
 struct ExperimentConfig {
   hw::MachineConfig machine = hw::MachineConfig::paragon_xps(128, 16);
   FsChoice filesystem;
   AppConfig app;
+  ExperimentHooks hooks;
 };
 
 struct ExperimentResult {

@@ -1,0 +1,59 @@
+// Debug observation points on the physical data path, shared by both file
+// system models (pfs::Pfs and ppfs::Ppfs attach the same observer type).
+//
+// The hooks fire synchronously on the simulation thread, with no simulated
+// time cost and one pointer test of real cost when nothing is attached.
+// They exist so the testkit's invariant checker can watch the disk layer —
+// byte conservation, stripe-offset validity, write-behind accounting —
+// without the file systems knowing anything about the checks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "io/file.hpp"
+#include "pfs/stripe.hpp"
+
+namespace paraio::pfs {
+
+class IoObserver {
+ public:
+  virtual ~IoObserver() = default;
+
+  /// One logical data transfer is about to run: [offset, offset+bytes) of
+  /// `file` (read byte counts already clipped at end-of-file), decomposed
+  /// into `segments` under `stripes`.  Fired before any simulated time
+  /// passes, so the segment list is exactly what the ION servers will see.
+  virtual void on_transfer(io::FileId file, std::uint64_t offset,
+                           std::uint64_t bytes, bool is_write,
+                           const StripeParams& stripes,
+                           const std::vector<Segment>& segments) {
+    (void)file;
+    (void)offset;
+    (void)bytes;
+    (void)is_write;
+    (void)stripes;
+    (void)segments;
+  }
+
+  /// PPFS write-behind: `new_bytes` of fresh (non-overlapping) data entered
+  /// a client write buffer on behalf of `file`.
+  virtual void on_write_buffered(io::FileId file, std::uint64_t new_bytes) {
+    (void)file;
+    (void)new_bytes;
+  }
+
+  /// PPFS write-behind: a buffer flush shipped `bytes` of `file` to the I/O
+  /// nodes (the matching on_transfer calls follow).
+  virtual void on_buffer_flush(io::FileId file, std::uint64_t bytes) {
+    (void)file;
+    (void)bytes;
+  }
+
+  /// The experiment driver finished staging input files; the measured
+  /// (instrumented) run starts now.  Checkers typically zero their byte
+  /// accumulators here so app-layer and disk-layer totals are comparable.
+  virtual void on_measured_run_start() {}
+};
+
+}  // namespace paraio::pfs

@@ -82,6 +82,10 @@ sim::Task<std::uint64_t> Pfs::transfer(io::NodeId node,
   if (bytes == 0) co_return 0;
 
   const auto segments = file.stripes.decompose(offset, bytes);
+  if (observer_) {
+    observer_->on_transfer(file.id, offset, bytes, is_write,
+                           file.stripes.params(), segments);
+  }
   sim::TaskGroup group(machine_.engine());
   for (const Segment& seg : segments) {
     auto piece = [](Pfs& fs, io::NodeId src, detail::FileObject& f,

@@ -27,6 +27,7 @@
 
 #include "hw/machine.hpp"
 #include "io/file.hpp"
+#include "pfs/observer.hpp"
 #include "pfs/stripe.hpp"
 #include "pfs/turn_gate.hpp"
 #include "sim/sync.hpp"
@@ -185,6 +186,10 @@ class Pfs final : public io::FileSystem {
   [[nodiscard]] const PfsCounters& counters() const noexcept { return counters_; }
   [[nodiscard]] hw::Machine& machine() noexcept { return machine_; }
 
+  /// Attaches (or, with nullptr, detaches) the data-path debug observer.
+  void set_observer(IoObserver* observer) { observer_ = observer; }
+  [[nodiscard]] IoObserver* observer() const noexcept { return observer_; }
+
  private:
   friend class PfsFile;
 
@@ -219,6 +224,7 @@ class Pfs final : public io::FileSystem {
   std::vector<std::unique_ptr<sim::Semaphore>> ion_dir_;
   io::FileId next_file_id_ = 1;
   PfsCounters counters_;
+  IoObserver* observer_ = nullptr;
 };
 
 }  // namespace paraio::pfs

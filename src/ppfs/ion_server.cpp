@@ -21,7 +21,7 @@ IonServer::IonServer(hw::Machine& machine, std::size_t ion_index,
       merge_gap_(merge_gap),
       queue_(machine.engine(), sim::Channel<Request>::kUnbounded),
       cache_(cache_blocks) {
-  machine_.engine().spawn(serve());
+  machine_.engine().spawn_daemon(serve());
 }
 
 bool IonServer::cache_covers(std::uint64_t address, std::uint64_t length) {

@@ -49,6 +49,10 @@ sim::Task<> Ppfs::transfer(io::NodeId node, detail::PpfsFileObject& file,
                            bool is_write) {
   if (bytes == 0) co_return;
   const auto segments = file.stripes.decompose(offset, bytes);
+  if (observer_) {
+    observer_->on_transfer(file.id, offset, bytes, is_write,
+                           file.stripes.params(), segments);
+  }
   sim::TaskGroup group(machine_.engine());
   for (const pfs::Segment& seg : segments) {
     auto piece = [](Ppfs& fs, io::NodeId src, detail::PpfsFileObject& f,
@@ -152,6 +156,7 @@ sim::Task<> Ppfs::flush_buffer(io::NodeId node,
                                detail::PpfsFileObject& file) {
   detail::WriteBuffer& buf = buffer(node, file.id);
   if (buf.extents.empty()) co_return;
+  if (observer_) observer_->on_buffer_flush(file.id, buf.buffered_bytes());
   auto extents = buf.extents.extents();
   buf.extents.clear();
   ++counters_.flushes;
@@ -282,7 +287,12 @@ sim::Task<std::uint64_t> PpfsFile::write_at(std::uint64_t offset,
   fs_.counters_.bytes_written += bytes;
   if (fs_.params().write_behind) {
     detail::WriteBuffer& buf = fs_.buffer(node_, object_->id);
+    const std::uint64_t before = buf.buffered_bytes();
     buf.extents.insert(offset, bytes);
+    if (fs_.observer_) {
+      fs_.observer_->on_write_buffered(object_->id,
+                                       buf.buffered_bytes() - before);
+    }
     // Local buffer copy is the only synchronous cost.
     co_await fs_.machine().engine().delay(static_cast<double>(bytes) /
                                           fs_.params().copy_rate);

@@ -27,6 +27,7 @@
 
 #include "hw/machine.hpp"
 #include "io/file.hpp"
+#include "pfs/observer.hpp"
 #include "pfs/stripe.hpp"
 #include "ppfs/cache.hpp"
 #include "ppfs/classifier.hpp"
@@ -181,6 +182,13 @@ class Ppfs final : public io::FileSystem {
   /// Per-node client cache (created on first use).
   [[nodiscard]] BlockCache& node_cache(io::NodeId node);
 
+  /// Attaches (or, with nullptr, detaches) the data-path debug observer
+  /// (shared interface with pfs::Pfs).
+  void set_observer(pfs::IoObserver* observer) { observer_ = observer; }
+  [[nodiscard]] pfs::IoObserver* observer() const noexcept {
+    return observer_;
+  }
+
  private:
   friend class PpfsFile;
 
@@ -245,6 +253,7 @@ class Ppfs final : public io::FileSystem {
       inflight_;
   io::FileId next_file_id_ = 1;
   PpfsCounters counters_;
+  pfs::IoObserver* observer_ = nullptr;
 };
 
 }  // namespace paraio::ppfs

@@ -12,13 +12,22 @@ void Engine::spawn(Task<> task) {
   reap_finished();
 }
 
+void Engine::spawn_daemon(Task<> task) {
+  assert(task.valid());
+  daemons_.push_back(std::move(task));
+  daemons_.back().start();
+  reap_finished();
+}
+
 void Engine::reap_finished() {
-  for (auto it = detached_.begin(); it != detached_.end();) {
-    if (it->done()) {
-      it->result();  // rethrows if the detached task failed
-      it = detached_.erase(it);
-    } else {
-      ++it;
+  for (auto* list : {&detached_, &daemons_}) {
+    for (auto it = list->begin(); it != list->end();) {
+      if (it->done()) {
+        it->result();  // rethrows if the detached task failed
+        it = list->erase(it);
+      } else {
+        ++it;
+      }
     }
   }
 }
@@ -29,6 +38,7 @@ bool Engine::step() {
   assert(when >= now_ && "event scheduled in the past");
   now_ = when;
   ++executed_;
+  if (observer_) observer_->on_event(when);
   action();
   // Reaping scans the detached list, so amortize it: failures surface by
   // the end of run() at the latest.
@@ -40,6 +50,9 @@ SimTime Engine::run() {
   while (step()) {
   }
   reap_finished();
+  if (observer_) {
+    observer_->on_run_complete(now_, queue_.size(), live_tasks());
+  }
   return now_;
 }
 

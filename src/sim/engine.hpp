@@ -15,6 +15,30 @@
 
 namespace paraio::sim {
 
+/// Observation points on the simulation kernel, intended for debug and test
+/// builds (the testkit's invariant checker implements this).  Hooks cost one
+/// pointer test per event when no observer is attached; production code
+/// simply never attaches one.
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+  /// An event was scheduled for absolute time `when` while now() == `now`.
+  virtual void on_schedule(SimTime now, SimTime when) {
+    (void)now;
+    (void)when;
+  }
+  /// An event is about to execute; now() has been advanced to `when`.
+  virtual void on_event(SimTime when) { (void)when; }
+  /// run() finished.  A drained simulation has pending_events == 0 and
+  /// live_tasks == 0; anything else means a process is blocked forever.
+  virtual void on_run_complete(SimTime now, std::size_t pending_events,
+                               std::size_t live_tasks) {
+    (void)now;
+    (void)pending_events;
+    (void)live_tasks;
+  }
+};
+
 class Engine {
  public:
   Engine() = default;
@@ -26,11 +50,13 @@ class Engine {
 
   /// Schedules `action` after `delay` seconds of simulated time.
   EventId call_in(SimDuration delay, EventQueue::Action action) {
+    if (observer_) observer_->on_schedule(now_, now_ + delay);
     return queue_.schedule(now_ + delay, std::move(action));
   }
 
   /// Schedules `action` at absolute simulated time `when` (>= now()).
   EventId call_at(SimTime when, EventQueue::Action action) {
+    if (observer_) observer_->on_schedule(now_, when);
     return queue_.schedule(when, std::move(action));
   }
 
@@ -41,6 +67,12 @@ class Engine {
   /// until it finishes; if the task ends with an uncaught exception the next
   /// run()/step() call rethrows it.
   void spawn(Task<> task);
+
+  /// Starts a persistent service loop (e.g. a server draining a request
+  /// channel forever).  Daemons get the same lifetime and error handling as
+  /// spawn()ed tasks but are excluded from live_tasks(): being blocked when
+  /// the event queue drains is their normal end state, not a deadlock.
+  void spawn_daemon(Task<> task);
 
   /// Runs until no events remain.  Returns the final simulated time.
   SimTime run();
@@ -59,6 +91,23 @@ class Engine {
 
   /// Total events executed so far (for microbenchmarks and sanity checks).
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Number of detached non-daemon tasks that have not yet completed.  A
+  /// non-zero value after run() returns means some process is blocked on an
+  /// event that will never fire — the queue-drain invariant the testkit
+  /// checks.  Daemons (spawn_daemon) are expected to outlive the queue and
+  /// are not counted.
+  [[nodiscard]] std::size_t live_tasks() const {
+    std::size_t n = 0;
+    for (const auto& task : detached_) {
+      if (!task.done()) ++n;
+    }
+    return n;
+  }
+
+  /// Attaches (or, with nullptr, detaches) the kernel observer.
+  void set_observer(EngineObserver* observer) { observer_ = observer; }
+  [[nodiscard]] EngineObserver* observer() const noexcept { return observer_; }
 
   /// Awaitable that suspends the current task for `delay` simulated seconds.
   /// Usage: `co_await engine.delay(sim::milliseconds(17));`
@@ -88,7 +137,9 @@ class Engine {
   SimTime now_ = 0.0;
   EventQueue queue_;
   std::list<Task<>> detached_;
+  std::list<Task<>> daemons_;
   std::uint64_t executed_ = 0;
+  EngineObserver* observer_ = nullptr;
 };
 
 }  // namespace paraio::sim

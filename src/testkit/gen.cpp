@@ -1,0 +1,225 @@
+#include "testkit/gen.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace paraio::testkit {
+
+std::vector<std::uint64_t> shrink_u64(std::uint64_t v, std::uint64_t floor) {
+  std::vector<std::uint64_t> out;
+  if (v <= floor) return out;
+  out.push_back(floor);
+  // Halve the distance to the floor until the step disappears.
+  std::uint64_t delta = (v - floor) / 2;
+  while (delta > 0 && out.size() < 7) {
+    const std::uint64_t candidate = floor + delta;
+    if (candidate != out.back() && candidate != v) out.push_back(candidate);
+    delta /= 2;
+  }
+  if (v - 1 > floor && (out.empty() || out.back() != v - 1)) {
+    out.push_back(v - 1);
+  }
+  return out;
+}
+
+Gen<hw::MachineConfig> gen_machine(std::size_t min_compute,
+                                   std::size_t max_compute,
+                                   std::size_t max_ions) {
+  return Gen<hw::MachineConfig>([=](sim::Rng& rng) {
+    const std::size_t compute = rng.uniform_int(min_compute, max_compute);
+    const std::size_t ions = rng.uniform_int(1, max_ions);
+    return hw::MachineConfig::paragon_xps(compute, ions);
+  });
+}
+
+Gen<pfs::PfsParams> gen_pfs_params() {
+  return Gen<pfs::PfsParams>([](sim::Rng& rng) {
+    pfs::PfsParams p;
+    const std::uint64_t units[] = {4096, 16384, 65536};
+    p.stripe_unit = units[rng.uniform_int(0, 2)];
+    p.meta_service = sim::milliseconds(rng.uniform(0.5, 20.0));
+    p.write_meta_service =
+        rng.bernoulli(0.5) ? -1.0 : sim::milliseconds(rng.uniform(1.0, 50.0));
+    p.open_service = sim::milliseconds(rng.uniform(1.0, 50.0));
+    p.create_service =
+        rng.bernoulli(0.5) ? -1.0 : sim::milliseconds(rng.uniform(5.0, 200.0));
+    p.close_service = sim::milliseconds(rng.uniform(0.5, 10.0));
+    p.flush_service = sim::milliseconds(rng.uniform(0.5, 10.0));
+    p.data_service =
+        rng.bernoulli(0.5) ? 0.0 : sim::milliseconds(rng.uniform(0.1, 5.0));
+    p.async_issue = sim::milliseconds(rng.uniform(1.0, 10.0));
+    p.write_control_rpc = rng.bernoulli(0.5);
+    return p;
+  });
+}
+
+Gen<ppfs::PpfsParams> gen_ppfs_params() {
+  return Gen<ppfs::PpfsParams>([](sim::Rng& rng) {
+    ppfs::PpfsParams p;
+    p.block_size = rng.bernoulli(0.5) ? 16 * 1024 : 64 * 1024;
+    const std::size_t cache_choices[] = {0, 4, 16, 64};
+    p.cache_blocks = cache_choices[rng.uniform_int(0, 3)];
+    p.write_behind = rng.bernoulli(0.5);
+    const std::uint64_t limits[] = {64ULL << 10, 256ULL << 10, 1ULL << 20};
+    p.write_buffer_limit = limits[rng.uniform_int(0, 2)];
+    p.aggregation = rng.bernoulli(0.5);
+    p.merge_gap = rng.bernoulli(0.5) ? 0 : 64 * 1024;
+    p.ion_cache_blocks = rng.bernoulli(0.3) ? 8 : 0;
+    const ppfs::PrefetchPolicy policies[] = {ppfs::PrefetchPolicy::kNone,
+                                             ppfs::PrefetchPolicy::kSequential,
+                                             ppfs::PrefetchPolicy::kAdaptive};
+    p.prefetch = policies[rng.uniform_int(0, 2)];
+    p.prefetch_depth = rng.uniform_int(1, 4);
+    return p;
+  });
+}
+
+Gen<apps::SyntheticConfig> gen_synthetic(std::uint32_t max_nodes) {
+  return Gen<apps::SyntheticConfig>([max_nodes](sim::Rng& rng) {
+    apps::SyntheticConfig cfg;
+    cfg.nodes = static_cast<std::uint32_t>(rng.uniform_int(1, max_nodes));
+    cfg.seed = rng.next_u64();
+    cfg.region_bytes = 256 * 1024;
+    const std::size_t phase_count = rng.uniform_int(1, 3);
+    for (std::size_t i = 0; i < phase_count; ++i) {
+      apps::SyntheticPhase phase;
+      phase.name = "p" + std::to_string(i);
+      phase.direction = rng.bernoulli(0.5) ? apps::SyntheticDirection::kRead
+                                           : apps::SyntheticDirection::kWrite;
+      const apps::SyntheticPattern patterns[] = {
+          apps::SyntheticPattern::kSequential,
+          apps::SyntheticPattern::kStrided,
+          apps::SyntheticPattern::kRandom,
+          apps::SyntheticPattern::kOwnRegion};
+      phase.pattern = patterns[rng.uniform_int(0, 3)];
+      phase.layout = rng.bernoulli(0.5) ? apps::SyntheticFileLayout::kShared
+                                        : apps::SyntheticFileLayout::kPerNode;
+      phase.requests = static_cast<std::uint32_t>(rng.uniform_int(1, 10));
+      phase.size = rng.uniform_int(64, 32 * 1024);
+      phase.size_jitter = rng.bernoulli(0.3) ? rng.uniform(0.0, 0.3) : 0.0;
+      phase.stride = rng.bernoulli(0.5) ? 0 : phase.size * 2;
+      phase.think_time = rng.bernoulli(0.5) ? 0.0 : rng.uniform(0.001, 0.02);
+      phase.barrier_entry = rng.bernoulli(0.3);
+      cfg.phases.push_back(phase);
+    }
+    return cfg;
+  });
+}
+
+Gen<SimCase> gen_sim_case(core::FsChoice::Kind kind) {
+  return Gen<SimCase>([kind](sim::Rng& rng) {
+    SimCase c;
+    c.workload = gen_synthetic()(rng);
+    // The interconnect addresses compute nodes [0, compute); the workload
+    // must fit inside the partition.
+    c.machine = gen_machine(c.workload.nodes,
+                            std::max<std::size_t>(c.workload.nodes, 12))(rng);
+    if (kind == core::FsChoice::Kind::kPfs) {
+      c.filesystem = core::FsChoice::pfs(gen_pfs_params()(rng));
+    } else {
+      c.filesystem = core::FsChoice::ppfs(gen_ppfs_params()(rng));
+    }
+    return c;
+  });
+}
+
+namespace {
+
+const char* pattern_name(apps::SyntheticPattern p) {
+  switch (p) {
+    case apps::SyntheticPattern::kSequential: return "seq";
+    case apps::SyntheticPattern::kStrided: return "strided";
+    case apps::SyntheticPattern::kRandom: return "random";
+    case apps::SyntheticPattern::kOwnRegion: return "own-region";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string SimCase::describe() const {
+  std::ostringstream out;
+  out << (on_ppfs() ? "ppfs" : "pfs") << " machine=" << machine.compute_nodes
+      << "x" << machine.io_nodes << " nodes=" << workload.nodes << " seed=0x"
+      << std::hex << workload.seed << std::dec;
+  for (const apps::SyntheticPhase& ph : workload.phases) {
+    out << " [" << ph.name << ": "
+        << (ph.direction == apps::SyntheticDirection::kRead ? "read" : "write")
+        << " " << pattern_name(ph.pattern) << " x" << ph.requests << " @"
+        << ph.size
+        << (ph.layout == apps::SyntheticFileLayout::kShared ? " shared"
+                                                            : " per-node")
+        << (ph.barrier_entry ? " barrier" : "") << "]";
+  }
+  return out.str();
+}
+
+std::vector<apps::SyntheticConfig> shrink_synthetic(
+    const apps::SyntheticConfig& config) {
+  std::vector<apps::SyntheticConfig> out;
+  // Drop whole phases first: the biggest structural simplification.
+  if (config.phases.size() > 1) {
+    for (std::size_t i = 0; i < config.phases.size(); ++i) {
+      apps::SyntheticConfig c = config;
+      c.phases.erase(c.phases.begin() + static_cast<std::ptrdiff_t>(i));
+      out.push_back(std::move(c));
+    }
+  }
+  for (std::uint64_t nodes : shrink_u64(config.nodes, 1)) {
+    apps::SyntheticConfig c = config;
+    c.nodes = static_cast<std::uint32_t>(nodes);
+    out.push_back(std::move(c));
+  }
+  for (std::size_t i = 0; i < config.phases.size(); ++i) {
+    for (std::uint64_t requests : shrink_u64(config.phases[i].requests, 1)) {
+      apps::SyntheticConfig c = config;
+      c.phases[i].requests = static_cast<std::uint32_t>(requests);
+      out.push_back(std::move(c));
+    }
+    for (std::uint64_t size : shrink_u64(config.phases[i].size, 64)) {
+      apps::SyntheticConfig c = config;
+      c.phases[i].size = size;
+      out.push_back(std::move(c));
+    }
+    const apps::SyntheticPhase& ph = config.phases[i];
+    if (ph.think_time > 0.0 || ph.barrier_entry || ph.size_jitter > 0.0) {
+      apps::SyntheticConfig c = config;
+      c.phases[i].think_time = 0.0;
+      c.phases[i].barrier_entry = false;
+      c.phases[i].size_jitter = 0.0;
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+std::vector<SimCase> shrink_sim_case(const SimCase& failing) {
+  std::vector<SimCase> out;
+  for (apps::SyntheticConfig& workload : shrink_synthetic(failing.workload)) {
+    SimCase c = failing;
+    c.workload = std::move(workload);
+    c.machine.compute_nodes =
+        std::max<std::size_t>(c.machine.compute_nodes, c.workload.nodes);
+    out.push_back(std::move(c));
+  }
+  if (failing.machine.io_nodes > 1) {
+    SimCase c = failing;
+    c.machine.io_nodes = 1;
+    out.push_back(std::move(c));
+  }
+  if (failing.on_ppfs()) {
+    // A policy-free mount isolates whether caching/write-behind is implicated.
+    const ppfs::PpfsParams bare = ppfs::PpfsParams::no_policies();
+    if (failing.filesystem.ppfs_params.cache_blocks != bare.cache_blocks ||
+        failing.filesystem.ppfs_params.write_behind != bare.write_behind ||
+        failing.filesystem.ppfs_params.aggregation != bare.aggregation ||
+        failing.filesystem.ppfs_params.prefetch != bare.prefetch) {
+      SimCase c = failing;
+      c.filesystem = core::FsChoice::ppfs(bare);
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+}  // namespace paraio::testkit

@@ -1,0 +1,121 @@
+// Seeded, typed value generators for property-based tests.
+//
+// A Gen<T> is a pure function from an Rng to a value; all randomness flows
+// through sim::Rng (xoshiro256**), so every generated case is reproducible
+// from (suite seed, case index) alone — the same guarantee the simulator
+// itself makes.  Domain generators (machine shapes, file-system parameter
+// sets, synthetic workload specs) live in gen.cpp together with their
+// bounded shrinkers; the property runner (property.hpp) drives both.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "apps/synthetic.hpp"
+#include "core/experiment.hpp"
+#include "hw/machine.hpp"
+#include "pfs/pfs.hpp"
+#include "ppfs/ppfs.hpp"
+#include "sim/random.hpp"
+
+namespace paraio::testkit {
+
+template <typename T>
+class Gen {
+ public:
+  using Fn = std::function<T(sim::Rng&)>;
+
+  explicit Gen(Fn fn) : fn_(std::move(fn)) {}
+
+  T operator()(sim::Rng& rng) const { return fn_(rng); }
+
+  /// Generator producing f(x) for x drawn from this generator.
+  template <typename F>
+  auto map(F f) const {
+    using U = std::invoke_result_t<F, T>;
+    typename Gen<U>::Fn wrapped = [fn = fn_, f = std::move(f)](sim::Rng& rng) {
+      return f(fn(rng));
+    };
+    return Gen<U>(std::move(wrapped));
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// Uniform integer in [lo, hi], inclusive.
+inline Gen<std::uint64_t> gen_u64(std::uint64_t lo, std::uint64_t hi) {
+  return Gen<std::uint64_t>(
+      [lo, hi](sim::Rng& rng) { return rng.uniform_int(lo, hi); });
+}
+
+/// Uniform double in [lo, hi).
+inline Gen<double> gen_real(double lo, double hi) {
+  return Gen<double>([lo, hi](sim::Rng& rng) { return rng.uniform(lo, hi); });
+}
+
+/// Bernoulli boolean.
+inline Gen<bool> gen_bool(double p = 0.5) {
+  return Gen<bool>([p](sim::Rng& rng) { return rng.bernoulli(p); });
+}
+
+/// Uniform choice from a fixed list.
+template <typename T>
+Gen<T> gen_element(std::vector<T> choices) {
+  return Gen<T>([choices = std::move(choices)](sim::Rng& rng) {
+    return choices[rng.uniform_int(0, choices.size() - 1)];
+  });
+}
+
+// --- shrinking primitives --------------------------------------------------
+
+/// Candidates strictly smaller than `v`, halving toward `floor` (classic
+/// integer shrink ladder; bounded, at most ~6 candidates).
+std::vector<std::uint64_t> shrink_u64(std::uint64_t v, std::uint64_t floor);
+
+// --- domain generators -----------------------------------------------------
+
+/// Machine shapes: small partitions (compute nodes, I/O nodes) that keep a
+/// property case in the low milliseconds.
+Gen<hw::MachineConfig> gen_machine(std::size_t min_compute = 2,
+                                   std::size_t max_compute = 12,
+                                   std::size_t max_ions = 4);
+
+/// PFS calibration/policy parameter sets spanning the space the paper's
+/// per-app calibrations live in.
+Gen<pfs::PfsParams> gen_pfs_params();
+
+/// PPFS policy parameter sets: caching on/off, write-behind, aggregation,
+/// the three prefetch policies, both cache levels.
+Gen<ppfs::PpfsParams> gen_ppfs_params();
+
+/// Synthetic workload specs: 1-3 phases over <= max_nodes nodes with random
+/// direction, spatial pattern, layout, request sizes, and think time.
+Gen<apps::SyntheticConfig> gen_synthetic(std::uint32_t max_nodes = 6);
+
+/// One fully-specified simulation case: machine + mount + workload.
+struct SimCase {
+  hw::MachineConfig machine;
+  core::FsChoice filesystem;
+  apps::SyntheticConfig workload;
+
+  [[nodiscard]] bool on_ppfs() const {
+    return filesystem.kind == core::FsChoice::Kind::kPpfs;
+  }
+  /// Human-readable one-line dump for counterexample reports.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Random SimCase on the given mount kind.
+Gen<SimCase> gen_sim_case(core::FsChoice::Kind kind);
+
+/// Bounded shrinkers for counterexample minimization.
+std::vector<apps::SyntheticConfig> shrink_synthetic(
+    const apps::SyntheticConfig& config);
+std::vector<SimCase> shrink_sim_case(const SimCase& failing);
+
+}  // namespace paraio::testkit

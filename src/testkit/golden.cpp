@@ -1,0 +1,85 @@
+#include "testkit/golden.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace paraio::testkit {
+
+namespace {
+bool g_update_mode = false;
+}  // namespace
+
+void GoldenStore::set_update_mode(bool on) { g_update_mode = on; }
+bool GoldenStore::update_mode() { return g_update_mode; }
+
+void GoldenStore::consume_update_flag(int* argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--update-golden") == 0) {
+      set_update_mode(true);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  for (int i = kept; i < *argc; ++i) argv[i] = nullptr;
+  *argc = kept;
+}
+
+GoldenStore::GoldenStore(std::string path) : path_(std::move(path)) {
+  std::ifstream in(path_);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos) continue;
+    entries_[line.substr(0, space)] = line.substr(space + 1);
+  }
+}
+
+std::optional<std::string> GoldenStore::lookup(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void GoldenStore::set(const std::string& key, const std::string& value) {
+  auto it = entries_.find(key);
+  if (it != entries_.end() && it->second == value) return;
+  entries_[key] = value;
+  dirty_ = true;
+}
+
+std::optional<std::string> GoldenStore::check(const std::string& key,
+                                              const std::string& actual) {
+  if (update_mode()) {
+    set(key, actual);
+    return std::nullopt;
+  }
+  const std::optional<std::string> expected = lookup(key);
+  if (!expected) {
+    return "no golden entry for '" + key + "' in " + path_ +
+           " (got " + actual + "; rerun with --update-golden to record it)";
+  }
+  if (*expected != actual) {
+    return "golden mismatch for '" + key + "': expected " + *expected +
+           ", got " + actual +
+           " (if the model change is intentional, rerun with --update-golden)";
+  }
+  return std::nullopt;
+}
+
+bool GoldenStore::save() const {
+  std::ofstream out(path_, std::ios::trunc);
+  if (!out) return false;
+  out << "# Golden trace digests.  Regenerate with:\n"
+         "#   ./test_golden --update-golden\n"
+         "# (see docs/TESTING.md before re-baselining)\n";
+  for (const auto& [key, value] : entries_) {
+    out << key << ' ' << value << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace paraio::testkit

@@ -1,0 +1,60 @@
+// Golden-value store for trace-hash regression tests.
+//
+// The store is a plain "key value" text file (one entry per line, sorted,
+// '#' comments) that lives in the source tree.  Tests check computed hashes
+// against it; running the test binary with --update-golden rewrites the file
+// with the currently observed values instead of failing — the sanctioned way
+// to re-baseline after an intentional model change (see docs/TESTING.md).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace paraio::testkit {
+
+class GoldenStore {
+ public:
+  /// Opens the store at `path`, loading existing entries (a missing file is
+  /// an empty store — the first --update-golden run creates it).
+  explicit GoldenStore(std::string path);
+
+  /// Compares `actual` against the stored value for `key`.  Returns
+  /// std::nullopt on match; otherwise a ready-to-assert error message.  In
+  /// update mode (see update_mode()) the value is recorded and the check
+  /// always passes.
+  [[nodiscard]] std::optional<std::string> check(const std::string& key,
+                                                 const std::string& actual);
+
+  [[nodiscard]] std::optional<std::string> lookup(
+      const std::string& key) const;
+  void set(const std::string& key, const std::string& value);
+
+  /// Writes the store back to its file, sorted by key.  Returns false (with
+  /// entries intact) if the file cannot be written.
+  bool save() const;
+
+  /// True when any check() recorded a value that differed from (or was
+  /// missing from) the loaded file — i.e. save() has something new to write.
+  [[nodiscard]] bool dirty() const { return dirty_; }
+
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Process-wide update mode, normally set from the command line.
+  static void set_update_mode(bool on);
+  [[nodiscard]] static bool update_mode();
+
+  /// Removes "--update-golden" from argv if present (so GoogleTest never
+  /// sees it) and enables update mode.  Call from main() before InitGoogleTest.
+  static void consume_update_flag(int* argc, char** argv);
+
+ private:
+  std::string path_;
+  std::map<std::string, std::string> entries_;
+  bool dirty_ = false;
+};
+
+}  // namespace paraio::testkit

@@ -1,0 +1,210 @@
+#include "testkit/invariants.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "pfs/stripe.hpp"
+
+namespace paraio::testkit {
+
+void InvariantChecker::violate(std::string message) {
+  ++violation_count_;
+  if (messages_.size() < options_.max_messages) {
+    messages_.push_back(std::move(message));
+  }
+}
+
+std::string InvariantChecker::report() const {
+  if (ok()) return "ok";
+  std::ostringstream out;
+  out << violation_count_ << " invariant violation(s):";
+  for (const std::string& m : messages_) out << "\n  - " << m;
+  if (violation_count_ > messages_.size()) {
+    out << "\n  ... (" << violation_count_ - messages_.size() << " more)";
+  }
+  return out.str();
+}
+
+// --- sim::EngineObserver -----------------------------------------------------
+
+void InvariantChecker::on_schedule(sim::SimTime now, sim::SimTime when) {
+  if (when < now) {
+    std::ostringstream out;
+    out << "event scheduled in the past: when=" << when << " < now=" << now;
+    violate(out.str());
+  }
+}
+
+void InvariantChecker::on_event(sim::SimTime when) {
+  if (when < last_event_time_) {
+    std::ostringstream out;
+    out << "simulated time ran backwards: event at " << when
+        << " after event at " << last_event_time_;
+    violate(out.str());
+  }
+  last_event_time_ = std::max(last_event_time_, when);
+}
+
+void InvariantChecker::on_run_complete(sim::SimTime now,
+                                       std::size_t pending_events,
+                                       std::size_t live_tasks) {
+  run_completed_ = true;
+  if (pending_events != 0) {
+    std::ostringstream out;
+    out << "run() returned with " << pending_events
+        << " pending event(s) at t=" << now;
+    violate(out.str());
+  }
+  if (live_tasks != 0) {
+    std::ostringstream out;
+    out << live_tasks << " task(s) still blocked after the queue drained"
+        << " (deadlocked process?) at t=" << now;
+    violate(out.str());
+  }
+}
+
+// --- pfs::IoObserver ---------------------------------------------------------
+
+void InvariantChecker::on_transfer(io::FileId file, std::uint64_t offset,
+                                   std::uint64_t bytes, bool is_write,
+                                   const pfs::StripeParams& stripes,
+                                   const std::vector<pfs::Segment>& segments) {
+  std::uint64_t total = 0;
+  for (const pfs::Segment& seg : segments) {
+    total += seg.length;
+    if (seg.ion >= stripes.io_nodes) {
+      std::ostringstream out;
+      out << "segment targets I/O node " << seg.ion << " of "
+          << stripes.io_nodes << " (file " << file << ", offset " << offset
+          << ")";
+      violate(out.str());
+    }
+    if (seg.length == 0) {
+      std::ostringstream out;
+      out << "zero-length segment on I/O node " << seg.ion << " (file "
+          << file << ", offset " << offset << ")";
+      violate(out.str());
+    }
+  }
+  if (total != bytes) {
+    std::ostringstream out;
+    out << "segment lengths sum to " << total << ", request was " << bytes
+        << " bytes (file " << file << ", offset " << offset << ")";
+    violate(out.str());
+  }
+  if (segment_walks_ < options_.segment_walk_limit && bytes > 0) {
+    ++segment_walks_;
+    const pfs::StripeMap map(stripes);
+    if (map.decompose(offset, bytes) != segments) {
+      std::ostringstream out;
+      out << "segment list disagrees with an independent stripe walk (file "
+          << file << ", offset " << offset << ", " << bytes << " bytes)";
+      violate(out.str());
+    }
+  }
+
+  std::uint64_t& size = file_sizes_[file];
+  if (is_write) {
+    disk_written_ += bytes;
+    size = std::max(size, offset + bytes);
+  } else {
+    disk_read_ += bytes;
+    if (bytes > 0 && offset + bytes > size) {
+      std::ostringstream out;
+      out << "disk read of [" << offset << ", " << offset + bytes
+          << ") beyond the " << size << " bytes ever written to file "
+          << file;
+      violate(out.str());
+    }
+  }
+}
+
+void InvariantChecker::on_write_buffered(io::FileId /*file*/,
+                                         std::uint64_t new_bytes) {
+  buffered_ += new_bytes;
+}
+
+void InvariantChecker::on_buffer_flush(io::FileId /*file*/,
+                                       std::uint64_t bytes) {
+  flushed_ += bytes;
+}
+
+void InvariantChecker::on_measured_run_start() {
+  // The trace only covers the measured run; restart the disk-side ledgers so
+  // the two layers are comparable.  File sizes persist: staging created the
+  // files the measured run reads.
+  disk_read_ = 0;
+  disk_written_ = 0;
+  buffered_ = 0;
+  flushed_ = 0;
+}
+
+// --- pablo::TraceSink --------------------------------------------------------
+
+void InvariantChecker::on_event(const pablo::IoEvent& event) {
+  if (event.duration < 0.0) {
+    std::ostringstream out;
+    out << "negative duration " << event.duration << " on "
+        << pablo::to_string(event.op) << " at t=" << event.timestamp;
+    violate(out.str());
+  }
+  if (event.timestamp < 0.0) {
+    std::ostringstream out;
+    out << "negative timestamp " << event.timestamp << " on "
+        << pablo::to_string(event.op);
+    violate(out.str());
+  }
+  if (event.is_data_op() && event.transferred > event.requested) {
+    std::ostringstream out;
+    out << pablo::to_string(event.op) << " transferred " << event.transferred
+        << " bytes, more than the " << event.requested << " requested";
+    violate(out.str());
+  }
+  if (event.mode == io::AccessMode::kGlobal) saw_global_ = true;
+  if (event.moves_data_to_app()) app_read_ += event.transferred;
+  if (event.moves_data_to_storage()) app_written_ += event.transferred;
+}
+
+// --- end-of-run checks -------------------------------------------------------
+
+void InvariantChecker::finish() {
+  if (options_.exact_conservation) {
+    // PFS: every application byte crosses the wire exactly once — except in
+    // M_GLOBAL, where one physical access serves all parties.
+    const bool reads_ok = saw_global_ ? disk_read_ <= app_read_
+                                      : disk_read_ == app_read_;
+    if (!reads_ok) {
+      std::ostringstream out;
+      out << "read bytes not conserved: app layer " << app_read_
+          << ", disk layer " << disk_read_;
+      violate(out.str());
+    }
+    const bool writes_ok = saw_global_ ? disk_written_ <= app_written_
+                                       : disk_written_ == app_written_;
+    if (!writes_ok) {
+      std::ostringstream out;
+      out << "written bytes not conserved: app layer " << app_written_
+          << ", disk layer " << disk_written_;
+      violate(out.str());
+    }
+  } else {
+    // PPFS: write-behind coalesces overlap, so the disk sees at most what
+    // the application wrote; client caching and block-granular fetch mean
+    // no exact relation holds for reads (the per-transfer extent check
+    // still bounds them).
+    if (disk_written_ > app_written_) {
+      std::ostringstream out;
+      out << "disk wrote " << disk_written_
+          << " bytes, more than the application's " << app_written_;
+      violate(out.str());
+    }
+  }
+  if (buffered_ != flushed_) {
+    std::ostringstream out;
+    out << "write-behind ledger out of balance: " << buffered_
+        << " bytes buffered, " << flushed_ << " flushed";
+    violate(out.str());
+  }
+}
+
+}  // namespace paraio::testkit

@@ -1,0 +1,122 @@
+// The property runner: N seeded cases, greedy bounded shrinking on failure.
+//
+// A property maps a generated value to std::nullopt (pass) or a failure
+// message.  Exceptions thrown by the property count as failures too, so a
+// workload that crashes the simulator shrinks just like one that violates an
+// invariant.  Every case derives its Rng from (suite seed, case index) via
+// Rng::fork, so a counterexample reproduces from the numbers in the report.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "testkit/gen.hpp"
+
+namespace paraio::testkit {
+
+struct PropertyConfig {
+  /// Number of random cases to run.
+  std::size_t cases = 30;
+  /// Suite seed; case i uses Rng(seed).fork(i + 1).
+  std::uint64_t seed = 0x9A9A;
+  /// Bound on total shrink candidates evaluated after the first failure.
+  std::size_t max_shrink_steps = 200;
+};
+
+template <typename T>
+struct CheckResult {
+  bool ok = true;
+  std::size_t cases_run = 0;
+  /// Index of the first failing case (valid when !ok).
+  std::size_t failing_case = 0;
+  /// Shrink candidates evaluated while minimizing.
+  std::size_t shrink_steps = 0;
+  /// Minimal failing value found (valid when !ok).
+  std::optional<T> counterexample;
+  /// Failure message from the property on the minimal value.
+  std::string message;
+};
+
+template <typename T>
+using Property = std::function<std::optional<std::string>(const T&)>;
+
+template <typename T>
+using Shrinker = std::function<std::vector<T>(const T&)>;
+
+namespace detail {
+
+/// Runs the property, converting exceptions into failure messages.
+template <typename T>
+std::optional<std::string> run_property(const Property<T>& property,
+                                        const T& value) {
+  try {
+    return property(value);
+  } catch (const std::exception& e) {
+    return std::string("uncaught exception: ") + e.what();
+  }
+}
+
+}  // namespace detail
+
+/// Runs `property` over `cfg.cases` values from `gen`.  On the first
+/// failure, greedily minimizes through `shrink` (pass a shrinker returning
+/// {} to disable) and reports the smallest failing value.
+template <typename T>
+CheckResult<T> check_property(const PropertyConfig& cfg, const Gen<T>& gen,
+                              const Shrinker<T>& shrink,
+                              const Property<T>& property) {
+  CheckResult<T> result;
+  sim::Rng root(cfg.seed);
+  for (std::size_t i = 0; i < cfg.cases; ++i) {
+    sim::Rng case_rng = root.fork(i + 1);
+    T value = gen(case_rng);
+    std::optional<std::string> failure =
+        detail::run_property(property, value);
+    ++result.cases_run;
+    if (!failure) continue;
+
+    // Greedy descent: take the first failing shrink candidate, repeat.
+    result.ok = false;
+    result.failing_case = i;
+    while (result.shrink_steps < cfg.max_shrink_steps) {
+      bool descended = false;
+      for (T& candidate : shrink(value)) {
+        if (result.shrink_steps >= cfg.max_shrink_steps) break;
+        ++result.shrink_steps;
+        std::optional<std::string> candidate_failure =
+            detail::run_property(property, candidate);
+        if (candidate_failure) {
+          value = std::move(candidate);
+          failure = std::move(candidate_failure);
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) break;
+    }
+    result.counterexample = std::move(value);
+    result.message = std::move(*failure);
+    return result;
+  }
+  return result;
+}
+
+/// Formats a failed CheckResult for assertion messages.  `describe` renders
+/// the counterexample (e.g. &SimCase::describe via a lambda).
+template <typename T, typename Describe>
+std::string explain(const CheckResult<T>& result, Describe describe) {
+  if (result.ok) return "ok";
+  std::ostringstream out;
+  out << "property failed on case " << result.failing_case << " (after "
+      << result.shrink_steps << " shrink steps)\n  counterexample: "
+      << describe(*result.counterexample) << "\n  failure: " << result.message;
+  return out.str();
+}
+
+}  // namespace paraio::testkit

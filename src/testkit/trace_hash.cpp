@@ -1,0 +1,73 @@
+#include "testkit/trace_hash.hpp"
+
+#include <cstring>
+#include <map>
+
+namespace paraio::testkit {
+
+void Fnv64::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+std::uint64_t hash_trace(const pablo::Trace& trace) {
+  Fnv64 h;
+  h.u64(trace.events().size());
+  for (const pablo::IoEvent& e : trace.events()) {
+    h.f64(e.timestamp);
+    h.f64(e.duration);
+    h.u64(e.node);
+    h.u64(e.file);
+    h.u8(static_cast<std::uint8_t>(e.op));
+    h.u64(e.offset);
+    h.u64(e.requested);
+    h.u64(e.transferred);
+    h.u8(static_cast<std::uint8_t>(e.mode));
+  }
+  h.u64(trace.files().size());
+  for (const auto& [id, path] : trace.files()) {
+    h.u64(id);
+    h.str(path);
+  }
+  return h.value();
+}
+
+std::uint64_t logical_signature(const pablo::Trace& trace) {
+  // One running digest per node, fed that node's events in trace order
+  // (per-node order is the application's own program order).  File ids are
+  // mount-assignment artifacts; the registered path is the stable name.
+  std::map<io::NodeId, Fnv64> streams;
+  for (const pablo::IoEvent& e : trace.events()) {
+    Fnv64& h = streams[e.node];
+    h.str(trace.file_name(e.file));
+    h.u8(static_cast<std::uint8_t>(e.op));
+    h.u64(e.offset);
+    h.u64(e.requested);
+    h.u64(e.transferred);
+    h.u8(static_cast<std::uint8_t>(e.mode));
+  }
+  // Commutative combine across nodes, but bind each stream to its node id so
+  // two nodes swapping workloads changes the signature.
+  std::uint64_t combined = 0x9E3779B97F4A7C15ULL ^ trace.events().size();
+  for (const auto& [node, h] : streams) {
+    Fnv64 bound;
+    bound.u64(node);
+    bound.u64(h.value());
+    combined += bound.value();
+  }
+  return combined;
+}
+
+std::string hash_hex(std::uint64_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+}  // namespace paraio::testkit

@@ -1,0 +1,63 @@
+// Canonical trace hashes for regression and differential testing.
+//
+// Two digests over a captured pablo::Trace:
+//
+//   hash_trace()        — full fidelity: every event field including the
+//                         exact f64 bit patterns of timestamps and
+//                         durations, plus the file-name registry.  Two
+//                         traces hash equal iff they are bit-identical —
+//                         the determinism and golden-trace contract.
+//
+//   logical_signature() — timing-free: each node's sequential stream of
+//                         (file path, op, offset, requested, transferred,
+//                         mode), combined order-independently across nodes.
+//                         Two runs that do the same I/O in the same per-node
+//                         order sign equal even when timing interleaves the
+//                         global event log differently — the contract for
+//                         comparing a workload across file systems.
+//
+// Both use FNV-1a 64; the exact digest values are part of the golden-trace
+// store, so the hash function must never change silently.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pablo/trace.hpp"
+
+namespace paraio::testkit {
+
+/// Streaming FNV-1a 64-bit.
+class Fnv64 {
+ public:
+  void bytes(const void* data, std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001B3ULL;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+  void u8(std::uint8_t v) { bytes(&v, sizeof(v)); }
+  /// Hashes the exact bit pattern (distinguishes -0.0 from 0.0 etc.).
+  void f64(double v);
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
+
+/// Bit-exact digest of the whole trace (events + file registry).
+[[nodiscard]] std::uint64_t hash_trace(const pablo::Trace& trace);
+
+/// Timing-free, per-node order-only digest (see file comment).
+[[nodiscard]] std::uint64_t logical_signature(const pablo::Trace& trace);
+
+/// 16-digit lowercase hex rendering, the golden-store value format.
+[[nodiscard]] std::string hash_hex(std::uint64_t value);
+
+}  // namespace paraio::testkit

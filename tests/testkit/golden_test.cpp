@@ -1,0 +1,112 @@
+// Golden-trace regression suite.
+//
+// Runs each paper application at a small fixed configuration and checks the
+// trace digests against tests/golden/golden_traces.txt.  Three digests per
+// application: the bit-exact trace hash, the timing-free logical signature,
+// and a hash of the SDDF-ASCII rendering (so the serialization format is
+// pinned too).  Any intentional model change re-baselines with:
+//
+//   ./test_golden --update-golden
+//
+// which rewrites the store from the observed values (see docs/TESTING.md).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "pablo/sddf.hpp"
+#include "testkit/golden.hpp"
+#include "test_configs.hpp"  // golden_* configs
+#include "testkit/trace_hash.hpp"
+
+#ifndef PARAIO_GOLDEN_FILE
+#error "PARAIO_GOLDEN_FILE must point at the golden store"
+#endif
+
+namespace paraio::testkit {
+
+// Outside the unnamed namespace so main() below can reach it.
+GoldenStore& store() {
+  static GoldenStore s(PARAIO_GOLDEN_FILE);
+  return s;
+}
+
+namespace {
+
+std::uint64_t hash_sddf(const pablo::Trace& trace) {
+  std::ostringstream out;
+  pablo::write_trace(out, trace);
+  const std::string text = out.str();
+  Fnv64 h;
+  h.bytes(text.data(), text.size());
+  return h.value();
+}
+
+void check_digests(const std::string& key_prefix,
+                   const core::ExperimentConfig& config) {
+  const core::ExperimentResult result = core::run_experiment(config);
+  ASSERT_GT(result.trace.size(), 0u);
+  struct Digest {
+    const char* name;
+    std::uint64_t value;
+  };
+  for (const Digest& d : {Digest{"trace", hash_trace(result.trace)},
+                          Digest{"signature", logical_signature(result.trace)},
+                          Digest{"sddf", hash_sddf(result.trace)}}) {
+    const auto error =
+        store().check(key_prefix + "." + d.name, hash_hex(d.value));
+    EXPECT_FALSE(error.has_value()) << *error;
+  }
+}
+
+TEST(GoldenTrace, EscatPfs8) {
+  check_digests("escat.pfs.n8", golden_experiment(golden_escat()));
+}
+
+TEST(GoldenTrace, RenderPfs9) {
+  check_digests("render.pfs.n9", golden_experiment(golden_render()));
+}
+
+TEST(GoldenTrace, HtfPfs8) {
+  check_digests("htf.pfs.n8", golden_experiment(golden_htf()));
+}
+
+TEST(GoldenTrace, EscatScalesTo16) {
+  apps::EscatConfig app = golden_escat();
+  app.nodes = 16;
+  core::ExperimentConfig cfg = golden_experiment(app);
+  cfg.machine = hw::MachineConfig::paragon_xps(16, 4);
+  check_digests("escat.pfs.n16", cfg);
+}
+
+// Differential: the golden configurations rerun must reproduce the exact
+// digests within one process too (no hidden global state between runs).
+TEST(GoldenTrace, RerunIsBitIdentical) {
+  const core::ExperimentConfig cfg = golden_experiment(golden_escat());
+  const auto a = core::run_experiment(cfg);
+  const auto b = core::run_experiment(cfg);
+  EXPECT_EQ(hash_trace(a.trace), hash_trace(b.trace));
+  EXPECT_EQ(hash_sddf(a.trace), hash_sddf(b.trace));
+  EXPECT_TRUE(a.trace == b.trace);
+}
+
+}  // namespace
+}  // namespace paraio::testkit
+
+int main(int argc, char** argv) {
+  paraio::testkit::GoldenStore::consume_update_flag(&argc, argv);
+  ::testing::InitGoogleTest(&argc, argv);
+  const int rc = RUN_ALL_TESTS();
+  if (paraio::testkit::GoldenStore::update_mode()) {
+    auto& s = paraio::testkit::store();
+    if (!s.save()) {
+      std::fprintf(stderr, "failed to write golden store %s\n",
+                   s.path().c_str());
+      return 1;
+    }
+    std::printf("golden store updated: %s (%zu entries)\n", s.path().c_str(),
+                s.entries().size());
+  }
+  return rc;
+}

@@ -1,0 +1,66 @@
+// Scaled-down application configurations shared by the determinism and
+// golden-trace suites.  The shapes mirror the integration tests: small
+// enough to run in milliseconds, big enough to exercise every code path
+// (multiple iterations, async I/O, record mode, collective opens).
+//
+// Golden hashes are stored against these exact configurations — changing a
+// field here invalidates tests/golden/golden_traces.txt (see docs/TESTING.md
+// for the re-baselining workflow).
+#pragma once
+
+#include "core/experiment.hpp"
+
+namespace paraio::testkit {
+
+inline apps::EscatConfig golden_escat() {
+  apps::EscatConfig c;
+  c.nodes = 8;
+  c.iterations = 6;
+  c.seek_free_iterations = 2;
+  c.first_cycle_compute = 5.0;
+  c.last_cycle_compute = 2.0;
+  c.energy_phase_compute = 3.0;
+  return c;
+}
+
+inline apps::RenderConfig golden_render() {
+  apps::RenderConfig c;
+  c.renderers = 8;
+  c.frames = 5;
+  c.large_reads_3mb = 8;
+  c.large_reads_15mb = 16;
+  c.header_reads = 4;
+  c.frame_compute = 0.5;
+  return c;
+}
+
+inline apps::HtfConfig golden_htf() {
+  apps::HtfConfig c;
+  c.nodes = 8;
+  c.integral_writes_total = 40;
+  c.scf_iterations = 2;
+  c.scf_extra_large_reads = 3;
+  c.integral_compute_per_record = 1.0;
+  c.scf_compute_per_iteration = 5.0;
+  c.setup_compute = 2.0;
+  return c;
+}
+
+/// Machine + PFS mount matching the application's calibration, at the small
+/// scale above (RENDER needs the extra gateway node).
+inline core::ExperimentConfig golden_experiment(core::AppConfig app) {
+  core::ExperimentConfig cfg;
+  const bool render = std::holds_alternative<apps::RenderConfig>(app);
+  cfg.machine = hw::MachineConfig::paragon_xps(render ? 9 : 8, 4);
+  if (render) {
+    cfg.filesystem = core::FsChoice::pfs(core::render_pfs_params());
+  } else if (std::holds_alternative<apps::HtfConfig>(app)) {
+    cfg.filesystem = core::FsChoice::pfs(core::htf_pfs_params());
+  } else {
+    cfg.filesystem = core::FsChoice::pfs(core::escat_pfs_params());
+  }
+  cfg.app = std::move(app);
+  return cfg;
+}
+
+}  // namespace paraio::testkit
