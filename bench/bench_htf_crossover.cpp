@@ -73,8 +73,8 @@ int main(int argc, char** argv) {
 
   // --- Part 1: analytic requirement ---------------------------------------
   constexpr double kFlopsPerIntegral = 500.0;
-  constexpr double kIntegralBytes = 81918.0;  // one two-electron record is
-  // written per integral batch; per-integral payload is record/batch.  The
+  // One two-electron record (81918 bytes) is written per integral batch;
+  // per-integral payload is record/batch.  The
   // paper states the requirement directly as 5-10 MB/s per node; we derive
   // the equivalent figure from node flop rates.
   std::cout << "analytic requirement (read must beat " << kFlopsPerIntegral

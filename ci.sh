@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Continuous-integration entry point: the tier-1 verification (build + full
-# test suite) in a plain build, then the same suite under AddressSanitizer +
-# UBSanitizer (-DPARAIO_SANITIZE=ON).
+# Continuous-integration entry point:
 #
-#   ./ci.sh            # both stages
-#   ./ci.sh --fast     # plain stage only
+#   1. lint  — paraio_lint over every shipping source tree (src/, bench/,
+#              examples/, tools/); any unsuppressed finding fails CI.
+#   2. build — the tier-1 verification (build + full test suite) in a plain
+#              build, warnings promoted to errors.
+#   3. asan  — the same suite under AddressSanitizer + UBSanitizer.
+#
+#   ./ci.sh            # all stages
+#   ./ci.sh --fast     # lint + plain stage only
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -20,10 +24,19 @@ run_stage() {
   ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
 }
 
-run_stage build
+# --- lint stage (before any build: it needs only a compiler) ---------------
+echo "== lint =="
+lint_dir=build-lint
+mkdir -p "${lint_dir}"
+"${CXX:-c++}" -std=c++20 -O1 -o "${lint_dir}/paraio_lint" \
+  tools/paraio_lint/lint.cpp tools/paraio_lint/main.cpp -I tools
+"${lint_dir}/paraio_lint" --werror src bench examples tools
+
+run_stage build -DPARAIO_WERROR=ON
 
 if [[ "${1:-}" != "--fast" ]]; then
-  run_stage build-asan -DPARAIO_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  run_stage build-asan -DPARAIO_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPARAIO_WERROR=ON
 fi
 
 echo "CI OK"

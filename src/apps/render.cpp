@@ -76,7 +76,6 @@ sim::Task<> Render::read_data_file(const std::string& path,
 
 sim::Task<> Render::run() {
   const io::NodeId gw = config_.gateway_node();
-  sim::Rng rng = rng_.fork(1);
 
   // --- Initialization phase -----------------------------------------------
   auto views = co_await fs_.open(gw, kViews, unix_read());

@@ -1,7 +1,7 @@
 #include "apps/replay.hpp"
 
 #include <algorithm>
-#include <unordered_map>
+#include <map>
 
 #include "sim/task_group.hpp"
 
@@ -41,7 +41,9 @@ sim::Task<> Replay::stage(io::FileSystem& bare_fs) {
 sim::Task<> Replay::node_main(io::NodeId node) {
   const auto& events = trace_.events();
   const auto& indices = per_node_.at(node);
-  std::unordered_map<io::FileId, io::FilePtr> handles;
+  // Ordered map: the leaked-handle sweep below closes in FileId order, so
+  // the replayed close sequence cannot depend on hash iteration order.
+  std::map<io::FileId, io::FilePtr> handles;
   io::OpenOptions open;
   open.mode = io::AccessMode::kUnix;
   open.create = true;

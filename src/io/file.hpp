@@ -72,7 +72,7 @@ class AsyncOp {
   [[nodiscard]] bool completed() const { return state_ && state_->done.is_set(); }
 
   /// Awaits completion and returns the transferred byte count.
-  sim::Task<std::uint64_t> wait() {
+  [[nodiscard]] sim::Task<std::uint64_t> wait() {
     co_await state_->done.wait();
     co_return state_->transferred;
   }
@@ -88,34 +88,34 @@ class File {
 
   /// Reads `bytes` at the mode-determined position; returns bytes actually
   /// read (short at end-of-file).
-  virtual sim::Task<std::uint64_t> read(std::uint64_t bytes) = 0;
+  [[nodiscard]] virtual sim::Task<std::uint64_t> read(std::uint64_t bytes) = 0;
 
   /// Writes `bytes`; returns bytes written.  Extends the file.
-  virtual sim::Task<std::uint64_t> write(std::uint64_t bytes) = 0;
+  [[nodiscard]] virtual sim::Task<std::uint64_t> write(std::uint64_t bytes) = 0;
 
   /// Moves this handle's file pointer (independent-pointer modes only).
-  virtual sim::Task<> seek(std::uint64_t offset) = 0;
+  [[nodiscard]] virtual sim::Task<> seek(std::uint64_t offset) = 0;
 
   /// Queries current file size (Paragon lsize; a metadata RPC).
-  virtual sim::Task<std::uint64_t> size() = 0;
+  [[nodiscard]] virtual sim::Task<std::uint64_t> size() = 0;
 
   /// Forces buffered data to storage (Fortran FORFLUSH in the HTF code).
-  virtual sim::Task<> flush() = 0;
+  [[nodiscard]] virtual sim::Task<> flush() = 0;
 
   /// Closes the handle.  Must be the last operation.
-  virtual sim::Task<> close() = 0;
+  [[nodiscard]] virtual sim::Task<> close() = 0;
 
   /// Asynchronous variants (Paragon iread/iwrite): awaiting the call charges
   /// only the issue cost and returns a completion handle; the remaining
   /// transfer time surfaces as iowait when the handle is awaited.
-  virtual sim::Task<AsyncOp> read_async(std::uint64_t bytes) = 0;
-  virtual sim::Task<AsyncOp> write_async(std::uint64_t bytes) = 0;
+  [[nodiscard]] virtual sim::Task<AsyncOp> read_async(std::uint64_t bytes) = 0;
+  [[nodiscard]] virtual sim::Task<AsyncOp> write_async(std::uint64_t bytes) = 0;
 
   /// Blocks until an asynchronous operation completes (Paragon iowait).
   /// A distinct File call — not AsyncOp::wait() directly — because iowait is
   /// an operation in its own right in the paper's accounting (Table 3) and
   /// the instrumentation layer brackets it like any other call.
-  virtual sim::Task<std::uint64_t> iowait(AsyncOp op) {
+  [[nodiscard]] virtual sim::Task<std::uint64_t> iowait(AsyncOp op) {
     co_return co_await op.wait();
   }
 
@@ -123,7 +123,7 @@ class File {
   /// collective across options.parties open handles).  ESCAT uses this to
   /// flip its staging files from M_UNIX writing to M_RECORD reading without
   /// reopening them.  Default: unsupported.
-  virtual sim::Task<> set_mode(const OpenOptions& options) {
+  [[nodiscard]] virtual sim::Task<> set_mode(const OpenOptions& options) {
     (void)options;
     throw std::logic_error("set_mode not supported by this file system");
   }
@@ -143,8 +143,8 @@ class FileSystem {
   virtual ~FileSystem() = default;
 
   /// Opens `path` from `node`.  Creates the file when options.create is set.
-  virtual sim::Task<FilePtr> open(NodeId node, const std::string& path,
-                                  const OpenOptions& options) = 0;
+  [[nodiscard]] virtual sim::Task<FilePtr> open(
+      NodeId node, const std::string& path, const OpenOptions& options) = 0;
 
   /// True if `path` exists.
   [[nodiscard]] virtual bool exists(const std::string& path) const = 0;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "sim/race.hpp"
 #include "sim/task_group.hpp"
 
 namespace paraio::pfs {
@@ -246,12 +247,19 @@ sim::Task<std::uint64_t> PfsFile::transfer_mode_dispatch(std::uint64_t bytes,
       co_await fs_.control_rpc(node_, fs_.meta_ion_of(f),
                                fs_.params().meta_service);
       co_await f.token->lock();
+      auto* races = sim::RaceDetector::find(fs_.machine().engine());
+      if (races) {
+        const auto task = races->task_for_key(node_, "node");
+        races->acquire(task, f.token.get());  // paraio-lint: allow(missing-co-await)
+        races->write(task, "pfs:" + f.name + ":shared_offset");  // paraio-lint: allow(discarded-task)
+      }
       const std::uint64_t off = f.shared_offset;
       std::uint64_t reserve = bytes;
       if (!is_write) {
         reserve = std::min(bytes, f.size > off ? f.size - off : 0);
       }
       f.shared_offset = off + reserve;
+      if (races) races->release(races->task_for_key(node_, "node"), f.token.get());
       f.token->unlock();
       const std::uint64_t n = co_await fs_.transfer(node_, f, off, reserve,
                                                     is_write);
@@ -261,10 +269,17 @@ sim::Task<std::uint64_t> PfsFile::transfer_mode_dispatch(std::uint64_t bytes,
       // Accesses proceed in node-number order; the transfer itself is part
       // of the ordered critical section.
       co_await f.turns->await_turn(rank_);
+      auto* races = sim::RaceDetector::find(fs_.machine().engine());
+      if (races) {
+        const auto task = races->task_for_key(node_, "node");
+        races->acquire(task, f.turns.get());  // paraio-lint: allow(missing-co-await)
+        races->write(task, "pfs:" + f.name + ":shared_offset");  // paraio-lint: allow(discarded-task)
+      }
       const std::uint64_t off = f.shared_offset;
       const std::uint64_t n = co_await fs_.transfer(node_, f, off, bytes,
                                                     is_write);
       f.shared_offset = off + n;
+      if (races) races->release(races->task_for_key(node_, "node"), f.turns.get());
       f.turns->advance();
       co_return n;
     }

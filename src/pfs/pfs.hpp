@@ -142,15 +142,15 @@ class PfsFile final : public io::File {
   PfsFile(Pfs& fs, std::shared_ptr<detail::FileObject> object,
           io::NodeId node, std::uint32_t rank);
 
-  sim::Task<std::uint64_t> read(std::uint64_t bytes) override;
-  sim::Task<std::uint64_t> write(std::uint64_t bytes) override;
-  sim::Task<> seek(std::uint64_t offset) override;
-  sim::Task<std::uint64_t> size() override;
-  sim::Task<> flush() override;
-  sim::Task<> close() override;
-  sim::Task<io::AsyncOp> read_async(std::uint64_t bytes) override;
-  sim::Task<io::AsyncOp> write_async(std::uint64_t bytes) override;
-  sim::Task<> set_mode(const io::OpenOptions& options) override;
+  [[nodiscard]] sim::Task<std::uint64_t> read(std::uint64_t bytes) override;
+  [[nodiscard]] sim::Task<std::uint64_t> write(std::uint64_t bytes) override;
+  [[nodiscard]] sim::Task<> seek(std::uint64_t offset) override;
+  [[nodiscard]] sim::Task<std::uint64_t> size() override;
+  [[nodiscard]] sim::Task<> flush() override;
+  [[nodiscard]] sim::Task<> close() override;
+  [[nodiscard]] sim::Task<io::AsyncOp> read_async(std::uint64_t bytes) override;
+  [[nodiscard]] sim::Task<io::AsyncOp> write_async(std::uint64_t bytes) override;
+  [[nodiscard]] sim::Task<> set_mode(const io::OpenOptions& options) override;
 
   [[nodiscard]] std::uint64_t tell() const override { return position(); }
   [[nodiscard]] io::FileId id() const override { return object_->id; }
@@ -177,7 +177,7 @@ class Pfs final : public io::FileSystem {
  public:
   Pfs(hw::Machine& machine, PfsParams params = {});
 
-  sim::Task<io::FilePtr> open(io::NodeId node, const std::string& path,
+  [[nodiscard]] sim::Task<io::FilePtr> open(io::NodeId node, const std::string& path,
                               const io::OpenOptions& options) override;
   [[nodiscard]] bool exists(const std::string& path) const override;
   [[nodiscard]] std::uint64_t file_size(const std::string& path) const override;

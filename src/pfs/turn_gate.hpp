@@ -24,7 +24,7 @@ class TurnGate {
 
   /// Awaitable: suspends until it is `rank`'s turn.  At most one task per
   /// rank may wait at a time (each node has one handle).
-  auto await_turn(std::uint32_t rank) {
+  [[nodiscard]] auto await_turn(std::uint32_t rank) {
     struct Awaiter {
       TurnGate& gate;
       std::uint32_t rank;

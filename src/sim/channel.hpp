@@ -33,7 +33,7 @@ class Channel {
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
   /// Awaitable send.  Usage: `co_await chan.send(std::move(msg));`
-  auto send(T value) {
+  [[nodiscard]] auto send(T value) {
     struct Awaiter {
       Channel& ch;
       T value;
@@ -53,7 +53,7 @@ class Channel {
   }
 
   /// Awaitable receive.  Usage: `T msg = co_await chan.recv();`
-  auto recv() {
+  [[nodiscard]] auto recv() {
     struct Awaiter {
       Channel& ch;
       std::optional<T> slot;
@@ -78,7 +78,7 @@ class Channel {
   }
 
   /// Non-blocking receive: returns nullopt if the channel is empty.
-  std::optional<T> try_recv() {
+  [[nodiscard]] std::optional<T> try_recv() {
     if (items_.empty()) return std::nullopt;
     T v = std::move(items_.front());
     items_.pop_front();

@@ -111,7 +111,7 @@ class Engine {
 
   /// Awaitable that suspends the current task for `delay` simulated seconds.
   /// Usage: `co_await engine.delay(sim::milliseconds(17));`
-  auto delay(SimDuration d) {
+  [[nodiscard]] auto delay(SimDuration d) {
     struct Awaiter {
       Engine& engine;
       SimDuration dur;
@@ -129,7 +129,7 @@ class Engine {
   /// Awaitable that reschedules the current task at the same instant, after
   /// all events already queued for that instant.  Useful to break ties or
   /// yield to peers deterministically.
-  auto yield() { return delay(0.0); }
+  [[nodiscard]] auto yield() { return delay(0.0); }
 
  private:
   void reap_finished();

@@ -25,7 +25,7 @@ class Event {
   [[nodiscard]] bool is_set() const noexcept { return set_; }
   [[nodiscard]] std::size_t waiters() const noexcept { return waiters_.size(); }
 
-  auto wait() {
+  [[nodiscard]] auto wait() {
     struct Awaiter {
       Event& ev;
       bool await_ready() const noexcept { return ev.set_; }
@@ -54,7 +54,7 @@ class Semaphore {
   [[nodiscard]] std::size_t available() const noexcept { return count_; }
   [[nodiscard]] std::size_t waiters() const noexcept { return waiters_.size(); }
 
-  auto acquire() {
+  [[nodiscard]] auto acquire() {
     struct Awaiter {
       Semaphore& sem;
       // Fast path only when nobody is queued, preserving FIFO order.  A
@@ -85,7 +85,7 @@ class Semaphore {
 class Mutex {
  public:
   explicit Mutex(Engine& engine) : sem_(engine, 1) {}
-  auto lock() { return sem_.acquire(); }
+  [[nodiscard]] auto lock() { return sem_.acquire(); }
   void unlock() { sem_.release(); }
   [[nodiscard]] bool locked() const noexcept { return sem_.available() == 0; }
 
@@ -106,7 +106,7 @@ class Barrier {
   [[nodiscard]] std::size_t arrived() const noexcept { return arrived_; }
   [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
 
-  auto arrive_and_wait() {
+  [[nodiscard]] auto arrive_and_wait() {
     struct Awaiter {
       Barrier& b;
       bool await_ready() noexcept {
@@ -150,7 +150,7 @@ class Latch {
   }
 
   [[nodiscard]] std::size_t remaining() const noexcept { return remaining_; }
-  auto wait() { return event_.wait(); }
+  [[nodiscard]] auto wait() { return event_.wait(); }
 
  private:
   Event event_;

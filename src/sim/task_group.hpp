@@ -34,7 +34,7 @@ class TaskGroup {
   /// Awaitable join: suspends until every spawned task has finished.  Ready
   /// immediately when the group is empty.  The group is reusable after a
   /// join completes.
-  auto join() {
+  [[nodiscard]] auto join() {
     struct Awaiter {
       TaskGroup& group;
       bool await_ready() const noexcept { return group.active_ == 0; }

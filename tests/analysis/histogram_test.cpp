@@ -81,8 +81,12 @@ TEST_P(HistogramPartitionProperty, SizeClassesPartition) {
   ASSERT_LT(cls, SizeClassHistogram::kClasses);
   // Check the class bounds actually contain the size.
   const auto& bounds = SizeClassHistogram::kBounds;
-  if (cls < bounds.size()) EXPECT_LT(size, bounds[cls]);
-  if (cls > 0) EXPECT_GE(size, bounds[cls - 1]);
+  if (cls < bounds.size()) {
+    EXPECT_LT(size, bounds[cls]);
+  }
+  if (cls > 0) {
+    EXPECT_GE(size, bounds[cls - 1]);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, HistogramPartitionProperty,

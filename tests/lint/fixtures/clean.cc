@@ -1,0 +1,31 @@
+// Lint fixture: the clean exemplar — every pattern the checks watch for,
+// done the sanctioned way.  Expected finding count: zero.
+#include <map>
+
+namespace sim {
+template <typename T = void>
+struct Task {};
+}  // namespace sim
+
+namespace fixture {
+
+sim::Task<> worker(int id);
+
+struct Ledger {
+  std::map<int, int> totals_;  // ordered: iteration order is the key order
+
+  int sum() const {
+    int acc = 0;
+    for (const auto& [key, value] : totals_) acc += value;
+    return acc;
+  }
+};
+
+inline sim::Task<> run_all() {
+  co_await worker(1);                                  // awaited, not dropped
+  auto good = [](int v) -> sim::Task<> { co_return; };  // capture-free
+  (void)good;
+  co_return;
+}
+
+}  // namespace fixture

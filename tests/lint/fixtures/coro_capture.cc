@@ -1,0 +1,28 @@
+// Lint fixture: seeded `coro-lambda-capture` violations (2 active,
+// 1 suppressed).  The check targets *temporary* closures — a capturing
+// coroutine lambda written inline in spawn(...), or immediately invoked
+// without co_await — not named locals that outlive the run.
+namespace sim {
+template <typename T = void>
+struct Task {};
+struct Engine {
+  void spawn(Task<> t);
+};
+}  // namespace sim
+
+namespace fixture {
+
+inline void spawn_all(sim::Engine& engine, int x) {
+  engine.spawn([&]() -> sim::Task<> { co_return; }());       // violation
+  auto stored = [x]() -> sim::Task<> { co_return; }();       // violation
+  engine.spawn([&]() -> sim::Task<> { co_return; }());       // paraio-lint: allow(coro-lambda-capture)
+  (void)stored;
+
+  // Clean: the named closure outlives the run...
+  auto named = [&]() -> sim::Task<> { co_return; };
+  engine.spawn(named());
+  // ...and a capture-free temporary has nothing to dangle.
+  engine.spawn([](int v) -> sim::Task<> { co_return; }(x));
+}
+
+}  // namespace fixture

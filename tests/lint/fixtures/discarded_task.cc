@@ -1,0 +1,22 @@
+// Lint fixture: seeded `discarded-task` violations (2 active, 1 suppressed).
+namespace sim {
+template <typename T = void>
+struct Task {};
+}  // namespace sim
+
+namespace fixture {
+
+struct Server {
+  sim::Task<> pump();
+  sim::Task<int> collect();
+};
+
+inline void drive(Server& server) {
+  server.pump();     // violation: coroutine destroyed before it runs
+  server.collect();  // violation
+  server.pump();     // paraio-lint: allow(discarded-task)
+  auto kept = server.collect();  // clean: bound (and class is [[nodiscard]])
+  (void)kept;
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Lint fixture: seeded `missing-co-await` violations (2 active,
+// 1 suppressed).  The stand-in types mimic the sim awaitable factories.
+namespace fixture {
+
+struct Engine {
+  int delay(double seconds);
+};
+struct Event {
+  int wait();
+};
+struct Group {
+  int join();
+};
+
+inline void run(Engine& engine, Event& event, Group& group) {
+  engine.delay(1.0);  // violation: awaitable dropped on the floor
+  event.wait();       // violation
+  group.join();       // paraio-lint: allow(missing-co-await)
+  const int handle = event.wait();  // clean: result is consumed
+  (void)handle;
+}
+
+}  // namespace fixture

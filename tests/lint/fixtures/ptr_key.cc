@@ -1,0 +1,14 @@
+// Lint fixture: seeded `ptr-key-order` violations (2 active, 1 suppressed).
+#include <map>
+#include <set>
+
+namespace fixture {
+
+struct Obj {};
+
+using BadMap = std::map<Obj*, int>;        // violation
+using BadSet = std::set<const Obj*>;       // violation
+using AlsoBad = std::map<Obj*, Obj*>;      // paraio-lint: allow(ptr-key-order)
+using FineMap = std::map<int, Obj*>;       // clean: pointer value, stable key
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Lint fixture: seeded `raw-random` violations (3 active, 1 suppressed).
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+inline int roll() {
+  std::random_device entropy;  // violation
+  srand(42);                   // violation
+  int r = rand();              // violation
+  r += rand();                 // paraio-lint: allow(raw-random)
+  return r + static_cast<int>(entropy());
+}
+
+}  // namespace fixture

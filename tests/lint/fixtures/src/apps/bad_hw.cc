@@ -1,0 +1,7 @@
+// Lint fixture: seeded `layering` violations from the apps layer
+// (2 active, 1 suppressed): device internals past the hw::Machine facade,
+// and a test-only layer leaking into shipping code.
+#include "hw/machine.hpp"     // clean: the facade is the sanctioned surface
+#include "hw/disk.hpp"        // violation: device internals
+#include "testkit/golden.hpp" // violation: testkit is above apps
+#include "hw/raid.hpp"        // paraio-lint: allow(layering)

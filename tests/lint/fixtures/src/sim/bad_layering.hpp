@@ -1,0 +1,9 @@
+// Lint fixture: seeded `layering` violations from the bottom layer
+// (2 active, 1 suppressed).  The src/sim/ path segment is what the check
+// keys on; this file is never compiled.
+#pragma once
+
+#include "sim/engine.hpp"   // clean: own layer
+#include "ppfs/ppfs.hpp"    // violation: sim must not reach up to ppfs
+#include "io/file.hpp"      // violation: sim must not reach up to io
+#include "pfs/pfs.hpp"      // paraio-lint: allow(layering)

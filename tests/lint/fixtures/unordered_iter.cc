@@ -1,0 +1,24 @@
+// Lint fixture: seeded `unordered-iter` violations (2 active, 1 suppressed).
+// Never compiled — consumed by test_lint and the lint_fixtures_detect ctest.
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Flusher {
+  std::unordered_map<int, int> buffers_;
+  std::unordered_set<int> dirty_;
+  std::map<int, int> ordered_;
+
+  int drain() {
+    int sum = 0;
+    for (const auto& [block, bytes] : buffers_) sum += bytes;  // violation
+    for (int block : dirty_) sum += block;                     // violation
+    for (const auto& [block, bytes] : buffers_) sum += bytes;  // paraio-lint: allow(unordered-iter)
+    for (const auto& [block, bytes] : ordered_) sum += bytes;  // clean
+    return sum;
+  }
+};
+
+}  // namespace fixture

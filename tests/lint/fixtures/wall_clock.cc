@@ -1,0 +1,16 @@
+// Lint fixture: seeded `wall-clock` violations (2 active, 1 suppressed).
+#include <chrono>
+
+namespace fixture {
+
+inline double wall_seconds() {
+  const auto a = std::chrono::system_clock::now();  // violation
+  const auto b = std::chrono::steady_clock::now();  // violation
+  const auto c = std::chrono::steady_clock::now();  // paraio-lint: allow(wall-clock)
+  (void)a;
+  (void)b;
+  (void)c;
+  return 0.0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,185 @@
+// Unit tests for the paraio-lint check implementations.  Each seeded fixture
+// under tests/lint/fixtures/ carries a known number of violations per check
+// id (plus one suppressed instance), and clean.cc must produce none.
+#include "paraio_lint/lint.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using paraio::lint::Finding;
+using paraio::lint::Options;
+using paraio::lint::ProjectIndex;
+using paraio::lint::Severity;
+using paraio::lint::SourceFile;
+
+SourceFile load_fixture(const std::string& relative) {
+  const std::string path =
+      std::string(PARAIO_LINT_FIXTURE_DIR) + "/" + relative;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture: " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return SourceFile{path, buffer.str()};
+}
+
+struct Tally {
+  int active = 0;
+  int suppressed = 0;
+};
+
+Tally tally(const std::vector<Finding>& findings, const std::string& check) {
+  Tally t;
+  for (const auto& f : findings) {
+    if (check != f.check) continue;
+    (f.suppressed ? t.suppressed : t.active)++;
+  }
+  return t;
+}
+
+std::vector<Finding> lint_fixture(const std::string& relative) {
+  const SourceFile file = load_fixture(relative);
+  const std::vector<SourceFile> files = {file};
+  const ProjectIndex index = paraio::lint::index_project(files);
+  return paraio::lint::lint_file(file, index, Options{});
+}
+
+TEST(LintFixtures, UnorderedIterSeededCounts) {
+  const auto findings = lint_fixture("unordered_iter.cc");
+  const Tally t = tally(findings, "unordered-iter");
+  EXPECT_EQ(t.active, 2);
+  EXPECT_EQ(t.suppressed, 1);
+}
+
+TEST(LintFixtures, WallClockSeededCounts) {
+  const auto findings = lint_fixture("wall_clock.cc");
+  const Tally t = tally(findings, "wall-clock");
+  EXPECT_EQ(t.active, 2);
+  EXPECT_EQ(t.suppressed, 1);
+}
+
+TEST(LintFixtures, RawRandomSeededCounts) {
+  const auto findings = lint_fixture("raw_random.cc");
+  const Tally t = tally(findings, "raw-random");
+  EXPECT_EQ(t.active, 3);
+  EXPECT_EQ(t.suppressed, 1);
+}
+
+TEST(LintFixtures, PtrKeyOrderSeededCounts) {
+  const auto findings = lint_fixture("ptr_key.cc");
+  const Tally t = tally(findings, "ptr-key-order");
+  EXPECT_EQ(t.active, 2);
+  EXPECT_EQ(t.suppressed, 1);
+  for (const auto& f : findings) {
+    if (std::string("ptr-key-order") == f.check) {
+      EXPECT_EQ(f.severity, Severity::kWarning);
+    }
+  }
+}
+
+TEST(LintFixtures, CoroLambdaCaptureSeededCounts) {
+  const auto findings = lint_fixture("coro_capture.cc");
+  const Tally t = tally(findings, "coro-lambda-capture");
+  EXPECT_EQ(t.active, 2);
+  EXPECT_EQ(t.suppressed, 1);
+}
+
+TEST(LintFixtures, MissingCoAwaitSeededCounts) {
+  const auto findings = lint_fixture("missing_co_await.cc");
+  const Tally t = tally(findings, "missing-co-await");
+  EXPECT_EQ(t.active, 2);
+  EXPECT_EQ(t.suppressed, 1);
+}
+
+TEST(LintFixtures, DiscardedTaskSeededCounts) {
+  const auto findings = lint_fixture("discarded_task.cc");
+  const Tally t = tally(findings, "discarded-task");
+  EXPECT_EQ(t.active, 2);
+  EXPECT_EQ(t.suppressed, 1);
+}
+
+TEST(LintFixtures, LayeringLowLayerSeededCounts) {
+  const auto findings = lint_fixture("src/sim/bad_layering.hpp");
+  const Tally t = tally(findings, "layering");
+  EXPECT_EQ(t.active, 2);
+  EXPECT_EQ(t.suppressed, 1);
+}
+
+TEST(LintFixtures, LayeringAppsFacadeSeededCounts) {
+  const auto findings = lint_fixture("src/apps/bad_hw.cc");
+  const Tally t = tally(findings, "layering");
+  EXPECT_EQ(t.active, 2);
+  EXPECT_EQ(t.suppressed, 1);
+}
+
+TEST(LintFixtures, CleanExemplarHasNoFindings) {
+  const auto findings = lint_fixture("clean.cc");
+  EXPECT_TRUE(findings.empty()) << "unexpected finding: "
+                                << (findings.empty()
+                                        ? ""
+                                        : findings.front().message);
+}
+
+// Disabling a check id via Options removes its findings entirely (they are
+// not even reported as suppressed).
+TEST(LintOptions, DisabledCheckProducesNothing) {
+  const SourceFile file = load_fixture("wall_clock.cc");
+  const std::vector<SourceFile> files = {file};
+  const ProjectIndex index = paraio::lint::index_project(files);
+  Options options;
+  options.disabled.insert("wall-clock");
+  const auto findings =
+      paraio::lint::lint_file(file, index, options);
+  EXPECT_EQ(tally(findings, "wall-clock").active, 0);
+  EXPECT_EQ(tally(findings, "wall-clock").suppressed, 0);
+}
+
+// The cross-file index recognizes a member declared unordered in a header
+// when a different file iterates it.
+TEST(LintIndex, UnorderedMemberRecognizedAcrossFiles) {
+  const SourceFile header{
+      "fake/cache.hpp",
+      "#include <unordered_map>\n"
+      "struct Cache { std::unordered_map<int, int> entries_; };\n"};
+  const SourceFile source{
+      "fake/cache.cpp",
+      "#include \"cache.hpp\"\n"
+      "int sum(Cache& c) {\n"
+      "  int acc = 0;\n"
+      "  for (const auto& [k, v] : c.entries_) acc += v;\n"
+      "  return acc;\n"
+      "}\n"};
+  const std::vector<SourceFile> files = {header, source};
+  const ProjectIndex index = paraio::lint::index_project(files);
+  const auto findings =
+      paraio::lint::lint_file(source, index, Options{});
+  EXPECT_EQ(tally(findings, "unordered-iter").active, 1);
+}
+
+TEST(LintStrip, CommentsAndStringsBecomeSpaces) {
+  const std::string stripped = paraio::lint::strip_comments_and_strings(
+      "int a = 1; // rand()\n"
+      "const char* s = \"system_clock\"; /* srand */ int b = 2;\n");
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_EQ(stripped.find("system_clock"), std::string::npos);
+  EXPECT_NE(stripped.find("int b = 2;"), std::string::npos);
+  // Line structure is preserved so findings keep their line numbers.
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'), 2);
+}
+
+TEST(LintCatalog, EveryCheckHasIdAndSummary) {
+  const auto& catalog = paraio::lint::checks();
+  EXPECT_GE(catalog.size(), 8u);
+  for (const auto& check : catalog) {
+    EXPECT_NE(std::string(check.id), "");
+    EXPECT_NE(std::string(check.summary), "");
+  }
+}
+
+}  // namespace

@@ -1,0 +1,730 @@
+#include "paraio_lint/lint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace paraio::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Check catalog
+
+constexpr CheckInfo kChecks[] = {
+    {"unordered-iter", Severity::kError,
+     "range-for over an unordered container: iteration order is "
+     "implementation-defined and can reach the trace"},
+    {"wall-clock", Severity::kError,
+     "wall-clock read inside the simulator: all time must come from "
+     "sim::Engine::now()"},
+    {"raw-random", Severity::kError,
+     "libc/raw randomness: all randomness must flow through sim::Rng so "
+     "runs reproduce from a seed"},
+    {"ptr-key-order", Severity::kWarning,
+     "ordered container keyed by pointer: iteration order depends on "
+     "allocation addresses"},
+    {"coro-lambda-capture", Severity::kError,
+     "coroutine lambda with captures: the closure dies before the first "
+     "resume; pass state as parameters instead"},
+    {"missing-co-await", Severity::kError,
+     "awaitable constructed and dropped without co_await: the operation "
+     "never runs"},
+    {"discarded-task", Severity::kError,
+     "Task<T>-returning call used as a plain statement: the coroutine is "
+     "destroyed without ever starting"},
+    {"layering", Severity::kError,
+     "include crosses the layer order (sim < hw < io < pfs/pablo < ppfs < "
+     "analysis < apps < core < testkit), or apps bypass the hw::Machine "
+     "facade"},
+};
+
+const CheckInfo* find_check(const char* id) {
+  for (const CheckInfo& c : kChecks) {
+    if (std::string_view(c.id) == id) return &c;
+  }
+  return nullptr;
+}
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string trim(std::string s) {
+  const auto b = s.find_first_not_of(" \t");
+  const auto e = s.find_last_not_of(" \t");
+  if (b == std::string::npos) return "";
+  return s.substr(b, e - b + 1);
+}
+
+/// 0-based offsets of each line start, for offset -> line translation.
+std::vector<std::size_t> line_starts(const std::string& text) {
+  std::vector<std::size_t> starts{0};
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') starts.push_back(i + 1);
+  }
+  return starts;
+}
+
+std::size_t line_of(const std::vector<std::size_t>& starts, std::size_t pos) {
+  auto it = std::upper_bound(starts.begin(), starts.end(), pos);
+  return static_cast<std::size_t>(it - starts.begin());  // 1-based
+}
+
+/// Position just past the matching closer for the opener at `open`.
+/// Returns npos when unbalanced (we then give up on that site).
+std::size_t skip_balanced(const std::string& text, std::size_t open,
+                          char open_ch, char close_ch) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == open_ch) ++depth;
+    if (text[i] == close_ch && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+std::size_t skip_spaces(const std::string& text, std::size_t pos) {
+  while (pos < text.size() &&
+         (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n')) {
+    ++pos;
+  }
+  return pos;
+}
+
+std::string read_ident(const std::string& text, std::size_t pos,
+                       std::size_t* end = nullptr) {
+  std::size_t i = pos;
+  while (i < text.size() && is_ident(text[i])) ++i;
+  if (end) *end = i;
+  return text.substr(pos, i - pos);
+}
+
+/// Occurrences of `word` as a whole identifier.
+std::vector<std::size_t> find_word(const std::string& text,
+                                   std::string_view word) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while ((pos = text.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident(text[pos - 1]);
+    const std::size_t after = pos + word.size();
+    const bool right_ok = after >= text.size() || !is_ident(text[after]);
+    if (left_ok && right_ok) out.push_back(pos);
+    pos = after;
+  }
+  return out;
+}
+
+/// Final identifier of an expression like `fs_.inflight_`, `this->buffers_`,
+/// or `*handles` — the name the range-for actually iterates.
+std::string trailing_ident(const std::string& expr) {
+  std::string e = trim(expr);
+  if (e.empty()) return "";
+  if (e.back() == ')') return "";  // call result; resolved via declared names
+  std::size_t end = e.size();
+  std::size_t begin = end;
+  while (begin > 0 && is_ident(e[begin - 1])) --begin;
+  return e.substr(begin, end - begin);
+}
+
+// ---------------------------------------------------------------------------
+// Per-line suppressions: `// paraio-lint: allow(id[,id...])`
+
+std::vector<std::set<std::string>> parse_suppressions(
+    const std::string& raw, const std::vector<std::size_t>& starts) {
+  std::vector<std::set<std::string>> per_line(starts.size() + 2);
+  std::size_t pos = 0;
+  while ((pos = raw.find("paraio-lint:", pos)) != std::string::npos) {
+    const std::size_t line = line_of(starts, pos);
+    std::size_t open = raw.find("allow(", pos);
+    pos += 12;
+    if (open == std::string::npos) continue;
+    const std::size_t close = raw.find(')', open);
+    if (close == std::string::npos) continue;
+    // Only honor an allow() on the same line as the marker.
+    if (line_of(starts, open) != line) continue;
+    std::string ids = raw.substr(open + 6, close - open - 6);
+    std::size_t from = 0;
+    while (from <= ids.size()) {
+      std::size_t comma = ids.find(',', from);
+      if (comma == std::string::npos) comma = ids.size();
+      const std::string id = trim(ids.substr(from, comma - from));
+      if (!id.empty() && line < per_line.size()) per_line[line].insert(id);
+      from = comma + 1;
+    }
+  }
+  return per_line;
+}
+
+// ---------------------------------------------------------------------------
+// Declaration scans (used by the project index)
+
+void collect_unordered_names(const std::string& stripped,
+                             std::set<std::string>* names) {
+  for (const char* kind : {"std::unordered_map<", "std::unordered_set<"}) {
+    std::size_t pos = 0;
+    const std::string needle(kind);
+    while ((pos = stripped.find(needle, pos)) != std::string::npos) {
+      const std::size_t open = pos + needle.size() - 1;
+      pos += needle.size();
+      const std::size_t past = skip_balanced(stripped, open, '<', '>');
+      if (past == std::string::npos) continue;
+      std::size_t cursor = skip_spaces(stripped, past);
+      while (cursor < stripped.size() &&
+             (stripped[cursor] == '&' || stripped[cursor] == '*')) {
+        cursor = skip_spaces(stripped, cursor + 1);
+      }
+      std::size_t end = cursor;
+      const std::string name = read_ident(stripped, cursor, &end);
+      if (name.empty()) continue;
+      // `type name(` declares a function returning the container, not a
+      // variable; skip those.
+      if (skip_spaces(stripped, end) < stripped.size() &&
+          stripped[skip_spaces(stripped, end)] == '(') {
+        continue;
+      }
+      names->insert(name);
+    }
+  }
+}
+
+void collect_task_fn_names(const std::string& stripped,
+                           std::set<std::string>* names) {
+  std::size_t pos = 0;
+  while ((pos = stripped.find("Task<", pos)) != std::string::npos) {
+    const std::size_t at = pos;
+    pos += 5;
+    if (at > 0 && is_ident(stripped[at - 1])) continue;  // e.g. MyTask<
+    const std::size_t past = skip_balanced(stripped, at + 4, '<', '>');
+    if (past == std::string::npos) continue;
+    const std::size_t cursor = skip_spaces(stripped, past);
+    std::size_t end = cursor;
+    const std::string name = read_ident(stripped, cursor, &end);
+    if (name.empty() || name == "operator") continue;
+    if (skip_spaces(stripped, end) < stripped.size() &&
+        stripped[skip_spaces(stripped, end)] == '(') {
+      names->insert(name);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Individual checks.  Each appends findings (suppression is applied by the
+// caller, which knows the per-line allow sets).
+
+using Sink = std::vector<Finding>;
+
+void add(Sink* out, const char* id, std::size_t line, std::string message) {
+  const CheckInfo* info = find_check(id);
+  out->push_back(
+      Finding{"", line, info->id, info->severity, std::move(message), false});
+}
+
+void check_unordered_iter(const std::string& stripped,
+                          const std::vector<std::size_t>& starts,
+                          const std::set<std::string>& unordered_names,
+                          Sink* out) {
+  for (std::size_t pos : find_word(stripped, "for")) {
+    const std::size_t open = skip_spaces(stripped, pos + 3);
+    if (open >= stripped.size() || stripped[open] != '(') continue;
+    const std::size_t past = skip_balanced(stripped, open, '(', ')');
+    if (past == std::string::npos) continue;
+    const std::string head = stripped.substr(open + 1, past - open - 2);
+    // A range-for has a single ':' at angle/paren depth 0 (':: ' excluded).
+    std::size_t colon = std::string::npos;
+    int depth = 0;
+    for (std::size_t i = 0; i < head.size(); ++i) {
+      const char c = head[i];
+      if (c == '<' || c == '(' || c == '[' || c == '{') ++depth;
+      if (c == '>' || c == ')' || c == ']' || c == '}') --depth;
+      if (c == ':' && depth == 0) {
+        if ((i + 1 < head.size() && head[i + 1] == ':') ||
+            (i > 0 && head[i - 1] == ':')) {
+          continue;
+        }
+        colon = i;
+        break;
+      }
+      if (c == ';') break;  // classic for loop
+    }
+    if (colon == std::string::npos) continue;
+    const std::string name = trailing_ident(head.substr(colon + 1));
+    if (!name.empty() && unordered_names.contains(name)) {
+      add(out, "unordered-iter", line_of(starts, pos),
+          "iteration over unordered container '" + name +
+              "': order is hash/insertion dependent and breaks trace "
+              "reproducibility; use std::map or iterate a sorted snapshot");
+    }
+  }
+}
+
+void check_wall_clock(const std::string& stripped,
+                      const std::vector<std::size_t>& starts, Sink* out) {
+  for (const char* word :
+       {"system_clock", "steady_clock", "high_resolution_clock",
+        "gettimeofday", "clock_gettime", "localtime", "gmtime", "asctime"}) {
+    for (std::size_t pos : find_word(stripped, word)) {
+      add(out, "wall-clock", line_of(starts, pos),
+          std::string("wall-clock source '") + word +
+              "' in simulator code: simulated time must come from "
+              "sim::Engine::now()");
+    }
+  }
+}
+
+void check_raw_random(const std::string& stripped,
+                      const std::vector<std::size_t>& starts, Sink* out) {
+  for (const char* word : {"random_device", "drand48", "lrand48", "mrand48"}) {
+    for (std::size_t pos : find_word(stripped, word)) {
+      add(out, "raw-random", line_of(starts, pos),
+          std::string("nondeterministic randomness '") + word +
+              "': use sim::Rng so runs reproduce from a seed");
+    }
+  }
+  for (const char* word : {"rand", "srand"}) {
+    for (std::size_t pos : find_word(stripped, word)) {
+      const std::size_t after = skip_spaces(stripped, pos + std::string(word).size());
+      if (after < stripped.size() && stripped[after] == '(') {
+        add(out, "raw-random", line_of(starts, pos),
+            std::string("libc '") + word +
+                "()': use sim::Rng so runs reproduce from a seed");
+      }
+    }
+  }
+}
+
+void check_ptr_key_order(const std::string& stripped,
+                         const std::vector<std::size_t>& starts, Sink* out) {
+  for (const char* kind : {"std::map<", "std::set<"}) {
+    const std::string needle(kind);
+    std::size_t pos = 0;
+    while ((pos = stripped.find(needle, pos)) != std::string::npos) {
+      const std::size_t open = pos + needle.size() - 1;
+      const std::size_t at = pos;
+      pos += needle.size();
+      // First template argument: up to a depth-0 comma or the closing '>'.
+      int depth = 1;
+      std::size_t i = open + 1;
+      std::size_t arg_end = std::string::npos;
+      for (; i < stripped.size(); ++i) {
+        const char c = stripped[i];
+        if (c == '<' || c == '(') ++depth;
+        if (c == '>' || c == ')') --depth;
+        if ((c == ',' && depth == 1) || depth == 0) {
+          arg_end = i;
+          break;
+        }
+      }
+      if (arg_end == std::string::npos) continue;
+      const std::string key = trim(stripped.substr(open + 1, arg_end - open - 1));
+      if (!key.empty() && key.back() == '*') {
+        add(out, "ptr-key-order", line_of(starts, at),
+            "ordered container keyed by pointer '" + key +
+                "': ordering follows allocation addresses, which differ "
+                "run to run; key by a stable id instead");
+      }
+    }
+  }
+}
+
+/// Balanced argument regions of every `spawn(...)` / `spawn_daemon(...)`
+/// call, as (first-char, past-the-close) offsets into `stripped`.
+std::vector<std::pair<std::size_t, std::size_t>> spawn_arg_regions(
+    const std::string& stripped) {
+  std::vector<std::pair<std::size_t, std::size_t>> regions;
+  for (std::size_t pos = 0; (pos = stripped.find("spawn", pos)) !=
+                            std::string::npos;
+       pos += 5) {
+    if (pos > 0 && is_ident(stripped[pos - 1])) continue;
+    std::size_t after = pos + 5;
+    if (stripped.compare(after, 7, "_daemon") == 0) after += 7;
+    const std::size_t open = skip_spaces(stripped, after);
+    if (open >= stripped.size() || stripped[open] != '(') continue;
+    const std::size_t past = skip_balanced(stripped, open, '(', ')');
+    if (past == std::string::npos) continue;
+    regions.emplace_back(open + 1, past - 1);
+  }
+  return regions;
+}
+
+void check_coro_lambda_capture(const std::string& stripped,
+                               const std::vector<std::size_t>& starts,
+                               Sink* out) {
+  const auto spawn_regions = spawn_arg_regions(stripped);
+  for (std::size_t pos = 0; pos < stripped.size(); ++pos) {
+    if (stripped[pos] != '[') continue;
+    // Not an attribute ([[...]]) and not a subscript (prev token is a value).
+    if (pos + 1 < stripped.size() && stripped[pos + 1] == '[') continue;
+    if (pos > 0 && stripped[pos - 1] == '[') continue;
+    std::size_t prev = pos;
+    while (prev > 0 && (stripped[prev - 1] == ' ' || stripped[prev - 1] == '\t' ||
+                        stripped[prev - 1] == '\n')) {
+      --prev;
+    }
+    if (prev > 0 &&
+        (is_ident(stripped[prev - 1]) || stripped[prev - 1] == ')' ||
+         stripped[prev - 1] == ']')) {
+      continue;  // subscript or attribute close
+    }
+    const std::size_t close = stripped.find(']', pos);
+    if (close == std::string::npos) continue;
+    const std::string captures = trim(stripped.substr(pos + 1, close - pos - 1));
+    std::size_t cursor = skip_spaces(stripped, close + 1);
+    std::string ret_type;
+    std::size_t body_open = std::string::npos;
+    if (cursor < stripped.size() && stripped[cursor] == '(') {
+      const std::size_t past = skip_balanced(stripped, cursor, '(', ')');
+      if (past == std::string::npos) continue;
+      const std::size_t brace = stripped.find('{', past);
+      if (brace == std::string::npos) continue;
+      ret_type = stripped.substr(past, brace - past);
+      body_open = brace;
+    } else if (cursor < stripped.size() && stripped[cursor] == '{') {
+      body_open = cursor;
+    } else {
+      continue;  // not a lambda after all
+    }
+    const std::size_t body_past = skip_balanced(stripped, body_open, '{', '}');
+    if (body_past == std::string::npos) continue;
+    const std::string body =
+        stripped.substr(body_open, body_past - body_open);
+    const bool coroutine = ret_type.find("Task") != std::string::npos ||
+                           body.find("co_await") != std::string::npos ||
+                           body.find("co_return") != std::string::npos ||
+                           body.find("co_yield") != std::string::npos;
+    if (!coroutine || captures.empty()) continue;
+    // A named local closure (`auto proc = [&]...; spawn(proc());`) outlives
+    // the run and is fine.  The UB shapes are a *temporary* closure: the
+    // lambda expression written inline inside spawn(...)'s arguments, or
+    // immediately invoked without being co_awaited in the same statement —
+    // either way the closure (and its captures) dies while the coroutine
+    // frame lives on.
+    bool inline_in_spawn = false;
+    for (const auto& [lo, hi] : spawn_regions) {
+      if (pos > lo && pos < hi) {
+        inline_in_spawn = true;
+        break;
+      }
+    }
+    bool invoked_temporary = false;
+    const std::size_t next = skip_spaces(stripped, body_past);
+    if (next < stripped.size() && stripped[next] == '(') {
+      const std::size_t stmt_begin =
+          stripped.find_last_of(";{}", pos) == std::string::npos
+              ? 0
+              : stripped.find_last_of(";{}", pos) + 1;
+      const std::string prefix = stripped.substr(stmt_begin, pos - stmt_begin);
+      invoked_temporary = prefix.find("co_await") == std::string::npos;
+    }
+    if (inline_in_spawn || invoked_temporary) {
+      add(out, "coro-lambda-capture", line_of(starts, pos),
+          "coroutine lambda captures [" + captures +
+              "] as a temporary closure: the closure object is destroyed "
+              "while the frame lives on; name it in a scope that outlives "
+              "the run, or pass state as explicit parameters");
+    }
+  }
+}
+
+bool line_has_excuse(const std::string& line) {
+  return line.find("co_await") != std::string::npos ||
+         line.find("co_yield") != std::string::npos ||
+         line.find("return") != std::string::npos ||
+         line.find("spawn") != std::string::npos ||
+         line.find('=') != std::string::npos;
+}
+
+void check_missing_co_await(const std::vector<std::string>& stripped_lines,
+                            Sink* out) {
+  static constexpr std::array<const char*, 9> kAwaitables = {
+      "delay",   "yield", "wait", "acquire", "lock",
+      "arrive_and_wait", "join",  "recv",    "await_turn"};
+  for (std::size_t i = 0; i < stripped_lines.size(); ++i) {
+    const std::string& line = stripped_lines[i];
+    if (line_has_excuse(line)) continue;
+    for (const char* name : kAwaitables) {
+      const std::string dot = std::string(".") + name + "(";
+      const std::string arrow = std::string("->") + name + "(";
+      if (line.find(dot) != std::string::npos ||
+          line.find(arrow) != std::string::npos) {
+        add(out, "missing-co-await", i + 1,
+            std::string("'") + name +
+                "()' builds an awaitable that is dropped without co_await: "
+                "the suspension (and any side effect) never happens");
+        break;
+      }
+    }
+  }
+}
+
+void check_discarded_task(const std::vector<std::string>& stripped_lines,
+                          const std::set<std::string>& task_fns, Sink* out) {
+  if (task_fns.empty()) return;
+  for (std::size_t i = 0; i < stripped_lines.size(); ++i) {
+    const std::string line = trim(stripped_lines[i]);
+    if (line.empty() || line.back() != ';') continue;
+    if (line_has_excuse(line)) continue;
+    for (const std::string& name : task_fns) {
+      const std::size_t at = line.find(name + "(");
+      if (at == std::string::npos) continue;
+      if (at > 0 && is_ident(line[at - 1])) continue;
+      // Statement position: everything before the call must be an object
+      // chain (`obj.`, `ptr->`, `ns::`), not an enclosing call or keyword.
+      const std::string prefix = line.substr(0, at);
+      const bool chain_only =
+          prefix.find('(') == std::string::npos &&
+          prefix.find(' ') == std::string::npos &&
+          prefix.find("co_") == std::string::npos;
+      if (!chain_only) continue;
+      add(out, "discarded-task", i + 1,
+          "call to Task-returning '" + name +
+              "()' as a bare statement: the coroutine is destroyed before "
+              "it runs; co_await it or hand it to Engine::spawn");
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layering
+
+struct LayerRule {
+  const char* layer;
+  std::set<std::string> allowed;
+};
+
+const std::vector<LayerRule>& layer_rules() {
+  static const std::vector<LayerRule> kRules = {
+      {"sim", {"sim"}},
+      {"hw", {"hw", "sim"}},
+      {"io", {"io", "hw", "sim"}},
+      {"pfs", {"pfs", "io", "hw", "sim"}},
+      {"ppfs", {"ppfs", "pfs", "io", "hw", "sim"}},
+      {"pablo", {"pablo", "io", "hw", "sim"}},
+      {"analysis", {"analysis", "pablo", "io", "sim"}},
+      {"apps", {"apps", "analysis", "pablo", "io", "hw", "sim"}},
+      {"core",
+       {"core", "apps", "analysis", "pablo", "ppfs", "pfs", "io", "hw",
+        "sim"}},
+      {"testkit",
+       {"testkit", "core", "apps", "analysis", "pablo", "ppfs", "pfs", "io",
+        "hw", "sim"}},
+  };
+  return kRules;
+}
+
+/// hw headers src/apps may include: the Machine facade only, never device
+/// internals (disk, raid, network, scheduler).
+bool apps_hw_header_allowed(const std::string& header) {
+  return header == "hw/machine.hpp";
+}
+
+void check_layering(const std::string& path, const std::string& raw,
+                    Sink* out) {
+  const std::size_t src = path.rfind("src/");
+  if (src == std::string::npos) return;
+  const std::string rest = path.substr(src + 4);
+  const std::size_t slash = rest.find('/');
+  if (slash == std::string::npos) return;  // src/paraio.hpp umbrella
+  const std::string layer = rest.substr(0, slash);
+  const LayerRule* rule = nullptr;
+  for (const LayerRule& r : layer_rules()) {
+    if (layer == r.layer) rule = &r;
+  }
+  if (!rule) return;
+
+  std::size_t line_no = 0;
+  std::size_t begin = 0;
+  while (begin <= raw.size()) {
+    std::size_t end = raw.find('\n', begin);
+    if (end == std::string::npos) end = raw.size();
+    ++line_no;
+    const std::string line = trim(raw.substr(begin, end - begin));
+    begin = end + 1;
+    if (!line.starts_with("#include \"")) continue;
+    const std::size_t quote = line.find('"');
+    const std::size_t quote2 = line.find('"', quote + 1);
+    if (quote2 == std::string::npos) continue;
+    const std::string header = line.substr(quote + 1, quote2 - quote - 1);
+    const std::size_t hslash = header.find('/');
+    if (hslash == std::string::npos) continue;  // same-directory include
+    const std::string target = header.substr(0, hslash);
+    bool known = false;
+    for (const LayerRule& r : layer_rules()) {
+      if (target == r.layer) known = true;
+    }
+    if (!known) continue;
+    if (!rule->allowed.contains(target)) {
+      add(out, "layering", line_no,
+          "layer 'src/" + layer + "' must not include '" + header +
+              "' (layer '" + target + "' is above it)");
+    } else if (layer == "apps" && target == "hw" &&
+               !apps_hw_header_allowed(header)) {
+      add(out, "layering", line_no,
+          "src/apps must program against the hw::Machine facade; include "
+          "'hw/machine.hpp' instead of '" +
+              header + "'");
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+
+const std::vector<CheckInfo>& checks() {
+  static const std::vector<CheckInfo> kAll(std::begin(kChecks),
+                                           std::end(kChecks));
+  return kAll;
+}
+
+std::string strip_comments_and_strings(const std::string& source) {
+  std::string out = source;
+  enum class State { kCode, kLine, kBlock, kString, kChar } state = State::kCode;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+          out[i] = ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out[i] = ' ';
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\n') {
+          out[i] = ' ';
+          if (next != '\0') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          out[i] = ' ';
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\n') {
+          out[i] = ' ';
+          if (next != '\0') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          out[i] = ' ';
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+ProjectIndex index_project(const std::vector<SourceFile>& files) {
+  ProjectIndex index;
+  for (const SourceFile& f : files) {
+    const std::string stripped = strip_comments_and_strings(f.content);
+    collect_unordered_names(stripped, &index.unordered_names);
+    std::set<std::string> task_names;
+    collect_task_fn_names(stripped, &task_names);
+    index.task_fns.emplace_back(f.path, std::move(task_names));
+  }
+  return index;
+}
+
+namespace {
+
+/// Task-fn names visible to `path`: its own declarations plus those of the
+/// sibling header/source (same stem, .hpp <-> .cpp), so member coroutines
+/// declared in a header are known when linting the .cpp.
+std::set<std::string> visible_task_fns(const std::string& path,
+                                       const ProjectIndex& index) {
+  auto stem = [](const std::string& p) {
+    const std::size_t dot = p.rfind('.');
+    return dot == std::string::npos ? p : p.substr(0, dot);
+  };
+  std::set<std::string> out;
+  const std::string my_stem = stem(path);
+  for (const auto& [file, names] : index.task_fns) {
+    if (stem(file) == my_stem) out.insert(names.begin(), names.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Finding> lint_file(const SourceFile& file,
+                               const ProjectIndex& index,
+                               const Options& options) {
+  const std::string stripped = strip_comments_and_strings(file.content);
+  const std::vector<std::size_t> starts = line_starts(file.content);
+  const auto suppressions = parse_suppressions(file.content, starts);
+
+  std::vector<std::string> stripped_lines;
+  {
+    std::size_t begin = 0;
+    while (begin <= stripped.size()) {
+      std::size_t end = stripped.find('\n', begin);
+      if (end == std::string::npos) end = stripped.size();
+      stripped_lines.push_back(stripped.substr(begin, end - begin));
+      if (end == stripped.size()) break;
+      begin = end + 1;
+    }
+  }
+
+  std::vector<Finding> findings;
+  check_unordered_iter(stripped, starts, index.unordered_names, &findings);
+  check_wall_clock(stripped, starts, &findings);
+  check_raw_random(stripped, starts, &findings);
+  check_ptr_key_order(stripped, starts, &findings);
+  check_coro_lambda_capture(stripped, starts, &findings);
+  check_missing_co_await(stripped_lines, &findings);
+  check_discarded_task(stripped_lines, visible_task_fns(file.path, index),
+                       &findings);
+  check_layering(file.path, file.content, &findings);
+
+  std::erase_if(findings, [&](const Finding& f) {
+    return options.disabled.contains(f.check);
+  });
+  for (Finding& f : findings) {
+    f.file = file.path;
+    if (f.line < suppressions.size() &&
+        suppressions[f.line].contains(f.check)) {
+      f.suppressed = true;
+    }
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return std::string_view(a.check) < std::string_view(b.check);
+            });
+  return findings;
+}
+
+}  // namespace paraio::lint

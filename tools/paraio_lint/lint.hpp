@@ -1,0 +1,82 @@
+// paraio-lint: project-specific static analysis for the paraio tree.
+//
+// A deliberately small, token/heuristic-based linter (no libclang): it knows
+// nothing about C++ semantics beyond comment/string stripping, balanced
+// template arguments, and line structure, but that is enough to catch the
+// three bug classes that break the golden-trace guarantee:
+//
+//   * determinism hazards  — iteration over unordered containers in
+//     trace-affecting code, wall-clock reads, raw libc randomness,
+//     pointer-keyed ordered containers;
+//   * coroutine-lifetime hazards — captures in coroutine lambdas, awaitables
+//     constructed and dropped without co_await, discarded Task<T> results;
+//   * layering violations — a lower simulator layer including a higher one,
+//     or apps reaching past the hw::Machine facade into device internals.
+//
+// Findings print in compiler format (`file:line: error: [id] message`) and
+// can be suppressed per line with `// paraio-lint: allow(<id>[,<id>...])`.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace paraio::lint {
+
+enum class Severity { kWarning, kError };
+
+/// One registered check.  Ids are stable and documented in docs/LINTING.md.
+struct CheckInfo {
+  const char* id;
+  Severity severity;
+  const char* summary;
+};
+
+/// Catalog of every check the linter knows, in reporting order.
+const std::vector<CheckInfo>& checks();
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  const char* check = "";
+  Severity severity = Severity::kError;
+  std::string message;
+  bool suppressed = false;
+};
+
+/// One source file loaded into memory.
+struct SourceFile {
+  std::string path;     // as given on the command line (used in findings)
+  std::string content;  // raw bytes
+};
+
+/// Cross-file facts gathered in a first pass over the whole input set:
+/// container variables declared unordered anywhere (so a member declared in
+/// a header is recognized when its .cpp iterates it), and, per file, the
+/// names of functions returning sim::Task<...> (checked against statements
+/// in that file and its sibling .cpp/.hpp).
+struct ProjectIndex {
+  std::set<std::string> unordered_names;
+  // file path -> Task-returning function/method names declared there
+  std::vector<std::pair<std::string, std::set<std::string>>> task_fns;
+};
+
+struct Options {
+  std::set<std::string> disabled;  // check ids turned off globally
+};
+
+/// Pass 1: build the cross-file index.
+ProjectIndex index_project(const std::vector<SourceFile>& files);
+
+/// Pass 2: lint one file.  Returns every finding, including suppressed ones
+/// (callers count them separately).
+std::vector<Finding> lint_file(const SourceFile& file,
+                               const ProjectIndex& index,
+                               const Options& options);
+
+/// Replaces comments, string literals, and char literals with spaces while
+/// preserving line structure.  Exposed for tests.
+std::string strip_comments_and_strings(const std::string& source);
+
+}  // namespace paraio::lint

@@ -1,0 +1,122 @@
+// paraio_lint command-line driver.
+//
+//   paraio_lint [--werror] [--disable=id[,id...]] [--list-checks] paths...
+//
+// Paths may be files or directories (searched recursively for
+// .hpp/.h/.cpp/.cc).  Findings print to stdout in compiler format; the exit
+// code is 1 when any unsuppressed error (or, with --werror, warning) was
+// found, 2 on usage/IO errors, 0 otherwise.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "paraio_lint/lint.hpp"
+
+namespace fs = std::filesystem;
+using paraio::lint::Finding;
+using paraio::lint::Severity;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
+}
+
+int usage() {
+  std::cerr << "usage: paraio_lint [--werror] [--disable=id[,id...]] "
+               "[--list-checks] <file-or-dir>...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool werror = false;
+  paraio::lint::Options options;
+  std::vector<std::string> roots;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--list-checks") {
+      for (const auto& c : paraio::lint::checks()) {
+        std::cout << c.id << " ("
+                  << (c.severity == Severity::kError ? "error" : "warning")
+                  << "): " << c.summary << "\n";
+      }
+      return 0;
+    } else if (arg.rfind("--disable=", 0) == 0) {
+      std::stringstream ids(arg.substr(10));
+      std::string id;
+      while (std::getline(ids, id, ',')) {
+        if (!id.empty()) options.disabled.insert(id);
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage();
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) return usage();
+
+  std::vector<std::string> paths;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          paths.push_back(entry.path().generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      paths.push_back(root);
+    } else {
+      std::cerr << "paraio_lint: no such file or directory: " << root << "\n";
+      return 2;
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+  std::vector<paraio::lint::SourceFile> files;
+  files.reserve(paths.size());
+  for (const std::string& p : paths) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+      std::cerr << "paraio_lint: cannot read " << p << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    files.push_back({p, buf.str()});
+  }
+
+  const auto index = paraio::lint::index_project(files);
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t suppressed = 0;
+  for (const auto& file : files) {
+    for (const Finding& f : paraio::lint::lint_file(file, index, options)) {
+      if (f.suppressed) {
+        ++suppressed;
+        continue;
+      }
+      const bool is_error = f.severity == Severity::kError;
+      (is_error ? errors : warnings) += 1;
+      std::cout << f.file << ":" << f.line << ": "
+                << (is_error ? "error" : "warning") << ": [" << f.check
+                << "] " << f.message << "\n";
+    }
+  }
+  std::cerr << "paraio_lint: " << files.size() << " file(s), " << errors
+            << " error(s), " << warnings << " warning(s), " << suppressed
+            << " suppressed\n";
+  if (errors > 0 || (werror && warnings > 0)) return 1;
+  return 0;
+}
