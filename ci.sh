@@ -5,7 +5,11 @@
 #              examples/, tools/); any unsuppressed finding fails CI.
 #   2. build — the tier-1 verification (build + full test suite) in a plain
 #              build, warnings promoted to errors.
-#   3. asan  — the same suite under AddressSanitizer + UBSanitizer.
+#   3. obs   — paraio_stat on a small ESCAT run: the report must mention the
+#              key signals and the emitted Chrome trace must be valid JSON
+#              (paraio_stat revalidates it before writing and exits nonzero
+#              otherwise); any lint finding in src/obs fails, even warnings.
+#   4. asan  — the same suite under AddressSanitizer + UBSanitizer.
 #
 #   ./ci.sh            # all stages
 #   ./ci.sh --fast     # lint + plain stage only
@@ -33,6 +37,22 @@ mkdir -p "${lint_dir}"
 "${lint_dir}/paraio_lint" --werror src bench examples tools
 
 run_stage build -DPARAIO_WERROR=ON
+
+# --- observability stage ---------------------------------------------------
+echo "== obs: lint src/obs (warnings fatal) =="
+"${lint_dir}/paraio_lint" --werror src/obs
+
+echo "== obs: paraio_stat on small ESCAT =="
+obs_out=build/obs-ci
+mkdir -p "${obs_out}"
+build/tools/paraio_stat/paraio_stat --app escat --nodes 8 --ions 4 \
+  --fs ppfs --top 5 --sample-period 10 \
+  --metrics "${obs_out}/escat_metrics.txt" \
+  --chrome-trace "${obs_out}/escat_trace.json" | tee "${obs_out}/report.txt"
+grep -q "busiest resources" "${obs_out}/report.txt"
+grep -q "hit rate" "${obs_out}/report.txt"
+grep -q "^counter " "${obs_out}/escat_metrics.txt"
+grep -q '"traceEvents"' "${obs_out}/escat_trace.json"
 
 if [[ "${1:-}" != "--fast" ]]; then
   run_stage build-asan -DPARAIO_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -7,7 +7,9 @@
 //
 // Prints the operation and size tables, the access-pattern census (§10's
 // "majority of request patterns are sequential"), and optionally writes the
-// full event trace in the self-describing format.
+// full event trace in the self-describing format.  Accepts the obs flags
+// (--metrics PATH, --chrome-trace PATH, --sample-period S); see
+// docs/OBSERVABILITY.md.
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -18,12 +20,14 @@
 #include "analysis/survival.hpp"
 #include "analysis/tables.hpp"
 #include "core/experiment.hpp"
+#include "core/obs_options.hpp"
 #include "core/report.hpp"
 #include "pablo/sddf.hpp"
 
 using namespace paraio;
 
 int main(int argc, char** argv) {
+  core::ObsOptions obs = core::ObsOptions::parse(argc, argv);
   const std::string app = argc > 1 ? argv[1] : "escat";
   core::ExperimentConfig cfg;
   if (app == "escat") {
@@ -37,6 +41,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  obs.install(cfg);
   std::cout << "running " << app << " on the simulated Paragon XP/S...\n";
   const core::ExperimentResult r = core::run_experiment(cfg);
   std::cout << "simulated run time: " << r.run_end - r.run_start << " s, "
@@ -86,6 +91,14 @@ int main(int argc, char** argv) {
     std::ofstream out(argv[3]);
     out << core::report(r, ro);
     std::cout << "markdown report written to " << argv[3] << "\n";
+  }
+  if (!obs.finish()) return 1;
+  if (!obs.metrics_path().empty()) {
+    std::cout << "metrics dump written to " << obs.metrics_path() << "\n";
+  }
+  if (!obs.chrome_path().empty()) {
+    std::cout << "Chrome trace written to " << obs.chrome_path()
+              << " (load in ui.perfetto.dev)\n";
   }
   return 0;
 }

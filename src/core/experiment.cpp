@@ -1,5 +1,8 @@
 #include "core/experiment.hpp"
 
+#include <optional>
+#include <string>
+
 #include "pablo/instrument.hpp"
 #include "sim/engine.hpp"
 
@@ -26,17 +29,30 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   engine.set_observer(config.hooks.engine);
   hw::Machine machine(engine, config.machine);
 
+  obs::Registry* metrics = config.hooks.metrics;
+  obs::Tracer* tracer = config.hooks.tracer;
+  if (metrics != nullptr) machine.attach_metrics(*metrics);
+  if (tracer != nullptr) tracer->bind(engine);
+  // Chains onto whatever engine observer is already attached; destroyed
+  // before `engine` goes out of scope.
+  std::optional<obs::Sampler> sampler;
+  if (metrics != nullptr && config.hooks.sample_period > 0.0) {
+    sampler.emplace(engine, *metrics, config.hooks.sample_period);
+  }
+
   std::unique_ptr<pfs::Pfs> pfs_fs;
   std::unique_ptr<ppfs::Ppfs> ppfs_fs;
   io::FileSystem* bare = nullptr;
   if (config.filesystem.kind == FsChoice::Kind::kPfs) {
     pfs_fs = std::make_unique<pfs::Pfs>(machine, config.filesystem.pfs_params);
     pfs_fs->set_observer(config.hooks.io);
+    pfs_fs->attach_observability(metrics, tracer);
     bare = pfs_fs.get();
   } else {
     ppfs_fs =
         std::make_unique<ppfs::Ppfs>(machine, config.filesystem.ppfs_params);
     ppfs_fs->set_observer(config.hooks.io);
+    ppfs_fs->attach_observability(metrics, tracer);
     bare = ppfs_fs.get();
   }
 
@@ -73,6 +89,27 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   if (pfs_fs) result.pfs_counters = pfs_fs->counters();
   if (ppfs_fs) result.ppfs_counters = ppfs_fs->counters();
+
+  if (tracer != nullptr) {
+    // Application compute/IO phases become spans on a machine-wide row,
+    // synthesized from the phase log (consecutive phases abut).
+    sim::SimTime prev = result.run_start;
+    for (const auto& [name, end] : result.phases.phases()) {
+      tracer->complete({obs::kGlobalProcess, 0}, name, prev, end, "phase");
+      prev = end;
+    }
+    tracer->name_process(obs::kGlobalProcess, "app phases");
+    for (std::size_t n = 0; n < machine.compute_nodes(); ++n) {
+      tracer->name_process(static_cast<std::uint32_t>(n),
+                           "node" + std::to_string(n));
+    }
+    for (std::size_t k = 0; k < machine.io_nodes(); ++k) {
+      const hw::NodeId id = machine.ion_node_id(k);
+      tracer->name_process(id, "ion" + std::to_string(k));
+      tracer->name_track({id, 1}, "pfs pieces");
+      tracer->name_track({id, 2}, "ppfs batches");
+    }
+  }
   return result;
 }
 

@@ -12,6 +12,8 @@
 #include "apps/render.hpp"
 #include "apps/synthetic.hpp"
 #include "hw/machine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "pablo/summary.hpp"
 #include "pablo/trace.hpp"
 #include "pfs/observer.hpp"
@@ -48,10 +50,20 @@ using AppConfig = std::variant<apps::EscatConfig, apps::RenderConfig,
 /// The engine observer is attached for the whole simulation, the I/O
 /// observer as soon as the mount exists; io->on_measured_run_start() fires
 /// after input staging so checkers can separate staging traffic from the
-/// measured run.  Both default to "nothing attached".
+/// measured run.  All hooks default to "nothing attached".
+///
+/// `metrics`/`tracer` opt into the obs layer: the machine's devices, the
+/// mounted file system, and (post-run) the application phases publish into
+/// them.  Attachment never consumes simulated time, so results and trace
+/// digests are bit-identical with and without.  With metrics attached and
+/// `sample_period` > 0, every gauge and counter is additionally snapshotted
+/// each `sample_period` simulated seconds (see obs::Sampler).
 struct ExperimentHooks {
   sim::EngineObserver* engine = nullptr;
   pfs::IoObserver* io = nullptr;
+  obs::Registry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
+  sim::SimDuration sample_period = 0.0;
 };
 
 struct ExperimentConfig {

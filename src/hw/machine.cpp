@@ -19,4 +19,12 @@ std::uint64_t Machine::total_capacity() const {
   return total;
 }
 
+void Machine::attach_metrics(obs::Registry& registry) {
+  net_.attach_metrics(registry, "hw.link");
+  framebuffer_.attach_metrics(registry, "hw.framebuffer");
+  for (std::size_t i = 0; i < arrays_.size(); ++i) {
+    arrays_[i]->attach_metrics(registry, "hw.array" + std::to_string(i));
+  }
+}
+
 }  // namespace paraio::hw

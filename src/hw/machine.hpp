@@ -9,6 +9,7 @@
 
 #include "hw/network.hpp"
 #include "hw/raid.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 
 namespace paraio::hw {
@@ -66,6 +67,11 @@ class Machine {
 
   /// Total storage capacity across all I/O nodes.
   [[nodiscard]] std::uint64_t total_capacity() const;
+
+  /// Publishes every hardware resource into `registry`: per-ION RAID
+  /// arrays as `hw.array<k>.*`, per-node outgoing links as `hw.link<n>.*`,
+  /// and the frame buffer as `hw.framebuffer.*`.
+  void attach_metrics(obs::Registry& registry);
 
  private:
   sim::Engine& engine_;

@@ -13,16 +13,37 @@ Interconnect::Interconnect(sim::Engine& engine, std::size_t nodes,
   }
 }
 
+void Interconnect::attach_metrics(obs::Registry& registry,
+                                  const std::string& prefix) {
+  link_metrics_.clear();
+  link_metrics_.reserve(nics_.size());
+  for (std::size_t i = 0; i < nics_.size(); ++i) {
+    link_metrics_.push_back(
+        obs::DeviceMetrics::bind(registry, prefix + std::to_string(i)));
+  }
+}
+
 sim::Task<> Interconnect::send(NodeId src, NodeId dst, std::uint64_t bytes) {
   assert(src < nics_.size() && dst < nics_.size());
   const sim::SimTime arrival = engine_.now();
+  if (!link_metrics_.empty()) {
+    link_metrics_[src].qdepth->record(nics_[src]->waiters());
+  }
   co_await nics_[src]->acquire();
   co_await rx_[dst]->acquire();
-  stats_.queue_time += engine_.now() - arrival;
+  const sim::SimDuration waited = engine_.now() - arrival;
+  stats_.queue_time += waited;
   const sim::SimDuration t = transfer_time(bytes);
   ++stats_.requests;
   stats_.bytes += bytes;
   stats_.busy_time += t;
+  if (!link_metrics_.empty()) {
+    obs::DeviceMetrics& m = link_metrics_[src];
+    m.requests->add();
+    m.bytes->add(bytes);
+    m.busy_s->add(t);
+    m.queue_s->add(waited);
+  }
   co_await engine_.delay(t);
   rx_[dst]->release();
   nics_[src]->release();
@@ -37,25 +58,44 @@ sim::Task<> Interconnect::broadcast(NodeId root, std::uint64_t bytes,
   // whole time) and model the remaining stages as pipeline latency.
   const std::size_t stages = broadcast_stages(parties);
   const sim::SimTime arrival = engine_.now();
+  if (!link_metrics_.empty()) {
+    link_metrics_[root].qdepth->record(nics_[root]->waiters());
+  }
   co_await nics_[root]->acquire();
-  stats_.queue_time += engine_.now() - arrival;
+  const sim::SimDuration waited = engine_.now() - arrival;
+  stats_.queue_time += waited;
   const sim::SimDuration per_stage = transfer_time(bytes);
   const sim::SimDuration total = static_cast<double>(stages) * per_stage;
   ++stats_.requests;
   stats_.bytes += bytes * (parties - 1);
   stats_.busy_time += total;
+  if (!link_metrics_.empty()) {
+    obs::DeviceMetrics& m = link_metrics_[root];
+    m.requests->add();
+    m.bytes->add(bytes * (parties - 1));
+    m.busy_s->add(total);
+    m.queue_s->add(waited);
+  }
   co_await engine_.delay(total);
   nics_[root]->release();
 }
 
 sim::Task<> FrameBuffer::write(std::uint64_t bytes) {
   const sim::SimTime arrival = engine_.now();
+  if (metrics_.qdepth != nullptr) metrics_.qdepth->record(gate_.waiters());
   co_await gate_.acquire();
-  stats_.queue_time += engine_.now() - arrival;
+  const sim::SimDuration waited = engine_.now() - arrival;
+  stats_.queue_time += waited;
   const sim::SimDuration t = static_cast<double>(bytes) / bandwidth_;
   ++stats_.requests;
   stats_.bytes += bytes;
   stats_.busy_time += t;
+  if (metrics_.attached()) {
+    metrics_.requests->add();
+    metrics_.bytes->add(bytes);
+    metrics_.busy_s->add(t);
+    metrics_.queue_s->add(waited);
+  }
   co_await engine_.delay(t);
   gate_.release();
 }

@@ -16,9 +16,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "hw/disk.hpp"  // DeviceStats
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
@@ -71,6 +73,12 @@ class Interconnect {
   [[nodiscard]] std::size_t node_count() const noexcept { return nics_.size(); }
   [[nodiscard]] const DeviceStats& stats() const noexcept { return stats_; }
 
+  /// Publishes per-link activity: node `n`'s outgoing link becomes
+  /// `<prefix><n>.{requests,bytes,seeks,busy_s,queue_s,qdepth}` (seeks stay
+  /// zero; qdepth samples the tx-gate queue).  Detached cost: one pointer
+  /// test per send.
+  void attach_metrics(obs::Registry& registry, const std::string& prefix);
+
  private:
   sim::Engine& engine_;
   NetParams params_;
@@ -83,6 +91,7 @@ class Interconnect {
   std::vector<std::unique_ptr<sim::Semaphore>> nics_;
   std::vector<std::unique_ptr<sim::Semaphore>> rx_;
   DeviceStats stats_;
+  std::vector<obs::DeviceMetrics> link_metrics_;  // empty until attached
 };
 
 /// HiPPi frame buffer: a fixed-bandwidth streaming sink with a FIFO queue.
@@ -97,11 +106,18 @@ class FrameBuffer {
   [[nodiscard]] const DeviceStats& stats() const noexcept { return stats_; }
   [[nodiscard]] double bandwidth() const noexcept { return bandwidth_; }
 
+  /// Publishes sink activity under `<prefix>.{requests,bytes,seeks,busy_s,
+  /// queue_s,qdepth}`.  Detached cost: one pointer test per write.
+  void attach_metrics(obs::Registry& registry, const std::string& prefix) {
+    metrics_ = obs::DeviceMetrics::bind(registry, prefix);
+  }
+
  private:
   sim::Engine& engine_;
   double bandwidth_;
   sim::Semaphore gate_;
   DeviceStats stats_;
+  obs::DeviceMetrics metrics_;
 };
 
 }  // namespace paraio::hw

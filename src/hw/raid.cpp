@@ -21,13 +21,23 @@ sim::SimDuration Raid3Array::service_time(std::uint64_t offset,
 
 sim::Task<> Raid3Array::access(std::uint64_t offset, std::uint64_t bytes) {
   const sim::SimTime arrival = engine_.now();
+  if (metrics_.qdepth != nullptr) metrics_.qdepth->record(gate_.waiters());
   co_await gate_.acquire();
-  stats_.queue_time += engine_.now() - arrival;
+  const sim::SimDuration waited = engine_.now() - arrival;
+  stats_.queue_time += waited;
+  const bool positioned = offset != head_pos_;
   const sim::SimDuration service = service_time(offset, bytes);
   head_pos_ = offset + bytes;
   ++stats_.requests;
   stats_.bytes += bytes;
   stats_.busy_time += service;
+  if (metrics_.attached()) {
+    metrics_.requests->add();
+    metrics_.bytes->add(bytes);
+    if (positioned) metrics_.seeks->add();
+    metrics_.busy_s->add(service);
+    metrics_.queue_s->add(waited);
+  }
   co_await engine_.delay(service);
   gate_.release();
 }

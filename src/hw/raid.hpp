@@ -52,12 +52,19 @@ class Raid3Array {
   [[nodiscard]] const Raid3Params& params() const noexcept { return params_; }
   [[nodiscard]] std::size_t queue_depth() const { return gate_.waiters(); }
 
+  /// Publishes this array's activity under `<prefix>.{requests,bytes,seeks,
+  /// busy_s,queue_s,qdepth}`.  Detached cost: one pointer test per access.
+  void attach_metrics(obs::Registry& registry, const std::string& prefix) {
+    metrics_ = obs::DeviceMetrics::bind(registry, prefix);
+  }
+
  private:
   sim::Engine& engine_;
   Raid3Params params_;
   sim::Semaphore gate_;
   std::uint64_t head_pos_ = 0;
   DeviceStats stats_;
+  obs::DeviceMetrics metrics_;
 };
 
 }  // namespace paraio::hw

@@ -1,0 +1,41 @@
+// Chrome trace-event JSON export (chrome://tracing / Perfetto "JSON trace
+// format"), plus a dependency-free JSON validator used by tests and by
+// paraio_stat to prove the emitted file parses.
+//
+// Mapping (documented in docs/TRACE_FORMAT.md):
+//   pid  <- Track::process  (one per machine node; kGlobalProcess for
+//           machine-wide rows such as application phases)
+//   tid  <- Track::track    (one per device/server/role within the node)
+//   "M"  <- process/track names registered on the Tracer
+//   "X"  <- closed spans (ts/dur in microseconds of simulated time)
+//   "C"  <- registry snapshot samples (one counter series per metric)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace paraio::obs {
+
+/// Writes `{"traceEvents":[...]}`.  Output is byte-deterministic for
+/// identical tracer/registry contents.  Open (never-ended) spans are
+/// skipped.  `registry` may be null; when set, its snapshot samples become
+/// "C" counter events.
+void write_chrome_trace(std::ostream& out, const Tracer& tracer,
+                        const Registry* registry = nullptr);
+
+/// Convenience: render to a string (tests, determinism comparisons).
+[[nodiscard]] std::string chrome_trace_text(const Tracer& tracer,
+                                            const Registry* registry = nullptr);
+
+/// Minimal strict JSON validator (RFC 8259 subset: no duplicate-key or
+/// number-range policing).  Returns true when `text` is exactly one valid
+/// JSON value; on failure `error`, if non-null, receives a short message
+/// with the byte offset.
+[[nodiscard]] bool validate_json(std::string_view text,
+                                 std::string* error = nullptr);
+
+}  // namespace paraio::obs

@@ -1,0 +1,63 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace paraio::obs {
+
+Tracer::SpanId Tracer::begin(Track at, std::string name,
+                             std::string category) {
+  assert(engine_ != nullptr && "Tracer::bind must precede begin()");
+  Span span;
+  span.name = std::move(name);
+  span.category = std::move(category);
+  span.process = at.process;
+  span.track = at.track;
+  span.start = engine_->now();
+  auto& stack = open_[{at.process, at.track}];
+  if (!stack.empty()) span.parent = stack.back();
+  spans_.push_back(std::move(span));
+  const SpanId id = spans_.size();
+  stack.push_back(id);
+  return id;
+}
+
+Tracer::SpanId Tracer::begin_child(Track at, std::string name, SpanId parent,
+                                   std::string category) {
+  assert(engine_ != nullptr && "Tracer::bind must precede begin_child()");
+  Span span;
+  span.name = std::move(name);
+  span.category = std::move(category);
+  span.process = at.process;
+  span.track = at.track;
+  span.start = engine_->now();
+  span.parent = parent;
+  spans_.push_back(std::move(span));
+  return spans_.size();
+}
+
+void Tracer::end(SpanId id) {
+  if (id == 0) return;
+  assert(engine_ != nullptr && "Tracer::bind must precede end()");
+  Span& span = spans_[id - 1];
+  span.end = engine_->now();
+  auto& stack = open_[{span.process, span.track}];
+  // Usually the top of the stack; overlapping (non-nested) spans on one
+  // track are tolerated by erasing from wherever the id sits.
+  const auto it = std::find(stack.rbegin(), stack.rend(), id);
+  if (it != stack.rend()) stack.erase(std::next(it).base());
+}
+
+void Tracer::complete(Track at, std::string name, sim::SimTime start,
+                      sim::SimTime end, std::string category) {
+  Span span;
+  span.name = std::move(name);
+  span.category = std::move(category);
+  span.process = at.process;
+  span.track = at.track;
+  span.start = start;
+  span.end = end;
+  spans_.push_back(std::move(span));
+}
+
+}  // namespace paraio::obs

@@ -51,6 +51,32 @@ Pfs::Pfs(hw::Machine& machine, PfsParams params)
   }
 }
 
+void Pfs::attach_observability(obs::Registry* registry, obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    ion_requests_.clear();
+    ion_bytes_.clear();
+    mode_wait_us_ = nullptr;
+    mode_wait_s_ = nullptr;
+    return;
+  }
+  ion_requests_.clear();
+  ion_bytes_.clear();
+  for (std::size_t i = 0; i < machine_.io_nodes(); ++i) {
+    const std::string prefix = "pfs.ion" + std::to_string(i);
+    ion_requests_.push_back(&registry->counter(prefix + ".requests"));
+    ion_bytes_.push_back(&registry->counter(prefix + ".bytes"));
+  }
+  mode_wait_us_ = &registry->histogram("pfs.mode_wait_us");
+  mode_wait_s_ = &registry->gauge("pfs.mode_wait_s");
+}
+
+void Pfs::note_mode_wait(sim::SimDuration waited) {
+  if (mode_wait_us_ == nullptr) return;
+  mode_wait_us_->record(static_cast<std::uint64_t>(waited * 1e6));
+  mode_wait_s_->add(waited);
+}
+
 sim::Task<> Pfs::control_rpc(io::NodeId node, std::uint32_t ion,
                              sim::SimDuration service) {
   const io::NodeId ion_node = machine_.ion_node_id(ion);
@@ -87,11 +113,27 @@ sim::Task<std::uint64_t> Pfs::transfer(io::NodeId node,
     observer_->on_transfer(file.id, offset, bytes, is_write,
                            file.stripes.params(), segments);
   }
+  obs::Tracer::SpanId span = 0;
+  if (tracer_ != nullptr) {
+    span = tracer_->begin({node, 0}, is_write ? "pfs.write" : "pfs.read",
+                          "pfs");
+  }
   sim::TaskGroup group(machine_.engine());
   for (const Segment& seg : segments) {
+    if (!ion_requests_.empty()) {
+      ion_requests_[seg.ion]->add();
+      ion_bytes_[seg.ion]->add(seg.length);
+    }
     auto piece = [](Pfs& fs, io::NodeId src, detail::FileObject& f,
-                    Segment s, bool write) -> sim::Task<> {
+                    Segment s, bool write,
+                    obs::Tracer::SpanId parent) -> sim::Task<> {
       const io::NodeId ion_node = fs.machine_.ion_node_id(s.ion);
+      obs::Tracer::SpanId piece_span = 0;
+      if (fs.tracer_ != nullptr) {
+        piece_span = fs.tracer_->begin_child(
+            {ion_node, 1}, write ? "pfs.piece.write" : "pfs.piece.read",
+            parent, "pfs");
+      }
       // Ship data (write) or the request (read) to the I/O node.
       co_await fs.machine_.net().send(
           src, ion_node, write ? s.length : fs.params_.control_bytes);
@@ -105,10 +147,12 @@ sim::Task<std::uint64_t> Pfs::transfer(io::NodeId node,
       // Ack (write) or data (read) back to the compute node.
       co_await fs.machine_.net().send(
           ion_node, src, write ? fs.params_.control_bytes : s.length);
+      if (fs.tracer_ != nullptr) fs.tracer_->end(piece_span);
     };
-    group.spawn(piece(*this, node, file, seg, is_write));
+    group.spawn(piece(*this, node, file, seg, is_write, span));
   }
   co_await group.join();
+  if (tracer_ != nullptr) tracer_->end(span);
 
   if (is_write) {
     file.size = std::max(file.size, offset + bytes);
@@ -246,7 +290,9 @@ sim::Task<std::uint64_t> PfsFile::transfer_mode_dispatch(std::uint64_t bytes,
       // different nodes overlap physically, only the pointer is atomic.
       co_await fs_.control_rpc(node_, fs_.meta_ion_of(f),
                                fs_.params().meta_service);
+      const sim::SimTime gate_arrival = fs_.machine().engine().now();
       co_await f.token->lock();
+      fs_.note_mode_wait(fs_.machine().engine().now() - gate_arrival);
       auto* races = sim::RaceDetector::find(fs_.machine().engine());
       if (races) {
         const auto task = races->task_for_key(node_, "node");
@@ -268,7 +314,9 @@ sim::Task<std::uint64_t> PfsFile::transfer_mode_dispatch(std::uint64_t bytes,
     case io::AccessMode::kSync: {
       // Accesses proceed in node-number order; the transfer itself is part
       // of the ordered critical section.
+      const sim::SimTime gate_arrival = fs_.machine().engine().now();
       co_await f.turns->await_turn(rank_);
+      fs_.note_mode_wait(fs_.machine().engine().now() - gate_arrival);
       auto* races = sim::RaceDetector::find(fs_.machine().engine());
       if (races) {
         const auto task = races->task_for_key(node_, "node");
@@ -302,7 +350,9 @@ sim::Task<std::uint64_t> PfsFile::transfer_mode_dispatch(std::uint64_t bytes,
       // access on behalf of everyone, then (for reads) broadcasts the data.
       auto round = f.round;
       if (++f.arrived < f.parties) {
+        const sim::SimTime gate_arrival = fs_.machine().engine().now();
         co_await round->done.wait();
+        fs_.note_mode_wait(fs_.machine().engine().now() - gate_arrival);
         co_return round->result;
       }
       f.arrived = 0;

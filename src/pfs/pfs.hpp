@@ -27,6 +27,8 @@
 
 #include "hw/machine.hpp"
 #include "io/file.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "pfs/observer.hpp"
 #include "pfs/stripe.hpp"
 #include "pfs/turn_gate.hpp"
@@ -190,6 +192,13 @@ class Pfs final : public io::FileSystem {
   void set_observer(IoObserver* observer) { observer_ = observer; }
   [[nodiscard]] IoObserver* observer() const noexcept { return observer_; }
 
+  /// Publishes per-stripe-server request counts and byte balance
+  /// (`pfs.ion<k>.{requests,bytes}`) and mode-gate waits
+  /// (`pfs.mode_wait_us` / `pfs.mode_wait_s`) into `registry`, and opens
+  /// transfer spans on `tracer`.  Either may be null; detached hot-path
+  /// cost is one pointer test.
+  void attach_observability(obs::Registry* registry, obs::Tracer* tracer);
+
  private:
   friend class PfsFile;
 
@@ -209,6 +218,10 @@ class Pfs final : public io::FileSystem {
                                     std::uint64_t offset, std::uint64_t bytes,
                                     bool is_write);
 
+  /// Records one mode-gate wait (M_LOG token, M_SYNC turn, M_GLOBAL
+  /// rendezvous) when metrics are attached.
+  void note_mode_wait(sim::SimDuration waited);
+
   [[nodiscard]] std::uint32_t meta_ion_of(const detail::FileObject& file) const {
     return file.id % static_cast<std::uint32_t>(machine_.io_nodes());
   }
@@ -225,6 +238,13 @@ class Pfs final : public io::FileSystem {
   io::FileId next_file_id_ = 1;
   PfsCounters counters_;
   IoObserver* observer_ = nullptr;
+
+  // Observability handles; empty/null until attach_observability.
+  std::vector<obs::Counter*> ion_requests_;
+  std::vector<obs::Counter*> ion_bytes_;
+  obs::Histogram* mode_wait_us_ = nullptr;
+  obs::Gauge* mode_wait_s_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace paraio::pfs

@@ -24,6 +24,15 @@ IonServer::IonServer(hw::Machine& machine, std::size_t ion_index,
   machine_.engine().spawn_daemon(serve());
 }
 
+void IonServer::attach_observability(obs::Registry& registry,
+                                     const std::string& prefix,
+                                     obs::Tracer* tracer) {
+  m_batch_requests_ = &registry.histogram(prefix + ".batch_requests");
+  m_cache_hits_ = &registry.counter(prefix + ".cache_hits");
+  m_cache_misses_ = &registry.counter(prefix + ".cache_misses");
+  tracer_ = tracer;
+}
+
 bool IonServer::cache_covers(std::uint64_t address, std::uint64_t length) {
   if (cache_.capacity() == 0 || length == 0) return false;
   for (std::uint64_t b = address / kCacheBlock;
@@ -72,6 +81,12 @@ sim::Task<> IonServer::serve() {
     }
     stats_.requests += batch.size();
     ++stats_.batches;
+    if (m_batch_requests_ != nullptr) m_batch_requests_->record(batch.size());
+    obs::Tracer::SpanId span = 0;
+    if (tracer_ != nullptr) {
+      span = tracer_->begin({machine_.ion_node_id(ion_index_), 2},
+                            "ppfs.batch", "ppfs");
+    }
 
     // Service in disk-address order, merging physically close extents into
     // single array accesses.  Reads and writes merge independently.
@@ -91,11 +106,15 @@ sim::Task<> IonServer::serve() {
       // array (the second buffering level of the paper's §8).
       if (!first.is_write && cache_covers(first.address, first.length)) {
         ++stats_.cache_hits;
+        if (m_cache_hits_ != nullptr) m_cache_hits_->add();
         batch[order[i]].done->set();
         ++i;
         continue;
       }
-      if (!first.is_write) ++stats_.cache_misses;
+      if (!first.is_write) {
+        ++stats_.cache_misses;
+        if (m_cache_misses_ != nullptr) m_cache_misses_->add();
+      }
       std::uint64_t lo = first.address;
       std::uint64_t hi = first.address + first.length;
       std::size_t j = i + 1;
@@ -114,6 +133,7 @@ sim::Task<> IonServer::serve() {
       for (std::size_t k = i; k < j; ++k) batch[order[k]].done->set();
       i = j;
     }
+    if (tracer_ != nullptr) tracer_->end(span);
   }
 }
 

@@ -10,10 +10,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "hw/machine.hpp"
 #include "io/file.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "ppfs/cache.hpp"
 #include "sim/channel.hpp"
 #include "sim/sync.hpp"
@@ -55,6 +58,12 @@ class IonServer {
 
   [[nodiscard]] const IonServerStats& stats() const noexcept { return stats_; }
 
+  /// Publishes aggregation batch sizes (`<prefix>.batch_requests`) and
+  /// server-cache hit/miss counters, and opens one span per served batch on
+  /// this ION's process when `tracer` is non-null.
+  void attach_observability(obs::Registry& registry, const std::string& prefix,
+                            obs::Tracer* tracer);
+
  private:
   struct Request {
     std::uint64_t address = 0;
@@ -80,6 +89,12 @@ class IonServer {
   sim::Channel<Request> queue_;
   BlockCache cache_;  // keyed by disk-address block; file id unused (0)
   IonServerStats stats_;
+
+  // Observability handles; null until attach_observability.
+  obs::Histogram* m_batch_requests_ = nullptr;
+  obs::Counter* m_cache_hits_ = nullptr;
+  obs::Counter* m_cache_misses_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace paraio::ppfs

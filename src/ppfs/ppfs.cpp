@@ -24,6 +24,27 @@ Ppfs::Ppfs(hw::Machine& machine, PpfsParams params)
   }
 }
 
+void Ppfs::attach_observability(obs::Registry* registry, obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    m_cache_hits_ = nullptr;
+    m_cache_misses_ = nullptr;
+    m_cache_evictions_ = nullptr;
+    m_flush_bytes_ = nullptr;
+    m_flush_extents_ = nullptr;
+    return;
+  }
+  m_cache_hits_ = &registry->counter("ppfs.cache.hits");
+  m_cache_misses_ = &registry->counter("ppfs.cache.misses");
+  m_cache_evictions_ = &registry->counter("ppfs.cache.evictions");
+  m_flush_bytes_ = &registry->histogram("ppfs.flush.bytes");
+  m_flush_extents_ = &registry->histogram("ppfs.flush.extents");
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    servers_[i]->attach_observability(*registry,
+                                      "ppfs.ion" + std::to_string(i), tracer);
+  }
+}
+
 BlockCache& Ppfs::node_cache(io::NodeId node) {
   auto it = caches_.find(node);
   if (it == caches_.end()) {
@@ -53,6 +74,11 @@ sim::Task<> Ppfs::transfer(io::NodeId node, detail::PpfsFileObject& file,
     observer_->on_transfer(file.id, offset, bytes, is_write,
                            file.stripes.params(), segments);
   }
+  obs::Tracer::SpanId span = 0;
+  if (tracer_ != nullptr) {
+    span = tracer_->begin({node, 0}, is_write ? "ppfs.write" : "ppfs.read",
+                          "ppfs");
+  }
   sim::TaskGroup group(machine_.engine());
   for (const pfs::Segment& seg : segments) {
     auto piece = [](Ppfs& fs, io::NodeId src, detail::PpfsFileObject& f,
@@ -63,6 +89,7 @@ sim::Task<> Ppfs::transfer(io::NodeId node, detail::PpfsFileObject& file,
     group.spawn(piece(*this, node, file, seg, is_write));
   }
   co_await group.join();
+  if (tracer_ != nullptr) tracer_->end(span);
   if (is_write) file.size = std::max(file.size, offset + bytes);
 }
 
@@ -90,7 +117,10 @@ sim::Task<> Ppfs::fetch_blocks(io::NodeId node, detail::PpfsFileObject& file,
       co_await fs.transfer(src, f, start, end - start, /*is_write=*/false);
       BlockCache& c = fs.node_cache(src);
       for (std::uint64_t b = lo_b; b < hi_b; ++b) {
-        c.insert(BlockKey{f.id, b}, pf);
+        const auto evicted = c.insert(BlockKey{f.id, b}, pf);
+        if (evicted && fs.m_cache_evictions_ != nullptr) {
+          fs.m_cache_evictions_->add();
+        }
         fs.inflight_.erase(FetchKey{src, f.id, b});
       }
       ev->set();
@@ -132,6 +162,9 @@ sim::Task<> Ppfs::cached_read(io::NodeId node, detail::PpfsFileObject& file,
   for (std::uint64_t b = first; b <= last; ++b) {
     const bool hit = cache.lookup(BlockKey{file.id, b}) &&
                      !inflight_.contains(FetchKey{node, file.id, b});
+    if (m_cache_hits_ != nullptr) {
+      (hit ? m_cache_hits_ : m_cache_misses_)->add();
+    }
     if (hit) {
       if (in_run) {
         runs.emplace_back(run_start, b - 1);
@@ -157,10 +190,16 @@ sim::Task<> Ppfs::flush_buffer(io::NodeId node,
   detail::WriteBuffer& buf = buffer(node, file.id);
   if (buf.extents.empty()) co_return;
   if (observer_) observer_->on_buffer_flush(file.id, buf.buffered_bytes());
+  if (m_flush_bytes_ != nullptr) {
+    m_flush_bytes_->record(buf.buffered_bytes());
+  }
   auto extents = buf.extents.extents();
   buf.extents.clear();
   ++counters_.flushes;
   counters_.flush_extents += extents.size();
+  if (m_flush_extents_ != nullptr) m_flush_extents_->record(extents.size());
+  obs::Tracer::SpanId span = 0;
+  if (tracer_ != nullptr) span = tracer_->begin({node, 0}, "ppfs.flush", "ppfs");
   sim::TaskGroup group(machine_.engine());
   for (const Extent& ext : extents) {
     auto ship = [](Ppfs& fs, io::NodeId src, detail::PpfsFileObject& f,
@@ -170,6 +209,7 @@ sim::Task<> Ppfs::flush_buffer(io::NodeId node,
     group.spawn(ship(*this, node, file, ext));
   }
   co_await group.join();
+  if (tracer_ != nullptr) tracer_->end(span);
 }
 
 sim::Task<io::FilePtr> Ppfs::open(io::NodeId node, const std::string& path,

@@ -27,6 +27,8 @@
 
 #include "hw/machine.hpp"
 #include "io/file.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "pfs/observer.hpp"
 #include "pfs/stripe.hpp"
 #include "ppfs/cache.hpp"
@@ -189,6 +191,14 @@ class Ppfs final : public io::FileSystem {
     return observer_;
   }
 
+  /// Publishes client-cache hit/miss/eviction counters
+  /// (`ppfs.cache.{hits,misses,evictions}`), write-behind flush sizes
+  /// (`ppfs.flush.{bytes,extents}` histograms), and per-ION aggregation
+  /// batch sizes (`ppfs.ion<k>.batch_requests`), and opens transfer/flush
+  /// spans on `tracer`.  Either may be null; detached hot-path cost is one
+  /// pointer test.
+  void attach_observability(obs::Registry* registry, obs::Tracer* tracer);
+
  private:
   friend class PpfsFile;
 
@@ -254,6 +264,14 @@ class Ppfs final : public io::FileSystem {
   io::FileId next_file_id_ = 1;
   PpfsCounters counters_;
   pfs::IoObserver* observer_ = nullptr;
+
+  // Observability handles; null until attach_observability.
+  obs::Counter* m_cache_hits_ = nullptr;
+  obs::Counter* m_cache_misses_ = nullptr;
+  obs::Counter* m_cache_evictions_ = nullptr;
+  obs::Histogram* m_flush_bytes_ = nullptr;
+  obs::Histogram* m_flush_extents_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace paraio::ppfs

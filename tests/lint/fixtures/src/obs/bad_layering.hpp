@@ -1,0 +1,11 @@
+// Lint fixture: seeded `layering` violations from the observability layer
+// (2 active, 1 suppressed).  obs may include sim/io/pablo only — the device
+// and file-system layers publish *into* obs, so obs reaching up to them
+// would cycle the library graph.  This file is never compiled.
+#pragma once
+
+#include "sim/engine.hpp"   // clean: obs may read simulated time
+#include "io/file.hpp"      // clean: obs may read file abstractions
+#include "hw/disk.hpp"      // violation: hw publishes into obs, not the reverse
+#include "ppfs/ppfs.hpp"    // violation: ppfs publishes into obs, not the reverse
+#include "pfs/pfs.hpp"      // paraio-lint: allow(layering)

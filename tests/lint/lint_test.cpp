@@ -111,6 +111,13 @@ TEST(LintFixtures, LayeringLowLayerSeededCounts) {
   EXPECT_EQ(t.suppressed, 1);
 }
 
+TEST(LintFixtures, LayeringObsSeededCounts) {
+  const auto findings = lint_fixture("src/obs/bad_layering.hpp");
+  const Tally t = tally(findings, "layering");
+  EXPECT_EQ(t.active, 2);
+  EXPECT_EQ(t.suppressed, 1);
+}
+
 TEST(LintFixtures, LayeringAppsFacadeSeededCounts) {
   const auto findings = lint_fixture("src/apps/bad_hw.cc");
   const Tally t = tally(findings, "layering");

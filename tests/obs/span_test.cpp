@@ -1,0 +1,160 @@
+// Unit tests for span tracing (nesting, parent links) and the Chrome
+// trace-event exporter (shape, determinism, JSON validity).
+#include "obs/span.hpp"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/chrome.hpp"
+#include "obs/metrics.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace paraio::obs {
+namespace {
+
+sim::Task<> nested(sim::Engine& engine, Tracer& tracer) {
+  const Tracer::SpanId outer = tracer.begin({0, 0}, "outer", "test");
+  co_await engine.delay(1.0);
+  const Tracer::SpanId inner = tracer.begin({0, 0}, "inner");
+  co_await engine.delay(2.0);
+  tracer.end(inner);
+  // A child on a different process, explicitly parented to the outer span.
+  const Tracer::SpanId remote =
+      tracer.begin_child({7, 1}, "remote", outer, "test");
+  co_await engine.delay(1.0);
+  tracer.end(remote);
+  tracer.end(outer);
+}
+
+TEST(Tracer, NestingAndParentLinks) {
+  sim::Engine engine;
+  Tracer tracer;
+  tracer.bind(engine);
+  engine.spawn(nested(engine, tracer));
+  engine.run();
+
+  ASSERT_EQ(tracer.spans().size(), 3u);
+  const auto& outer = tracer.spans()[0];
+  const auto& inner = tracer.spans()[1];
+  const auto& remote = tracer.spans()[2];
+
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.parent, 0u);
+  EXPECT_DOUBLE_EQ(outer.start, 0.0);
+  EXPECT_DOUBLE_EQ(outer.end, 4.0);
+
+  // Same-track nesting: the open outer span became inner's parent.
+  EXPECT_EQ(inner.parent, 1u);
+  EXPECT_DOUBLE_EQ(inner.start, 1.0);
+  EXPECT_DOUBLE_EQ(inner.end, 3.0);
+
+  // Cross-track child keeps the explicit parent and its own (pid, tid).
+  EXPECT_EQ(remote.parent, 1u);
+  EXPECT_EQ(remote.process, 7u);
+  EXPECT_EQ(remote.track, 1u);
+  EXPECT_TRUE(remote.closed());
+}
+
+TEST(Tracer, BeginChildDoesNotJoinTheOpenStack) {
+  sim::Engine engine;
+  Tracer tracer;
+  tracer.bind(engine);
+  const Tracer::SpanId parent = tracer.begin({0, 0}, "parent");
+  // Two concurrent children on the same foreign track: the second must be
+  // parented to `parent`, not to the still-open first child.
+  const Tracer::SpanId a = tracer.begin_child({1, 0}, "a", parent);
+  const Tracer::SpanId b = tracer.begin_child({1, 0}, "b", parent);
+  tracer.end(a);
+  tracer.end(b);
+  tracer.end(parent);
+  EXPECT_EQ(tracer.spans()[1].parent, parent);
+  EXPECT_EQ(tracer.spans()[2].parent, parent);
+}
+
+TEST(Tracer, EndIgnoresNullSpan) {
+  sim::Engine engine;
+  Tracer tracer;
+  tracer.bind(engine);
+  tracer.end(0);  // the "detached" id must be harmless
+  EXPECT_TRUE(tracer.spans().empty());
+}
+
+TEST(Tracer, CompleteRecordsClosedInterval) {
+  Tracer tracer;  // complete() needs no engine clock
+  tracer.complete({kGlobalProcess, 0}, "phase", 1.0, 5.0, "phase");
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  EXPECT_TRUE(tracer.spans()[0].closed());
+  EXPECT_DOUBLE_EQ(tracer.spans()[0].end, 5.0);
+}
+
+TEST(ChromeTrace, EmitsMetadataCompleteAndCounterEvents) {
+  sim::Engine engine;
+  Tracer tracer;
+  tracer.bind(engine);
+  tracer.name_process(3, "node3");
+  tracer.name_track({3, 1}, "pfs pieces");
+  tracer.complete({3, 1}, "pfs.read", 0.5, 1.5, "pfs");
+
+  Registry registry;
+  (void)registry.gauge("hw.link0.busy_s");
+  sim::Engine sample_engine;
+  {
+    Sampler sampler(sample_engine, registry, 1.0);
+    sample_engine.run();
+  }
+
+  const std::string json = chrome_trace_text(tracer, &registry);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"pfs.read\""), std::string::npos);
+  // Microsecond timestamps: 0.5 s -> 500000.000.
+  EXPECT_NE(json.find("\"ts\":500000.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1000000.000"), std::string::npos);
+  std::string error;
+  EXPECT_TRUE(validate_json(json, &error)) << error;
+}
+
+TEST(ChromeTrace, OpenSpansAreSkipped) {
+  sim::Engine engine;
+  Tracer tracer;
+  tracer.bind(engine);
+  (void)tracer.begin({0, 0}, "never-ends");
+  const std::string json = chrome_trace_text(tracer, nullptr);
+  EXPECT_EQ(json.find("never-ends"), std::string::npos);
+  std::string error;
+  EXPECT_TRUE(validate_json(json, &error)) << error;
+}
+
+TEST(ChromeTrace, EscapesSpanNames) {
+  Tracer tracer;
+  tracer.complete({0, 0}, "quote\" backslash\\ tab\t", 0.0, 1.0);
+  const std::string json = chrome_trace_text(tracer, nullptr);
+  EXPECT_NE(json.find("quote\\\" backslash\\\\ tab\\t"), std::string::npos);
+  std::string error;
+  EXPECT_TRUE(validate_json(json, &error)) << error;
+}
+
+TEST(ValidateJson, AcceptsValidDocuments) {
+  for (const char* doc :
+       {"{}", "[]", "{\"a\": [1, -2.5, 1e9, true, false, null, \"s\"]}",
+        "  {\"nested\": {\"deep\": [[[]]]}}  "}) {
+    std::string error;
+    EXPECT_TRUE(validate_json(doc, &error)) << doc << ": " << error;
+  }
+}
+
+TEST(ValidateJson, RejectsInvalidDocuments) {
+  for (const char* doc :
+       {"", "{", "}", "{\"a\":}", "{\"a\": 1,}", "[1 2]", "{'a': 1}",
+        "{\"a\": 01}", "{\"a\": 1} trailing", "nulll", "\"unterminated"}) {
+    std::string error;
+    EXPECT_FALSE(validate_json(doc, &error)) << doc;
+    EXPECT_FALSE(error.empty()) << doc;
+  }
+}
+
+}  // namespace
+}  // namespace paraio::obs

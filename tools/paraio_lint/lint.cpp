@@ -495,19 +495,23 @@ struct LayerRule {
 const std::vector<LayerRule>& layer_rules() {
   static const std::vector<LayerRule> kRules = {
       {"sim", {"sim"}},
-      {"hw", {"hw", "sim"}},
+      // The observability layer may read simulation/file abstractions but
+      // never the device or file-system layers that publish into it (those
+      // include obs, so the reverse edge would be a cycle).
+      {"obs", {"obs", "pablo", "io", "sim"}},
+      {"hw", {"hw", "obs", "sim"}},
       {"io", {"io", "hw", "sim"}},
-      {"pfs", {"pfs", "io", "hw", "sim"}},
-      {"ppfs", {"ppfs", "pfs", "io", "hw", "sim"}},
+      {"pfs", {"pfs", "obs", "io", "hw", "sim"}},
+      {"ppfs", {"ppfs", "pfs", "obs", "io", "hw", "sim"}},
       {"pablo", {"pablo", "io", "hw", "sim"}},
       {"analysis", {"analysis", "pablo", "io", "sim"}},
       {"apps", {"apps", "analysis", "pablo", "io", "hw", "sim"}},
       {"core",
-       {"core", "apps", "analysis", "pablo", "ppfs", "pfs", "io", "hw",
+       {"core", "apps", "analysis", "pablo", "ppfs", "pfs", "obs", "io", "hw",
         "sim"}},
       {"testkit",
-       {"testkit", "core", "apps", "analysis", "pablo", "ppfs", "pfs", "io",
-        "hw", "sim"}},
+       {"testkit", "core", "apps", "analysis", "pablo", "ppfs", "pfs", "obs",
+        "io", "hw", "sim"}},
   };
   return kRules;
 }
