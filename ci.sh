@@ -1,15 +1,21 @@
 #!/usr/bin/env bash
 # Continuous-integration entry point:
 #
-#   1. lint  — paraio_lint over every shipping source tree (src/, bench/,
-#              examples/, tools/); any unsuppressed finding fails CI.
-#   2. build — the tier-1 verification (build + full test suite) in a plain
-#              build, warnings promoted to errors.
-#   3. obs   — paraio_stat on a small ESCAT run: the report must mention the
-#              key signals and the emitted Chrome trace must be valid JSON
-#              (paraio_stat revalidates it before writing and exits nonzero
-#              otherwise); any lint finding in src/obs fails, even warnings.
-#   4. asan  — the same suite under AddressSanitizer + UBSanitizer.
+#   1. lint   — paraio_lint (cross-file concurrency checks included) over
+#               every shipping source tree (src/, bench/, examples/,
+#               tools/); any unsuppressed finding fails CI.
+#   2. build  — the tier-1 verification (build + full test suite) in a plain
+#               build, warnings promoted to errors.
+#   3. verify — the concurrency-verification layer on its own: the
+#               schedule-perturbation checker over the golden suite, the
+#               deadlock-detector tests, and a tree-wide lint run that
+#               leaves a SARIF artifact (build/paraio_lint.sarif).
+#   4. obs    — paraio_stat on a small ESCAT run: the report must mention
+#               the key signals and the emitted Chrome trace must be valid
+#               JSON (paraio_stat revalidates it before writing and exits
+#               nonzero otherwise); any lint finding in src/obs fails, even
+#               warnings.
+#   5. asan   — the same suite under AddressSanitizer + UBSanitizer.
 #
 #   ./ci.sh            # all stages
 #   ./ci.sh --fast     # lint + plain stage only
@@ -33,10 +39,26 @@ echo "== lint =="
 lint_dir=build-lint
 mkdir -p "${lint_dir}"
 "${CXX:-c++}" -std=c++20 -O1 -o "${lint_dir}/paraio_lint" \
-  tools/paraio_lint/lint.cpp tools/paraio_lint/main.cpp -I tools
+  tools/paraio_lint/lint.cpp tools/paraio_lint/sarif.cpp \
+  tools/paraio_lint/main.cpp src/obs/json.cpp -I tools -I src
 "${lint_dir}/paraio_lint" --werror src bench examples tools
 
 run_stage build -DPARAIO_WERROR=ON
+
+# --- verify stage ----------------------------------------------------------
+# The concurrency-verification layer, run as its own gate so a scheduling
+# or deadlock regression is named directly instead of drowning in the full
+# suite output: schedule-perturbation invariance over the golden
+# configurations, the runtime deadlock detector, and the tie-break kernel.
+echo "== verify: schedule perturbation + deadlock detection =="
+ctest --test-dir build --output-on-failure -j "${jobs}" \
+  -R 'Perturb|DeadlockDetector|TieBreak'
+
+echo "== verify: tree-wide lint with SARIF artifact =="
+"${lint_dir}/paraio_lint" --werror --sarif=build/paraio_lint.sarif \
+  src bench examples tools
+test -s build/paraio_lint.sarif
+grep -q '"version":"2.1.0"' build/paraio_lint.sarif
 
 # --- observability stage ---------------------------------------------------
 echo "== obs: lint src/obs (warnings fatal) =="

@@ -26,6 +26,7 @@ sim::Task<> drive(App& app, io::FileSystem& bare, ExperimentResult& result,
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   sim::Engine engine;
+  engine.set_tie_break_seed(config.tie_break_seed);
   engine.set_observer(config.hooks.engine);
   hw::Machine machine(engine, config.machine);
 

@@ -71,6 +71,13 @@ struct ExperimentConfig {
   FsChoice filesystem;
   AppConfig app;
   ExperimentHooks hooks;
+  /// Same-instant event tie-break permutation seed (0 = the FIFO order the
+  /// golden traces are recorded under).  Any seed yields a valid causal
+  /// schedule; a correct simulation keeps its logical I/O signature
+  /// invariant under every seed (timings may differ when simultaneous
+  /// requests contend).  The testkit's schedule-perturbation checker
+  /// (testkit/perturb.hpp) asserts exactly that.
+  std::uint64_t tie_break_seed = 0;
 };
 
 struct ExperimentResult {

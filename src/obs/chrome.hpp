@@ -13,8 +13,8 @@
 
 #include <iosfwd>
 #include <string>
-#include <string_view>
 
+#include "obs/json.hpp"  // validate_json lives there; re-exported for callers
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 
@@ -30,12 +30,5 @@ void write_chrome_trace(std::ostream& out, const Tracer& tracer,
 /// Convenience: render to a string (tests, determinism comparisons).
 [[nodiscard]] std::string chrome_trace_text(const Tracer& tracer,
                                             const Registry* registry = nullptr);
-
-/// Minimal strict JSON validator (RFC 8259 subset: no duplicate-key or
-/// number-range policing).  Returns true when `text` is exactly one valid
-/// JSON value; on failure `error`, if non-null, receives a short message
-/// with the byte offset.
-[[nodiscard]] bool validate_json(std::string_view text,
-                                 std::string* error = nullptr);
 
 }  // namespace paraio::obs

@@ -1,0 +1,196 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+
+namespace paraio::obs {
+
+namespace {
+
+/// Recursive-descent JSON parser that only answers "is this valid?".
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool run(std::string* error) {
+    skip_ws();
+    if (!value(0)) return fail(error);
+    skip_ws();
+    if (pos_ != text_.size()) {
+      message_ = "trailing characters";
+      return fail(error);
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  bool fail(std::string* error) const {
+    if (error != nullptr) {
+      *error = message_ + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      message_ = "invalid literal";
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value(int depth) {
+    if (depth > kMaxDepth) {
+      message_ = "nesting too deep";
+      return false;
+    }
+    switch (peek()) {
+      case '{':
+        return object(depth);
+      case '[':
+        return array(depth);
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object(int depth) {
+    ++pos_;  // '{'
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!eat(':')) {
+        message_ = "expected ':'";
+        return false;
+      }
+      skip_ws();
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) return true;
+      message_ = "expected ',' or '}'";
+      return false;
+    }
+  }
+
+  bool array(int depth) {
+    ++pos_;  // '['
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat(']')) return true;
+      message_ = "expected ',' or ']'";
+      return false;
+    }
+  }
+
+  bool string() {
+    if (!eat('"')) {
+      message_ = "expected string";
+      return false;
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        message_ = "raw control character in string";
+        return false;
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size() ||
+                std::isxdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+              message_ = "bad \\u escape";
+              return false;
+            }
+            ++pos_;
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          message_ = "bad escape";
+          return false;
+        }
+      }
+    }
+    message_ = "unterminated string";
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    eat('-');
+    if (eat('0')) {
+      // no further integer digits allowed
+    } else if (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    } else {
+      message_ = "expected value";
+      pos_ = start;
+      return false;
+    }
+    if (eat('.')) {
+      if (std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+        message_ = "expected fraction digits";
+        return false;
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+        message_ = "expected exponent digits";
+        return false;
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string message_ = "invalid JSON";
+};
+
+}  // namespace
+
+bool validate_json(std::string_view text, std::string* error) {
+  return JsonChecker(text).run(error);
+}
+
+}  // namespace paraio::obs

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "sim/deadlock.hpp"
 #include "sim/race.hpp"
 #include "sim/task_group.hpp"
 
@@ -291,7 +292,16 @@ sim::Task<std::uint64_t> PfsFile::transfer_mode_dispatch(std::uint64_t bytes,
       co_await fs_.control_rpc(node_, fs_.meta_ion_of(f),
                                fs_.params().meta_service);
       const sim::SimTime gate_arrival = fs_.machine().engine().now();
+      auto* deadlocks = sim::DeadlockDetector::find(fs_.machine().engine());
+      if (deadlocks) {
+        deadlocks->lock_wait(deadlocks->task_for_key(node_, "node"),
+                             f.token.get(), "pfs:" + f.name + ":token");
+      }
       co_await f.token->lock();
+      if (deadlocks) {
+        deadlocks->lock_acquired(deadlocks->task_for_key(node_, "node"),
+                                 f.token.get(), "pfs:" + f.name + ":token");
+      }
       fs_.note_mode_wait(fs_.machine().engine().now() - gate_arrival);
       auto* races = sim::RaceDetector::find(fs_.machine().engine());
       if (races) {
@@ -306,6 +316,10 @@ sim::Task<std::uint64_t> PfsFile::transfer_mode_dispatch(std::uint64_t bytes,
       }
       f.shared_offset = off + reserve;
       if (races) races->release(races->task_for_key(node_, "node"), f.token.get());
+      if (deadlocks) {
+        deadlocks->lock_released(deadlocks->task_for_key(node_, "node"),
+                                 f.token.get());
+      }
       f.token->unlock();
       const std::uint64_t n = co_await fs_.transfer(node_, f, off, reserve,
                                                     is_write);

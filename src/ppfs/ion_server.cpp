@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/deadlock.hpp"
+
 namespace paraio::ppfs {
 
 namespace {
@@ -63,8 +65,32 @@ sim::Task<> IonServer::submit(io::NodeId src, std::uint64_t disk_address,
   req.src = src;
   req.done = std::make_shared<sim::Event>(machine_.engine());
   auto done = req.done;
-  co_await queue_.send(std::move(req));
-  co_await done->wait();
+  auto* deadlocks = sim::DeadlockDetector::find(machine_.engine());
+  if (deadlocks) {
+    // The server daemon is the only task that drains this queue and sets
+    // the completion event; declare those roles so a wedged submit() is
+    // traced to it instead of reported as stranded.
+    const auto client = deadlocks->task_for_key(src, "node");
+    const auto server = deadlocks->task_for_key(
+        (std::uint64_t{1} << 32) | ion_index_, "ion-server");
+    const std::string queue_label =
+        "ppfs:ion" + std::to_string(ion_index_) + ":queue";
+    deadlocks->channel_receiver(server, &queue_, queue_label);
+    deadlocks->send_wait(client, &queue_, queue_label);
+    co_await queue_.send(std::move(req));
+    deadlocks->send_done(client, &queue_);
+    deadlocks->cond_provider(server, done.get(),
+                             "ppfs:ion" + std::to_string(ion_index_) +
+                                 ":request-done");
+    deadlocks->cond_wait(client, done.get(),
+                         "ppfs:ion" + std::to_string(ion_index_) +
+                             ":request-done");
+    co_await done->wait();
+    deadlocks->cond_woken(client, done.get());
+  } else {
+    co_await queue_.send(std::move(req));
+    co_await done->wait();
+  }
   // Reply: the data (read) or an ack (write) travels back.
   co_await machine_.net().send(ion_node, src,
                                is_write ? kControlBytes : length);
@@ -73,7 +99,20 @@ sim::Task<> IonServer::submit(io::NodeId src, std::uint64_t disk_address,
 sim::Task<> IonServer::serve() {
   for (;;) {
     std::vector<Request> batch;
-    batch.push_back(co_await queue_.recv());
+    auto* deadlocks = sim::DeadlockDetector::find(machine_.engine());
+    if (deadlocks) {
+      const auto server = deadlocks->task_for_key(
+          (std::uint64_t{1} << 32) | ion_index_, "ion-server");
+      deadlocks->set_daemon(server);
+      const std::string queue_label =
+          "ppfs:ion" + std::to_string(ion_index_) + ":queue";
+      deadlocks->channel_receiver(server, &queue_, queue_label);
+      deadlocks->recv_wait(server, &queue_, queue_label);
+      batch.push_back(co_await queue_.recv());
+      deadlocks->recv_done(server, &queue_);
+    } else {
+      batch.push_back(co_await queue_.recv());
+    }
     if (aggregate_) {
       while (auto more = queue_.try_recv()) {
         batch.push_back(std::move(*more));

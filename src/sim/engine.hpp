@@ -22,6 +22,11 @@ namespace paraio::sim {
 class EngineObserver {
  public:
   virtual ~EngineObserver() = default;
+  /// Next observer in an attach chain.  Detectors that wrap a previously
+  /// attached observer (RaceDetector, DeadlockDetector) override this so
+  /// their find() helpers can locate any detector anywhere in the chain,
+  /// not just the outermost one.
+  [[nodiscard]] virtual EngineObserver* chained() const { return nullptr; }
   /// An event was scheduled for absolute time `when` while now() == `now`.
   virtual void on_schedule(SimTime now, SimTime when) {
     (void)now;
@@ -108,6 +113,16 @@ class Engine {
   /// Attaches (or, with nullptr, detaches) the kernel observer.
   void set_observer(EngineObserver* observer) { observer_ = observer; }
   [[nodiscard]] EngineObserver* observer() const noexcept { return observer_; }
+
+  /// Seeds the same-instant tie-break permutation (see
+  /// EventQueue::set_tie_break_seed).  Call before any event is scheduled;
+  /// seed 0 is the default FIFO order the golden traces are recorded under.
+  void set_tie_break_seed(std::uint64_t seed) {
+    queue_.set_tie_break_seed(seed);
+  }
+  [[nodiscard]] std::uint64_t tie_break_seed() const noexcept {
+    return queue_.tie_break_seed();
+  }
 
   /// Awaitable that suspends the current task for `delay` simulated seconds.
   /// Usage: `co_await engine.delay(sim::milliseconds(17));`

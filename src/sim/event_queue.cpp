@@ -4,9 +4,28 @@
 
 namespace paraio::sim {
 
+namespace {
+
+/// SplitMix64 finalizer: a fixed bijection on 64-bit values, so distinct
+/// sequence numbers always map to distinct tie-break keys.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void EventQueue::set_tie_break_seed(std::uint64_t seed) {
+  assert(empty() && "tie-break seed must be set while the queue is empty");
+  tie_seed_ = seed;
+}
+
 EventId EventQueue::schedule(SimTime when, Action action) {
   const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{when, seq});
+  const std::uint64_t key = tie_seed_ == 0 ? seq : mix64(seq ^ tie_seed_);
+  heap_.push(Entry{when, seq, key});
   pending_.emplace(seq, std::move(action));
   ++live_;
   return EventId{seq};

@@ -29,6 +29,19 @@ class EventQueue {
  public:
   using Action = std::function<void()>;
 
+  /// Seeds the schedule-perturbation mode: with a non-zero seed, events at
+  /// the *same* instant are ordered by a seeded permutation of their
+  /// insertion sequence instead of FIFO.  Causality is preserved (an event
+  /// can never run before it is scheduled, and time order is untouched), so
+  /// every seed yields a valid schedule — code whose results depend on the
+  /// seed is relying on the FIFO tie-break, exactly what the testkit's
+  /// perturbation checker hunts for.  Seed 0 restores plain FIFO.  Must be
+  /// set while the queue is empty; keys are stamped at schedule time.
+  void set_tie_break_seed(std::uint64_t seed);
+  [[nodiscard]] std::uint64_t tie_break_seed() const noexcept {
+    return tie_seed_;
+  }
+
   /// Schedules `action` at absolute time `when`.  `when` may equal the
   /// current time (the event fires after all earlier-scheduled events at the
   /// same instant).
@@ -56,9 +69,11 @@ class EventQueue {
   struct Entry {
     SimTime when;
     std::uint64_t seq;
+    std::uint64_t key;  // == seq under FIFO; permuted under a tie-break seed
     // std::priority_queue is a max-heap, so invert the comparison.
     bool operator<(const Entry& other) const {
       if (when != other.when) return when > other.when;
+      if (key != other.key) return key > other.key;
       return seq > other.seq;
     }
   };
@@ -70,6 +85,7 @@ class EventQueue {
   std::unordered_map<std::uint64_t, Action> pending_;  // seq -> action
   std::uint64_t next_seq_ = 1;
   std::size_t live_ = 0;
+  std::uint64_t tie_seed_ = 0;
 };
 
 }  // namespace paraio::sim

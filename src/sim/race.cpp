@@ -15,7 +15,10 @@ RaceDetector::~RaceDetector() {
 }
 
 RaceDetector* RaceDetector::find(Engine& engine) {
-  return dynamic_cast<RaceDetector*>(engine.observer());
+  for (EngineObserver* o = engine.observer(); o != nullptr; o = o->chained()) {
+    if (auto* det = dynamic_cast<RaceDetector*>(o)) return det;
+  }
+  return nullptr;
 }
 
 void RaceDetector::on_schedule(SimTime now, SimTime when) {

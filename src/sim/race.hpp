@@ -70,12 +70,14 @@ class RaceDetector : public EngineObserver {
   RaceDetector(const RaceDetector&) = delete;
   RaceDetector& operator=(const RaceDetector&) = delete;
 
-  /// The detector attached to `engine`, or nullptr.  Used by annotation
-  /// sites in production code (e.g. the PFS shared-pointer path), which must
-  /// stay zero-cost when no detector is watching.
+  /// The detector attached to `engine` (anywhere in the observer chain), or
+  /// nullptr.  Used by annotation sites in production code (e.g. the PFS
+  /// shared-pointer path), which must stay zero-cost when no detector is
+  /// watching.
   static RaceDetector* find(Engine& engine);
 
   // --- sim::EngineObserver (forwarded to the chained observer) ---
+  [[nodiscard]] EngineObserver* chained() const override { return chained_; }
   void on_schedule(SimTime now, SimTime when) override;
   void on_event(SimTime when) override;
   void on_run_complete(SimTime now, std::size_t pending_events,

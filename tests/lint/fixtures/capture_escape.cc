@@ -1,0 +1,41 @@
+// Lint fixture: `capture-escape` (2 active, 1 suppressed).  Handing the
+// address of a stack local to a *detached* coroutine (Engine::spawn /
+// spawn_daemon) leaves the frame with a dangling pointer once the caller
+// returns.  Structured spawns (a joined TaskGroup), by-value arguments,
+// and members (owned by a live object) are clean.
+namespace sim {
+template <typename T = void>
+struct Task {};
+}  // namespace sim
+
+namespace fixture {
+
+struct Engine {
+  void spawn(sim::Task<>);
+  void spawn_daemon(sim::Task<>);
+};
+struct TaskGroup {
+  void spawn(sim::Task<>);
+  sim::Task<> join();
+};
+
+sim::Task<> writer(int* sink);
+sim::Task<> monitor(const bool& flag);
+sim::Task<> reader(int budget);
+
+struct Driver {
+  int total_ = 0;
+
+  void run(Engine& engine, TaskGroup& group) {
+    int count = 0;
+    bool stop = false;
+    engine.spawn(writer(&count));                 // violation
+    engine.spawn_daemon(monitor(std::ref(stop)));  // violation
+    engine.spawn(writer(&count));  // paraio-lint: allow(capture-escape)
+    group.spawn(writer(&count));   // clean: group joined before unwind
+    engine.spawn(reader(count));   // clean: by value
+    engine.spawn(writer(&total_));  // clean: member outlives the run
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,49 @@
+// Lint fixture: `channel-self-deadlock` (2 active, 1 suppressed).  A
+// coroutine that is both the sender and the only receiver of a *bounded*
+// channel wedges once the buffer fills; an unbounded channel in the same
+// shape is clean (sends never block), as is a bounded channel whose send
+// and recv live in different coroutines.
+namespace sim {
+struct Engine {};
+template <typename T = void>
+struct Task {};
+template <typename T>
+struct Channel {
+  static constexpr unsigned kUnbounded = ~0u;
+  Channel(Engine& engine, unsigned capacity);
+  Task<> send(T value);
+  Task<T> recv();
+};
+}  // namespace sim
+
+namespace fixture {
+
+sim::Task<> self_loop(sim::Engine& engine) {
+  sim::Channel<int> work(engine, 4);
+  co_await work.send(1);             // violation: nobody else drains work
+  co_await work.send(2);             // violation
+  int got = co_await work.recv();
+  (void)got;
+}
+
+sim::Task<> audited_loop(sim::Engine& engine) {
+  sim::Channel<int> retry(engine, 2);
+  co_await retry.send(1);  // paraio-lint: allow(channel-self-deadlock)
+  int got = co_await retry.recv();
+  (void)got;
+}
+
+sim::Task<> log_loop(sim::Engine& engine) {
+  sim::Channel<int> log(engine, sim::Channel<int>::kUnbounded);
+  co_await log.send(1);  // clean: unbounded sends never block
+  int got = co_await log.recv();
+  (void)got;
+}
+
+// Bounded, but the roles are split across coroutines: clean.
+sim::Task<> producer(sim::Channel<int>& feed) { co_await feed.send(7); }
+sim::Task<int> consumer(sim::Channel<int>& feed) {
+  co_return co_await feed.recv();
+}
+
+}  // namespace fixture

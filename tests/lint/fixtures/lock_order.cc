@@ -1,0 +1,60 @@
+// Lint fixture: `lock-order` acquisition-order cycle (2 active warnings,
+// 1 suppressed).  flush() takes meta_ then data_; compact() takes data_
+// then meta_ — the classic AB/BA deadlock shape the runtime
+// sim::DeadlockDetector would report as a two-task cycle.  audit() repeats
+// the flush() order under a suppression.  journal()/rotate() take log_
+// then index_ consistently, so they stay clean.
+namespace sim {
+template <typename T = void>
+struct Task {};
+struct Mutex {
+  Task<> lock();
+  void unlock();
+};
+}  // namespace sim
+
+namespace fixture {
+
+struct Store {
+  sim::Mutex meta_;
+  sim::Mutex data_;
+  sim::Mutex log_;
+  sim::Mutex index_;
+
+  sim::Task<> flush() {
+    co_await meta_.lock();
+    co_await data_.lock();  // violation: meta_ -> data_ vs compact()'s order
+    data_.unlock();
+    meta_.unlock();
+  }
+
+  sim::Task<> compact() {
+    co_await data_.lock();
+    co_await meta_.lock();  // violation: data_ -> meta_ vs flush()'s order
+    meta_.unlock();
+    data_.unlock();
+  }
+
+  sim::Task<> audit() {
+    co_await meta_.lock();
+    co_await data_.lock();  // paraio-lint: allow(lock-order)
+    data_.unlock();
+    meta_.unlock();
+  }
+
+  sim::Task<> journal() {
+    co_await log_.lock();
+    co_await index_.lock();  // clean: same order as rotate()
+    index_.unlock();
+    log_.unlock();
+  }
+
+  sim::Task<> rotate() {
+    co_await log_.lock();
+    co_await index_.lock();  // clean
+    index_.unlock();
+    log_.unlock();
+  }
+};
+
+}  // namespace fixture

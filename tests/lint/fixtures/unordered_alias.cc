@@ -1,0 +1,32 @@
+// Lint fixture: `unordered-iter` reached through type aliases (2 active,
+// 1 suppressed).  The container is unordered only via `using`/`typedef`
+// indirection — including an alias of an alias — which the linter resolves
+// to fixpoint in its project-index pass.
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+using NodeSet = std::unordered_set<int>;
+using Pending = NodeSet;  // alias of an alias: still unordered
+typedef std::unordered_map<int, int> BlockMap;
+using Totals = std::map<int, int>;  // ordered alias: clean
+
+struct Router {
+  NodeSet peers_;
+  Pending backlog_;
+  BlockMap blocks_;
+  Totals totals_;
+
+  int fanout() {
+    int sum = 0;
+    for (int peer : peers_) sum += peer;                      // violation
+    for (const auto& [block, bytes] : blocks_) sum += bytes;  // violation
+    for (int peer : backlog_) sum += peer;  // paraio-lint: allow(unordered-iter)
+    for (const auto& [key, value] : totals_) sum += value;    // clean
+    return sum;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Lint fixture (cross-TU pair, part 1 of 2): declares a Task<>-returning
+// function.  xtu_task_use.cc discards its result from a *different*
+// translation unit with a different stem — only the whole-program symbol
+// table built by index_project() can connect the two.  Expected findings
+// in this file: zero.
+namespace sim {
+template <typename T = void>
+struct Task {};
+}  // namespace sim
+
+namespace fixture {
+
+sim::Task<> replicate(int shard);
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Lint fixture (cross-TU pair, part 2 of 2): discards the Task declared in
+// xtu_task_decl.cc.  Linted alone this file is clean (no local knowledge
+// that `replicate` is a coroutine); linted with its sibling indexed, the
+// bare call is a `discarded-task` error (1 active).
+namespace fixture {
+
+inline void drive_shards() {
+  fixture::replicate(0);  // violation — but only with the cross-TU index
+  fixture::replicate(1);  // paraio-lint: allow(discarded-task)
+}
+
+}  // namespace fixture

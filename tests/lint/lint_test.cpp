@@ -11,6 +11,9 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/json.hpp"
+#include "paraio_lint/sarif.hpp"
+
 namespace {
 
 using paraio::lint::Finding;
@@ -125,6 +128,77 @@ TEST(LintFixtures, LayeringAppsFacadeSeededCounts) {
   EXPECT_EQ(t.suppressed, 1);
 }
 
+// Satellite regression: containers that are unordered only through a
+// `using`/`typedef` alias (including an alias of an alias) used to slip
+// past the check entirely.
+TEST(LintFixtures, UnorderedAliasSeededCounts) {
+  const auto findings = lint_fixture("unordered_alias.cc");
+  const Tally t = tally(findings, "unordered-iter");
+  EXPECT_EQ(t.active, 2);
+  EXPECT_EQ(t.suppressed, 1);
+}
+
+TEST(LintFixtures, LockOrderSeededCounts) {
+  const auto findings = lint_fixture("lock_order.cc");
+  const Tally t = tally(findings, "lock-order");
+  EXPECT_EQ(t.active, 2);
+  EXPECT_EQ(t.suppressed, 1);
+  for (const auto& f : findings) {
+    if (std::string("lock-order") == f.check) {
+      EXPECT_EQ(f.severity, Severity::kWarning);
+      // Each report names a counterpart site with the opposite order.
+      EXPECT_NE(f.message.find("opposite order"), std::string::npos);
+    }
+  }
+}
+
+TEST(LintFixtures, ChannelSelfDeadlockSeededCounts) {
+  const auto findings = lint_fixture("channel_deadlock.cc");
+  const Tally t = tally(findings, "channel-self-deadlock");
+  EXPECT_EQ(t.active, 2);
+  EXPECT_EQ(t.suppressed, 1);
+  for (const auto& f : findings) {
+    if (std::string("channel-self-deadlock") == f.check) {
+      EXPECT_EQ(f.severity, Severity::kError);
+    }
+  }
+}
+
+TEST(LintFixtures, CaptureEscapeSeededCounts) {
+  const auto findings = lint_fixture("capture_escape.cc");
+  const Tally t = tally(findings, "capture-escape");
+  EXPECT_EQ(t.active, 2);
+  EXPECT_EQ(t.suppressed, 1);
+}
+
+// Findings carry precise 1-based columns pointing at the offending token,
+// not just a line number.
+TEST(LintFixtures, FindingsCarryColumns) {
+  const SourceFile file = load_fixture("unordered_alias.cc");
+  const std::vector<SourceFile> files = {file};
+  const ProjectIndex index = paraio::lint::index_project(files);
+  const auto findings = paraio::lint::lint_file(file, index, Options{});
+
+  std::vector<std::string> lines;
+  std::stringstream text(file.content);
+  for (std::string line; std::getline(text, line);) lines.push_back(line);
+
+  int checked = 0;
+  for (const auto& f : findings) {
+    if (std::string("unordered-iter") != f.check || f.suppressed) continue;
+    ASSERT_GE(f.line, 1u);
+    ASSERT_LE(f.line, lines.size());
+    ASSERT_GE(f.col, 1u);
+    const std::string& line = lines[f.line - 1];
+    // The column lands exactly on the iterated container's name.
+    const std::string at = line.substr(f.col - 1);
+    EXPECT_TRUE(at.rfind("peers_", 0) == 0 || at.rfind("blocks_", 0) == 0)
+        << "col " << f.col << " points at: " << at;
+    ++checked;
+  }
+  EXPECT_EQ(checked, 2);
+}
+
 TEST(LintFixtures, CleanExemplarHasNoFindings) {
   const auto findings = lint_fixture("clean.cc");
   EXPECT_TRUE(findings.empty()) << "unexpected finding: "
@@ -169,6 +243,141 @@ TEST(LintIndex, UnorderedMemberRecognizedAcrossFiles) {
   EXPECT_EQ(tally(findings, "unordered-iter").active, 1);
 }
 
+// The tentpole fix: a Task<>-returning function declared in one translation
+// unit and discarded in another (different stem, so sibling-file visibility
+// cannot connect them) is caught by the whole-program symbol table — and
+// only by it: linting the use site alone stays clean.
+TEST(LintIndex, DiscardedTaskRecognizedAcrossTranslationUnits) {
+  const SourceFile decl = load_fixture("xtu_task_decl.cc");
+  const SourceFile use = load_fixture("xtu_task_use.cc");
+
+  {
+    const std::vector<SourceFile> alone = {use};
+    const ProjectIndex index = paraio::lint::index_project(alone);
+    const auto findings = paraio::lint::lint_file(use, index, Options{});
+    EXPECT_EQ(tally(findings, "discarded-task").active, 0);
+  }
+  {
+    const std::vector<SourceFile> both = {decl, use};
+    const ProjectIndex index = paraio::lint::index_project(both);
+    EXPECT_TRUE(index.global_task_fns.contains("replicate"));
+    const auto findings = paraio::lint::lint_file(use, index, Options{});
+    EXPECT_EQ(tally(findings, "discarded-task").active, 1);
+    EXPECT_EQ(tally(findings, "discarded-task").suppressed, 1);
+    const auto decl_findings =
+        paraio::lint::lint_file(decl, index, Options{});
+    EXPECT_TRUE(decl_findings.empty());
+  }
+}
+
+// A name declared with a Task return type in one file but a non-Task return
+// type in another (`run` is both `SimTime Engine::run()` and
+// `Task<> App::run()` in the real tree) must NOT join the global set:
+// flagging every bare `x.run();` would drown the build in false positives.
+TEST(LintIndex, AmbiguousTaskNamesStaySiblingOnly) {
+  const SourceFile coro{
+      "fake/app.hpp",
+      "namespace sim { template <typename T = void> struct Task {}; }\n"
+      "struct App { sim::Task<> run(); };\n"};
+  const SourceFile plain{
+      "fake/engine.hpp",
+      "struct Engine { double run(); };\n"};
+  const SourceFile use{
+      "fake/driver.cc",
+      "void drive(Engine& engine) {\n"
+      "  engine.run();\n"
+      "}\n"};
+  const std::vector<SourceFile> files = {coro, plain, use};
+  const ProjectIndex index = paraio::lint::index_project(files);
+  EXPECT_FALSE(index.global_task_fns.contains("run"));
+  const auto findings = paraio::lint::lint_file(use, index, Options{});
+  EXPECT_EQ(tally(findings, "discarded-task").active, 0);
+}
+
+// The lock-acquisition graph spans files: an A->B order in one file and a
+// B->A order in another form a cycle, reported at both acquisition sites.
+TEST(LintIndex, LockOrderCycleAcrossFiles) {
+  const std::string preamble =
+      "namespace sim { template <typename T = void> struct Task {};\n"
+      "struct Mutex { Task<> lock(); void unlock(); }; }\n";
+  const SourceFile forward{
+      "fake/flush.cc",
+      preamble +
+          "sim::Task<> flush(sim::Mutex& meta, sim::Mutex& data) {\n"
+          "  co_await meta.lock();\n"
+          "  co_await data.lock();\n"
+          "  data.unlock();\n"
+          "  meta.unlock();\n"
+          "}\n"};
+  const SourceFile backward{
+      "fake/compact.cc",
+      preamble +
+          "sim::Task<> compact(sim::Mutex& meta, sim::Mutex& data) {\n"
+          "  co_await data.lock();\n"
+          "  co_await meta.lock();\n"
+          "  meta.unlock();\n"
+          "  data.unlock();\n"
+          "}\n"};
+  const std::vector<SourceFile> files = {forward, backward};
+  const ProjectIndex index = paraio::lint::index_project(files);
+  EXPECT_EQ(index.global_findings.size(), 2u);
+  EXPECT_EQ(tally(paraio::lint::lint_file(forward, index, Options{}),
+                  "lock-order")
+                .active,
+            1);
+  EXPECT_EQ(tally(paraio::lint::lint_file(backward, index, Options{}),
+                  "lock-order")
+                .active,
+            1);
+}
+
+// Consistent acquisition order across files stays silent.
+TEST(LintIndex, ConsistentLockOrderIsClean) {
+  const std::string preamble =
+      "namespace sim { template <typename T = void> struct Task {};\n"
+      "struct Mutex { Task<> lock(); void unlock(); }; }\n";
+  const SourceFile one{
+      "fake/one.cc",
+      preamble +
+          "sim::Task<> f(sim::Mutex& a, sim::Mutex& b) {\n"
+          "  co_await a.lock();\n  co_await b.lock();\n"
+          "  b.unlock();\n  a.unlock();\n}\n"};
+  const SourceFile two{
+      "fake/two.cc",
+      preamble +
+          "sim::Task<> g(sim::Mutex& a, sim::Mutex& b) {\n"
+          "  co_await a.lock();\n  co_await b.lock();\n"
+          "  b.unlock();\n  a.unlock();\n}\n"};
+  const std::vector<SourceFile> files = {one, two};
+  const ProjectIndex index = paraio::lint::index_project(files);
+  EXPECT_TRUE(index.global_findings.empty());
+}
+
+// SARIF export: valid JSON (checked with the same dependency-free validator
+// the trace exporter uses), one rule per catalog entry, suppressed findings
+// marked rather than dropped.
+TEST(LintSarif, ExportIsValidJsonWithRulesAndSuppressions) {
+  const SourceFile file = load_fixture("unordered_iter.cc");
+  const std::vector<SourceFile> files = {file};
+  const ProjectIndex index = paraio::lint::index_project(files);
+  const auto findings = paraio::lint::lint_file(file, index, Options{});
+  ASSERT_FALSE(findings.empty());
+
+  const std::string sarif = paraio::lint::to_sarif(findings);
+  std::string why;
+  EXPECT_TRUE(paraio::obs::validate_json(sarif, &why)) << why;
+  EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\":\"unordered-iter\""), std::string::npos);
+  for (const auto& check : paraio::lint::checks()) {
+    EXPECT_NE(sarif.find("\"id\":\"" + std::string(check.id) + "\""),
+              std::string::npos)
+        << "catalog rule missing from SARIF: " << check.id;
+  }
+  // The fixture's allow() line becomes an inSource suppression.
+  EXPECT_NE(sarif.find("\"suppressions\":[{\"kind\":\"inSource\"}]"),
+            std::string::npos);
+}
+
 TEST(LintStrip, CommentsAndStringsBecomeSpaces) {
   const std::string stripped = paraio::lint::strip_comments_and_strings(
       "int a = 1; // rand()\n"
@@ -182,7 +391,7 @@ TEST(LintStrip, CommentsAndStringsBecomeSpaces) {
 
 TEST(LintCatalog, EveryCheckHasIdAndSummary) {
   const auto& catalog = paraio::lint::checks();
-  EXPECT_GE(catalog.size(), 8u);
+  EXPECT_GE(catalog.size(), 11u);
   for (const auto& check : catalog) {
     EXPECT_NE(std::string(check.id), "");
     EXPECT_NE(std::string(check.summary), "");

@@ -33,6 +33,15 @@ constexpr CheckInfo kChecks[] = {
     {"discarded-task", Severity::kError,
      "Task<T>-returning call used as a plain statement: the coroutine is "
      "destroyed without ever starting"},
+    {"lock-order", Severity::kWarning,
+     "lock acquired in conflicting orders across the tree: some "
+     "interleaving can deadlock; establish one global acquisition order"},
+    {"channel-self-deadlock", Severity::kError,
+     "bounded channel sent and received by the same coroutine: once the "
+     "buffer fills the send blocks forever (nobody else drains it)"},
+    {"capture-escape", Severity::kError,
+     "stack-local address escapes into a detached coroutine: the frame "
+     "outlives the caller's locals; pass by value or heap-own the state"},
     {"layering", Severity::kError,
      "include crosses the layer order (sim < hw < io < pfs/pablo < ppfs < "
      "analysis < apps < core < testkit), or apps bypass the hw::Machine "
@@ -48,6 +57,10 @@ const CheckInfo* find_check(const char* id) {
 
 bool is_ident(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
 
 std::string trim(std::string s) {
@@ -71,6 +84,11 @@ std::size_t line_of(const std::vector<std::size_t>& starts, std::size_t pos) {
   return static_cast<std::size_t>(it - starts.begin());  // 1-based
 }
 
+std::size_t col_of(const std::vector<std::size_t>& starts, std::size_t pos) {
+  const std::size_t line = line_of(starts, pos);
+  return pos - starts[line - 1] + 1;  // 1-based
+}
+
 /// Position just past the matching closer for the opener at `open`.
 /// Returns npos when unbalanced (we then give up on that site).
 std::size_t skip_balanced(const std::string& text, std::size_t open,
@@ -91,12 +109,32 @@ std::size_t skip_spaces(const std::string& text, std::size_t pos) {
   return pos;
 }
 
+/// Last non-whitespace position strictly before `pos`, or npos.
+std::size_t prev_nonspace(const std::string& text, std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    const char c = text[pos];
+    if (c != ' ' && c != '\t' && c != '\n') return pos;
+  }
+  return std::string::npos;
+}
+
 std::string read_ident(const std::string& text, std::size_t pos,
                        std::size_t* end = nullptr) {
   std::size_t i = pos;
   while (i < text.size() && is_ident(text[i])) ++i;
   if (end) *end = i;
   return text.substr(pos, i - pos);
+}
+
+/// Identifier ending at (inclusive) `last`, reading backward.  Returns the
+/// identifier and sets `*begin` to its first character.
+std::string read_ident_backward(const std::string& text, std::size_t last,
+                                std::size_t* begin = nullptr) {
+  std::size_t b = last + 1;
+  while (b > 0 && is_ident(text[b - 1])) --b;
+  if (begin) *begin = b;
+  return text.substr(b, last + 1 - b);
 }
 
 /// Occurrences of `word` as a whole identifier.
@@ -187,22 +225,361 @@ void collect_unordered_names(const std::string& stripped,
   }
 }
 
-void collect_task_fn_names(const std::string& stripped,
-                           std::set<std::string>* names) {
+/// `using A = <type>;` and `typedef <type> A;` pairs, as alias -> base text.
+void collect_type_aliases(const std::string& stripped,
+                          std::vector<std::pair<std::string, std::string>>* out) {
+  for (std::size_t pos : find_word(stripped, "using")) {
+    std::size_t cursor = skip_spaces(stripped, pos + 5);
+    std::size_t end = cursor;
+    const std::string alias = read_ident(stripped, cursor, &end);
+    if (alias.empty() || alias == "namespace") continue;
+    cursor = skip_spaces(stripped, end);
+    if (cursor >= stripped.size() || stripped[cursor] != '=') continue;
+    const std::size_t semi = stripped.find(';', cursor);
+    if (semi == std::string::npos) continue;
+    out->emplace_back(alias, trim(stripped.substr(cursor + 1, semi - cursor - 1)));
+  }
+  for (std::size_t pos : find_word(stripped, "typedef")) {
+    const std::size_t semi = stripped.find(';', pos);
+    if (semi == std::string::npos) continue;
+    const std::string decl = stripped.substr(pos + 7, semi - pos - 7);
+    // The alias is the trailing identifier; the base is everything before.
+    std::string base = trim(decl);
+    std::size_t b = base.size();
+    while (b > 0 && is_ident(base[b - 1])) --b;
+    const std::string alias = base.substr(b);
+    if (alias.empty() || b == 0) continue;
+    out->emplace_back(alias, trim(base.substr(0, b)));
+  }
+}
+
+/// First identifier of a type expression, past namespace qualifiers:
+/// `std::unordered_map<K,V>` -> "unordered_map" wouldn't help, so this
+/// keeps the qualified prefix: returns the text up to the first '<' or
+/// end, trimmed (e.g. "std::unordered_map", "NodeSet").
+std::string type_root(const std::string& base) {
+  const std::size_t lt = base.find('<');
+  return trim(lt == std::string::npos ? base : base.substr(0, lt));
+}
+
+/// Variables declared with one of `alias_names` as their type.
+void collect_alias_vars(const std::string& stripped,
+                        const std::set<std::string>& alias_names,
+                        std::set<std::string>* names) {
+  for (const std::string& alias : alias_names) {
+    for (std::size_t pos : find_word(stripped, alias)) {
+      std::size_t cursor = pos + alias.size();
+      if (cursor < stripped.size() && stripped[cursor] == '<') {
+        const std::size_t past = skip_balanced(stripped, cursor, '<', '>');
+        if (past == std::string::npos) continue;
+        cursor = past;
+      }
+      cursor = skip_spaces(stripped, cursor);
+      while (cursor < stripped.size() &&
+             (stripped[cursor] == '&' || stripped[cursor] == '*')) {
+        cursor = skip_spaces(stripped, cursor + 1);
+      }
+      std::size_t end = cursor;
+      const std::string name = read_ident(stripped, cursor, &end);
+      if (name.empty()) continue;
+      const std::size_t next = skip_spaces(stripped, end);
+      if (next < stripped.size() && stripped[next] == '(') continue;
+      names->insert(name);
+    }
+  }
+}
+
+constexpr std::array<const char*, 24> kNonTypeKeywords = {
+    "return",   "co_return", "co_await", "co_yield", "if",       "while",
+    "for",      "switch",    "case",     "else",     "do",       "new",
+    "delete",   "throw",     "goto",     "sizeof",   "using",    "typedef",
+    "template", "typename",  "operator", "not",      "and",      "or"};
+
+bool is_non_type_keyword(const std::string& word) {
+  return std::any_of(kNonTypeKeywords.begin(), kNonTypeKeywords.end(),
+                     [&](const char* k) { return word == k; });
+}
+
+/// Function declarations/definitions: `name(` whose preceding token is a
+/// return type.  Records, per name, whether a Task<...> and/or a non-Task
+/// return type was seen anywhere.  Qualified definitions
+/// (`sim::Task<> Foo::bar(...)`) are handled by skipping `X::` chains.
+void collect_fn_decls(const std::string& stripped,
+                      std::map<std::string, std::pair<bool, bool>>* decls) {
+  for (std::size_t pos = 0; pos < stripped.size(); ++pos) {
+    if (!is_ident_start(stripped[pos]) ||
+        (pos > 0 && is_ident(stripped[pos - 1]))) {
+      continue;
+    }
+    std::size_t end = pos;
+    const std::string name = read_ident(stripped, pos, &end);
+    const std::size_t paren = skip_spaces(stripped, end);
+    if (paren >= stripped.size() || stripped[paren] != '(') {
+      pos = end;
+      continue;
+    }
+    // Walk backward over `Qualifier::` chains to the return-type tail.
+    std::size_t back = pos;
+    for (;;) {
+      std::size_t prev = prev_nonspace(stripped, back);
+      if (prev == std::string::npos) break;
+      if (stripped[prev] == ':' && prev > 0 && stripped[prev - 1] == ':') {
+        // `X::name` — skip the qualifier identifier and keep walking.
+        std::size_t qual_end = prev_nonspace(stripped, prev - 1);
+        if (qual_end == std::string::npos || !is_ident(stripped[qual_end])) {
+          break;
+        }
+        std::size_t qb = 0;
+        read_ident_backward(stripped, qual_end, &qb);
+        back = qb;
+        continue;
+      }
+      if (stripped[prev] == '&' || stripped[prev] == '*') {
+        back = prev;
+        continue;
+      }
+      if (stripped[prev] == '>') {
+        if (prev > 0 && stripped[prev - 1] == '-') break;  // `->name(`: a call
+        // Template return type: find the word before the matching '<'.
+        int depth = 0;
+        std::size_t i = prev + 1;
+        std::size_t open = std::string::npos;
+        while (i > 0) {
+          --i;
+          if (stripped[i] == '>') ++depth;
+          if (stripped[i] == '<' && --depth == 0) {
+            open = i;
+            break;
+          }
+        }
+        if (open == std::string::npos || open == 0) break;
+        std::size_t tb = 0;
+        const std::string tmpl =
+            is_ident(stripped[open - 1])
+                ? read_ident_backward(stripped, open - 1, &tb)
+                : "";
+        if (tmpl.empty()) break;
+        auto& flags = (*decls)[name];
+        (tmpl == "Task" ? flags.first : flags.second) = true;
+        break;
+      }
+      if (is_ident(stripped[prev])) {
+        const std::string word = read_ident_backward(stripped, prev);
+        if (is_non_type_keyword(word)) break;  // a call, not a declaration
+        // `Type name(` with a non-template, hence non-Task, return type.
+        (*decls)[name].second = true;
+        break;
+      }
+      break;  // `(`, `,`, `=`, `.`, ... — a call or initializer
+    }
+    pos = end;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Channel declarations
+
+struct ChannelDecls {
+  std::set<std::string> bounded;
+  std::set<std::string> unbounded;
+  std::set<std::string> unknown;  // declared without constructor arguments
+};
+
+void collect_channel_decls(const std::string& stripped, ChannelDecls* out) {
   std::size_t pos = 0;
-  while ((pos = stripped.find("Task<", pos)) != std::string::npos) {
+  while ((pos = stripped.find("Channel<", pos)) != std::string::npos) {
     const std::size_t at = pos;
-    pos += 5;
-    if (at > 0 && is_ident(stripped[at - 1])) continue;  // e.g. MyTask<
-    const std::size_t past = skip_balanced(stripped, at + 4, '<', '>');
+    pos += 8;
+    if (at > 0 && is_ident(stripped[at - 1])) continue;  // e.g. MyChannel<
+    const std::size_t past = skip_balanced(stripped, at + 7, '<', '>');
     if (past == std::string::npos) continue;
-    const std::size_t cursor = skip_spaces(stripped, past);
+    std::size_t cursor = skip_spaces(stripped, past);
+    if (cursor < stripped.size() && stripped[cursor] == ':') {
+      continue;  // `Channel<T>::kUnbounded` constant use, not a declaration
+    }
+    if (cursor + 1 < stripped.size() && stripped[cursor] == '>' ) {
+      // `make_unique<sim::Channel<T>>(args)` — the declared variable is the
+      // trailing identifier before the statement's '='.
+      const std::size_t args_open = skip_spaces(stripped, cursor + 1);
+      if (args_open >= stripped.size() || stripped[args_open] != '(') continue;
+      const std::size_t args_past =
+          skip_balanced(stripped, args_open, '(', ')');
+      if (args_past == std::string::npos) continue;
+      const std::string args =
+          stripped.substr(args_open, args_past - args_open);
+      const std::size_t stmt = stripped.find_last_of(";{}", at);
+      const std::string prefix =
+          stripped.substr(stmt == std::string::npos ? 0 : stmt + 1,
+                          at - (stmt == std::string::npos ? 0 : stmt + 1));
+      const std::size_t eq = prefix.rfind('=');
+      if (eq == std::string::npos) continue;
+      const std::string name = trailing_ident(prefix.substr(0, eq));
+      if (name.empty()) continue;
+      (args.find("kUnbounded") != std::string::npos ? out->unbounded
+                                                    : out->bounded)
+          .insert(name);
+      continue;
+    }
+    while (cursor < stripped.size() &&
+           (stripped[cursor] == '&' || stripped[cursor] == '*')) {
+      cursor = skip_spaces(stripped, cursor + 1);
+    }
     std::size_t end = cursor;
     const std::string name = read_ident(stripped, cursor, &end);
-    if (name.empty() || name == "operator") continue;
-    if (skip_spaces(stripped, end) < stripped.size() &&
-        stripped[skip_spaces(stripped, end)] == '(') {
-      names->insert(name);
+    if (name.empty()) continue;
+    const std::size_t next = skip_spaces(stripped, end);
+    if (next < stripped.size() && stripped[next] == '(') {
+      const std::size_t args_past = skip_balanced(stripped, next, '(', ')');
+      if (args_past == std::string::npos) continue;
+      const std::string args = stripped.substr(next, args_past - next);
+      (args.find("kUnbounded") != std::string::npos ? out->unbounded
+                                                    : out->bounded)
+          .insert(name);
+    } else {
+      out->unknown.insert(name);
+    }
+  }
+}
+
+/// Resolves members declared `Channel<T> name_;` by finding their
+/// constructor-initializer `name_(...)` anywhere in the project.
+void classify_pending_channels(const std::string& stripped,
+                               ChannelDecls* decls) {
+  for (const std::string& name : decls->unknown) {
+    if (decls->bounded.contains(name) || decls->unbounded.contains(name)) {
+      continue;
+    }
+    for (std::size_t pos : find_word(stripped, name)) {
+      const std::size_t open = pos + name.size();
+      if (open >= stripped.size() || stripped[open] != '(') continue;
+      const std::size_t past = skip_balanced(stripped, open, '(', ')');
+      if (past == std::string::npos) continue;
+      const std::string args = stripped.substr(open, past - open);
+      if (args.find("engine") == std::string::npos &&
+          args.find("Engine") == std::string::npos) {
+        continue;  // not a channel constructor call
+      }
+      (args.find("kUnbounded") != std::string::npos ? decls->unbounded
+                                                    : decls->bounded)
+          .insert(name);
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lock-acquisition scan (pass 1)
+
+struct AcqSite {
+  std::size_t pos = 0;      // offset of the receiver expression's dot/arrow
+  std::string name;         // normalized receiver (trailing identifier)
+  bool indexed = false;     // receiver carried a subscript (per-ion arrays)
+  bool acquire = false;     // false: release site
+};
+
+/// Receiver of `<expr>.lock()` given the offset of the '.' (or '-' of '->'):
+/// trailing identifier with any `[...]` subscript stripped and noted.
+void parse_receiver(const std::string& stripped, std::size_t dot,
+                    std::string* name, bool* indexed) {
+  std::size_t i = dot;
+  *indexed = false;
+  if (i > 0 && stripped[i - 1] == ']') {
+    int depth = 0;
+    while (i > 0) {
+      --i;
+      if (stripped[i] == ']') ++depth;
+      if (stripped[i] == '[' && --depth == 0) break;
+    }
+    *indexed = true;
+  }
+  if (i == 0 || !is_ident(stripped[i - 1])) {
+    name->clear();
+    return;
+  }
+  *name = read_ident_backward(stripped, i - 1);
+}
+
+/// All acquire/release sites in the file, in source order.
+std::vector<AcqSite> lock_sites(const std::string& stripped) {
+  std::vector<AcqSite> sites;
+  struct Pattern {
+    const char* text;
+    std::size_t dot_len;  // 1 for '.', 2 for '->'
+    bool acquire;
+  };
+  static constexpr Pattern kPatterns[] = {
+      {".lock(", 1, true},       {"->lock(", 2, true},
+      {".acquire(", 1, true},    {"->acquire(", 2, true},
+      {".unlock(", 1, false},    {"->unlock(", 2, false},
+      {".release(", 1, false},   {"->release(", 2, false},
+  };
+  for (const Pattern& p : kPatterns) {
+    std::size_t pos = 0;
+    const std::string needle(p.text);
+    while ((pos = stripped.find(needle, pos)) != std::string::npos) {
+      const std::size_t at = pos;
+      pos += needle.size();
+      if (p.acquire) {
+        // Only a co_awaited acquisition can block (and thus order locks).
+        const std::size_t stmt = stripped.find_last_of(";{}", at);
+        const std::string prefix =
+            stripped.substr(stmt == std::string::npos ? 0 : stmt + 1,
+                            at - (stmt == std::string::npos ? 0 : stmt + 1));
+        if (prefix.find("co_await") == std::string::npos) continue;
+      }
+      AcqSite site;
+      site.pos = at;
+      site.acquire = p.acquire;
+      parse_receiver(stripped, at, &site.name, &site.indexed);
+      if (!site.name.empty()) sites.push_back(site);
+    }
+  }
+  std::sort(sites.begin(), sites.end(),
+            [](const AcqSite& a, const AcqSite& b) { return a.pos < b.pos; });
+  return sites;
+}
+
+void collect_lock_edges(const std::string& path, const std::string& stripped,
+                        const std::vector<std::size_t>& starts,
+                        std::vector<ProjectIndex::LockEdge>* edges) {
+  const auto sites = lock_sites(stripped);
+  if (sites.empty()) return;
+
+  struct Held {
+    std::string name;
+    bool indexed;
+    int depth;
+  };
+  std::vector<Held> held;
+  int depth = 0;
+  std::size_t site_i = 0;
+  for (std::size_t i = 0; i < stripped.size(); ++i) {
+    while (site_i < sites.size() && sites[site_i].pos == i) {
+      const AcqSite& s = sites[site_i++];
+      if (s.acquire) {
+        for (const Held& h : held) {
+          // Same-name edges are skipped: an indexed pair (`a_[i]`,`a_[j]`)
+          // is only a cycle when i and j cross, which this lexical scan
+          // cannot see, and a non-indexed pair is a recursive lock.
+          if (h.name == s.name) continue;
+          edges->push_back(ProjectIndex::LockEdge{
+              h.name, s.name, path, line_of(starts, s.pos),
+              col_of(starts, s.pos)});
+        }
+        held.push_back(Held{s.name, s.indexed, depth});
+      } else {
+        for (std::size_t h = held.size(); h > 0; --h) {
+          if (held[h - 1].name == s.name) {
+            held.erase(held.begin() + static_cast<std::ptrdiff_t>(h - 1));
+            break;
+          }
+        }
+      }
+    }
+    if (stripped[i] == '{') ++depth;
+    if (stripped[i] == '}') {
+      --depth;
+      std::erase_if(held, [&](const Held& h) { return h.depth > depth; });
     }
   }
 }
@@ -213,10 +590,11 @@ void collect_task_fn_names(const std::string& stripped,
 
 using Sink = std::vector<Finding>;
 
-void add(Sink* out, const char* id, std::size_t line, std::string message) {
+void add(Sink* out, const char* id, const std::vector<std::size_t>& starts,
+         std::size_t pos, std::string message) {
   const CheckInfo* info = find_check(id);
-  out->push_back(
-      Finding{"", line, info->id, info->severity, std::move(message), false});
+  out->push_back(Finding{"", line_of(starts, pos), col_of(starts, pos),
+                         info->id, info->severity, std::move(message), false});
 }
 
 void check_unordered_iter(const std::string& stripped,
@@ -247,9 +625,14 @@ void check_unordered_iter(const std::string& stripped,
       if (c == ';') break;  // classic for loop
     }
     if (colon == std::string::npos) continue;
-    const std::string name = trailing_ident(head.substr(colon + 1));
+    const std::string tail = head.substr(colon + 1);
+    const std::string name = trailing_ident(tail);
     if (!name.empty() && unordered_names.contains(name)) {
-      add(out, "unordered-iter", line_of(starts, pos),
+      // Column of the container name itself (the last occurrence in the
+      // range expression is the one trailing_ident extracted).
+      const std::size_t in_tail = tail.rfind(name);
+      const std::size_t name_pos = open + 1 + colon + 1 + in_tail;
+      add(out, "unordered-iter", starts, name_pos,
           "iteration over unordered container '" + name +
               "': order is hash/insertion dependent and breaks trace "
               "reproducibility; use std::map or iterate a sorted snapshot");
@@ -263,7 +646,7 @@ void check_wall_clock(const std::string& stripped,
        {"system_clock", "steady_clock", "high_resolution_clock",
         "gettimeofday", "clock_gettime", "localtime", "gmtime", "asctime"}) {
     for (std::size_t pos : find_word(stripped, word)) {
-      add(out, "wall-clock", line_of(starts, pos),
+      add(out, "wall-clock", starts, pos,
           std::string("wall-clock source '") + word +
               "' in simulator code: simulated time must come from "
               "sim::Engine::now()");
@@ -275,16 +658,17 @@ void check_raw_random(const std::string& stripped,
                       const std::vector<std::size_t>& starts, Sink* out) {
   for (const char* word : {"random_device", "drand48", "lrand48", "mrand48"}) {
     for (std::size_t pos : find_word(stripped, word)) {
-      add(out, "raw-random", line_of(starts, pos),
+      add(out, "raw-random", starts, pos,
           std::string("nondeterministic randomness '") + word +
               "': use sim::Rng so runs reproduce from a seed");
     }
   }
   for (const char* word : {"rand", "srand"}) {
     for (std::size_t pos : find_word(stripped, word)) {
-      const std::size_t after = skip_spaces(stripped, pos + std::string(word).size());
+      const std::size_t after =
+          skip_spaces(stripped, pos + std::string(word).size());
       if (after < stripped.size() && stripped[after] == '(') {
-        add(out, "raw-random", line_of(starts, pos),
+        add(out, "raw-random", starts, pos,
             std::string("libc '") + word +
                 "()': use sim::Rng so runs reproduce from a seed");
       }
@@ -317,7 +701,7 @@ void check_ptr_key_order(const std::string& stripped,
       if (arg_end == std::string::npos) continue;
       const std::string key = trim(stripped.substr(open + 1, arg_end - open - 1));
       if (!key.empty() && key.back() == '*') {
-        add(out, "ptr-key-order", line_of(starts, at),
+        add(out, "ptr-key-order", starts, at,
             "ordered container keyed by pointer '" + key +
                 "': ordering follows allocation addresses, which differ "
                 "run to run; key by a stable id instead");
@@ -327,21 +711,54 @@ void check_ptr_key_order(const std::string& stripped,
 }
 
 /// Balanced argument regions of every `spawn(...)` / `spawn_daemon(...)`
-/// call, as (first-char, past-the-close) offsets into `stripped`.
-std::vector<std::pair<std::size_t, std::size_t>> spawn_arg_regions(
-    const std::string& stripped) {
-  std::vector<std::pair<std::size_t, std::size_t>> regions;
+/// call.  `detached` distinguishes fire-and-forget spawns (an Engine
+/// receiver, or any spawn_daemon) from structured ones (`group.spawn(...)`
+/// on a TaskGroup that is joined before its scope unwinds) — only the
+/// former can outlive the caller's stack frame.
+struct SpawnRegion {
+  std::size_t lo = 0;  // first char of the argument list
+  std::size_t hi = 0;  // one past its last char
+  bool detached = true;
+};
+
+std::vector<SpawnRegion> spawn_arg_regions(const std::string& stripped) {
+  std::vector<SpawnRegion> regions;
   for (std::size_t pos = 0; (pos = stripped.find("spawn", pos)) !=
                             std::string::npos;
        pos += 5) {
     if (pos > 0 && is_ident(stripped[pos - 1])) continue;
     std::size_t after = pos + 5;
-    if (stripped.compare(after, 7, "_daemon") == 0) after += 7;
+    const bool daemon = stripped.compare(after, 7, "_daemon") == 0;
+    if (daemon) after += 7;
+    if (after < stripped.size() && is_ident(stripped[after])) continue;
     const std::size_t open = skip_spaces(stripped, after);
     if (open >= stripped.size() || stripped[open] != '(') continue;
     const std::size_t past = skip_balanced(stripped, open, '(', ')');
     if (past == std::string::npos) continue;
-    regions.emplace_back(open + 1, past - 1);
+    bool detached = true;
+    if (!daemon && pos > 0 &&
+        (stripped[pos - 1] == '.' ||
+         (stripped[pos - 1] == '>' && pos > 1 && stripped[pos - 2] == '-'))) {
+      // Receiver's trailing token: `engine.spawn`, `machine.engine().spawn`
+      // are detached; anything else (a TaskGroup or similar structured
+      // scope) keeps the frame alive until join.
+      std::size_t i = stripped[pos - 1] == '.' ? pos - 1 : pos - 2;
+      if (i > 0 && stripped[i - 1] == ')') {
+        int depth = 0;
+        while (i > 0) {
+          --i;
+          if (stripped[i] == ')') ++depth;
+          if (stripped[i] == '(' && --depth == 0) break;
+        }
+      }
+      const std::string recv =
+          i > 0 && is_ident(stripped[i - 1])
+              ? read_ident_backward(stripped, i - 1)
+              : "";
+      detached = recv.find("engine") != std::string::npos ||
+                 recv.find("Engine") != std::string::npos;
+    }
+    regions.push_back(SpawnRegion{open + 1, past - 1, detached});
   }
   return regions;
 }
@@ -399,8 +816,8 @@ void check_coro_lambda_capture(const std::string& stripped,
     // either way the closure (and its captures) dies while the coroutine
     // frame lives on.
     bool inline_in_spawn = false;
-    for (const auto& [lo, hi] : spawn_regions) {
-      if (pos > lo && pos < hi) {
+    for (const SpawnRegion& r : spawn_regions) {
+      if (pos > r.lo && pos < r.hi) {
         inline_in_spawn = true;
         break;
       }
@@ -416,7 +833,7 @@ void check_coro_lambda_capture(const std::string& stripped,
       invoked_temporary = prefix.find("co_await") == std::string::npos;
     }
     if (inline_in_spawn || invoked_temporary) {
-      add(out, "coro-lambda-capture", line_of(starts, pos),
+      add(out, "coro-lambda-capture", starts, pos,
           "coroutine lambda captures [" + captures +
               "] as a temporary closure: the closure object is destroyed "
               "while the frame lives on; name it in a scope that outlives "
@@ -434,6 +851,7 @@ bool line_has_excuse(const std::string& line) {
 }
 
 void check_missing_co_await(const std::vector<std::string>& stripped_lines,
+                            const std::vector<std::size_t>& starts,
                             Sink* out) {
   static constexpr std::array<const char*, 9> kAwaitables = {
       "delay",   "yield", "wait", "acquire", "lock",
@@ -444,9 +862,14 @@ void check_missing_co_await(const std::vector<std::string>& stripped_lines,
     for (const char* name : kAwaitables) {
       const std::string dot = std::string(".") + name + "(";
       const std::string arrow = std::string("->") + name + "(";
-      if (line.find(dot) != std::string::npos ||
-          line.find(arrow) != std::string::npos) {
-        add(out, "missing-co-await", i + 1,
+      std::size_t at = line.find(dot);
+      std::size_t skip = 1;
+      if (at == std::string::npos) {
+        at = line.find(arrow);
+        skip = 2;
+      }
+      if (at != std::string::npos) {
+        add(out, "missing-co-await", starts, starts[i] + at + skip,
             std::string("'") + name +
                 "()' builds an awaitable that is dropped without co_await: "
                 "the suspension (and any side effect) never happens");
@@ -457,10 +880,19 @@ void check_missing_co_await(const std::vector<std::string>& stripped_lines,
 }
 
 void check_discarded_task(const std::vector<std::string>& stripped_lines,
+                          const std::vector<std::size_t>& starts,
                           const std::set<std::string>& task_fns, Sink* out) {
   if (task_fns.empty()) return;
   for (std::size_t i = 0; i < stripped_lines.size(); ++i) {
-    const std::string line = trim(stripped_lines[i]);
+    const std::string raw_line = stripped_lines[i];
+    const std::string line = trim(raw_line);
+    const std::size_t indent = raw_line.size() - line.size() -
+                               (raw_line.find_last_not_of(" \t") ==
+                                        std::string::npos
+                                    ? 0
+                                    : raw_line.size() -
+                                          raw_line.find_last_not_of(" \t") -
+                                          1);
     if (line.empty() || line.back() != ';') continue;
     if (line_has_excuse(line)) continue;
     for (const std::string& name : task_fns) {
@@ -475,11 +907,153 @@ void check_discarded_task(const std::vector<std::string>& stripped_lines,
           prefix.find(' ') == std::string::npos &&
           prefix.find("co_") == std::string::npos;
       if (!chain_only) continue;
-      add(out, "discarded-task", i + 1,
+      add(out, "discarded-task", starts, starts[i] + indent + at,
           "call to Task-returning '" + name +
               "()' as a bare statement: the coroutine is destroyed before "
               "it runs; co_await it or hand it to Engine::spawn");
       break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Channel self-deadlock (pass 2, against the pass-1 channel tables)
+
+/// Maximal balanced `{...}` regions whose opener follows a `)` — function
+/// (and top-level lambda) bodies.  Nested blocks are inside one of these.
+std::vector<std::pair<std::size_t, std::size_t>> function_bodies(
+    const std::string& stripped) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  std::size_t pos = 0;
+  while ((pos = stripped.find('{', pos)) != std::string::npos) {
+    std::size_t prev = prev_nonspace(stripped, pos);
+    // Skip over trailing specifiers between ')' and '{'.
+    while (prev != std::string::npos && is_ident(stripped[prev])) {
+      const std::string word = read_ident_backward(stripped, prev);
+      if (word != "const" && word != "noexcept" && word != "override" &&
+          word != "final" && word != "mutable") {
+        break;
+      }
+      std::size_t b = 0;
+      read_ident_backward(stripped, prev, &b);
+      prev = prev_nonspace(stripped, b);
+    }
+    if (prev == std::string::npos || stripped[prev] != ')') {
+      ++pos;
+      continue;
+    }
+    const std::size_t past = skip_balanced(stripped, pos, '{', '}');
+    if (past == std::string::npos) {
+      ++pos;
+      continue;
+    }
+    out.emplace_back(pos, past);
+    pos = past;  // maximal: skip everything nested inside
+  }
+  return out;
+}
+
+/// co_awaited `name.send(` / `name.recv(` sites for `name` in `stripped`.
+std::vector<std::size_t> channel_op_sites(const std::string& stripped,
+                                          const std::string& name,
+                                          const char* op) {
+  std::vector<std::size_t> out;
+  for (const char* sep : {".", "->"}) {
+    const std::string needle = name + sep + op + "(";
+    std::size_t pos = 0;
+    while ((pos = stripped.find(needle, pos)) != std::string::npos) {
+      const std::size_t at = pos;
+      pos += needle.size();
+      if (at > 0 && is_ident(stripped[at - 1])) continue;
+      const std::size_t stmt = stripped.find_last_of(";{}", at);
+      const std::string prefix =
+          stripped.substr(stmt == std::string::npos ? 0 : stmt + 1,
+                          at - (stmt == std::string::npos ? 0 : stmt + 1));
+      if (prefix.find("co_await") == std::string::npos) continue;
+      out.push_back(at);
+    }
+  }
+  return out;
+}
+
+void check_channel_self_deadlock(const std::string& stripped,
+                                 const std::vector<std::size_t>& starts,
+                                 const std::set<std::string>& bounded,
+                                 Sink* out) {
+  if (bounded.empty()) return;
+  const auto bodies = function_bodies(stripped);
+  auto body_of = [&](std::size_t pos) -> std::size_t {
+    for (std::size_t i = 0; i < bodies.size(); ++i) {
+      if (pos > bodies[i].first && pos < bodies[i].second) return i;
+    }
+    return static_cast<std::size_t>(-1);
+  };
+  for (const std::string& name : bounded) {
+    const auto sends = channel_op_sites(stripped, name, "send");
+    const auto recvs = channel_op_sites(stripped, name, "recv");
+    if (sends.empty() || recvs.empty()) continue;
+    for (std::size_t send : sends) {
+      const std::size_t body = body_of(send);
+      if (body == static_cast<std::size_t>(-1)) continue;
+      const bool same = std::any_of(
+          recvs.begin(), recvs.end(),
+          [&](std::size_t r) { return body_of(r) == body; });
+      if (same) {
+        add(out, "channel-self-deadlock", starts, send,
+            "coroutine both sends on and receives from bounded channel '" +
+                name +
+                "': once the buffer fills the send suspends and the recv "
+                "that would drain it never runs; split the roles across "
+                "tasks or make the channel unbounded");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Capture escape (pass 2)
+
+void check_capture_escape(const std::string& stripped,
+                          const std::vector<std::size_t>& starts, Sink* out) {
+  for (const SpawnRegion& region : spawn_arg_regions(stripped)) {
+    if (!region.detached) continue;
+    const std::size_t lo = region.lo;
+    const std::size_t hi = region.hi;
+    int bracket_depth = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const char c = stripped[i];
+      if (c == '[') ++bracket_depth;
+      if (c == ']') --bracket_depth;
+      if (bracket_depth > 0) continue;  // lambda capture list / subscript
+      if (c == '&') {
+        if (i + 1 >= hi || !is_ident_start(stripped[i + 1])) continue;
+        const std::size_t prev = prev_nonspace(stripped, i);
+        // Address-of in argument position: `f(&x` or `f(a, &x`.  Anything
+        // else (`a & b`, `a && b`, `T& x`) has a value or type on the left.
+        if (prev == std::string::npos ||
+            (stripped[prev] != '(' && stripped[prev] != ',')) {
+          continue;
+        }
+        const std::string name = read_ident(stripped, i + 1);
+        if (name == "this" || name.empty()) continue;
+        if (name.back() == '_') continue;  // member: owned by a live object
+        add(out, "capture-escape", starts, i,
+            "'&" + name +
+                "' passed into a detached coroutine: the frame outlives "
+                "the caller's stack, leaving a dangling pointer; pass by "
+                "value or move ownership into the coroutine");
+      } else if (stripped.compare(i, 9, "std::ref(") == 0 ||
+                 stripped.compare(i, 10, "std::cref(") == 0) {
+        if (i > 0 && is_ident(stripped[i - 1])) continue;
+        const std::size_t open = stripped.find('(', i);
+        const std::string name = read_ident(stripped, open + 1);
+        if (!name.empty() && name.back() == '_') continue;
+        add(out, "capture-escape", starts, i,
+            "std::ref(" + name +
+                ") passed into a detached coroutine: the reference "
+                "outlives the caller's stack; pass by value or move "
+                "ownership into the coroutine");
+      }
     }
   }
 }
@@ -523,7 +1097,7 @@ bool apps_hw_header_allowed(const std::string& header) {
 }
 
 void check_layering(const std::string& path, const std::string& raw,
-                    Sink* out) {
+                    const std::vector<std::size_t>& starts, Sink* out) {
   const std::size_t src = path.rfind("src/");
   if (src == std::string::npos) return;
   const std::string rest = path.substr(src + 4);
@@ -536,15 +1110,16 @@ void check_layering(const std::string& path, const std::string& raw,
   }
   if (!rule) return;
 
-  std::size_t line_no = 0;
   std::size_t begin = 0;
   while (begin <= raw.size()) {
     std::size_t end = raw.find('\n', begin);
     if (end == std::string::npos) end = raw.size();
-    ++line_no;
-    const std::string line = trim(raw.substr(begin, end - begin));
+    const std::string raw_line = raw.substr(begin, end - begin);
+    const std::string line = trim(raw_line);
+    const std::size_t line_begin = begin;
     begin = end + 1;
     if (!line.starts_with("#include \"")) continue;
+    const std::size_t include_pos = line_begin + raw_line.find("#include");
     const std::size_t quote = line.find('"');
     const std::size_t quote2 = line.find('"', quote + 1);
     if (quote2 == std::string::npos) continue;
@@ -558,16 +1133,65 @@ void check_layering(const std::string& path, const std::string& raw,
     }
     if (!known) continue;
     if (!rule->allowed.contains(target)) {
-      add(out, "layering", line_no,
+      add(out, "layering", starts, include_pos,
           "layer 'src/" + layer + "' must not include '" + header +
               "' (layer '" + target + "' is above it)");
     } else if (layer == "apps" && target == "hw" &&
                !apps_hw_header_allowed(header)) {
-      add(out, "layering", line_no,
+      add(out, "layering", starts, include_pos,
           "src/apps must program against the hw::Machine facade; include "
           "'hw/machine.hpp' instead of '" +
               header + "'");
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lock-order cycle detection (runs once, at index time)
+
+void detect_lock_cycles(ProjectIndex* index) {
+  const auto& edges = index->lock_edges;
+  if (edges.empty()) return;
+  // reachable(from, to) over the acquisition-order graph.
+  auto reachable = [&](const std::string& from, const std::string& to) {
+    std::vector<const std::string*> frontier{&from};
+    std::set<std::string> seen{from};
+    std::vector<std::pair<std::size_t, bool>> unused;
+    while (!frontier.empty()) {
+      const std::string cur = *frontier.back();
+      frontier.pop_back();
+      if (cur == to) return true;
+      for (const auto& e : edges) {
+        if (e.from == cur && seen.insert(e.to).second) {
+          frontier.push_back(&e.to);
+        }
+      }
+    }
+    return false;
+  };
+  for (const auto& e : edges) {
+    if (!reachable(e.to, e.from)) continue;
+    // Name a counterpart site on the return path for the message.
+    std::string counterpart;
+    for (const auto& other : edges) {
+      if (other.from == e.to && reachable(other.to, e.from)) {
+        counterpart = other.file + ":" + std::to_string(other.line);
+        break;
+      }
+    }
+    const CheckInfo* info = find_check("lock-order");
+    Finding f;
+    f.file = e.file;
+    f.line = e.line;
+    f.col = e.col;
+    f.check = info->id;
+    f.severity = info->severity;
+    f.message = "lock '" + e.to + "' acquired while holding '" + e.from +
+                "', but the tree also acquires them in the opposite order" +
+                (counterpart.empty() ? "" : " (see " + counterpart + ")") +
+                ": some interleaving deadlocks; establish one global "
+                "acquisition order";
+    index->global_findings.push_back(std::move(f));
   }
 }
 
@@ -652,28 +1276,78 @@ std::string strip_comments_and_strings(const std::string& source) {
 
 ProjectIndex index_project(const std::vector<SourceFile>& files) {
   ProjectIndex index;
+  std::vector<std::string> stripped_files;
+  stripped_files.reserve(files.size());
+
+  std::vector<std::pair<std::string, std::string>> aliases;
+  std::map<std::string, std::pair<bool, bool>> fn_decls;  // task / non-task
+  ChannelDecls channels;
+
   for (const SourceFile& f : files) {
-    const std::string stripped = strip_comments_and_strings(f.content);
+    stripped_files.push_back(strip_comments_and_strings(f.content));
+    const std::string& stripped = stripped_files.back();
     collect_unordered_names(stripped, &index.unordered_names);
+    collect_type_aliases(stripped, &aliases);
+    collect_channel_decls(stripped, &channels);
+
+    std::map<std::string, std::pair<bool, bool>> file_decls;
+    collect_fn_decls(stripped, &file_decls);
     std::set<std::string> task_names;
-    collect_task_fn_names(stripped, &task_names);
+    for (const auto& [name, flags] : file_decls) {
+      if (flags.first) task_names.insert(name);
+      auto& merged = fn_decls[name];
+      merged.first |= flags.first;
+      merged.second |= flags.second;
+    }
     index.task_fns.emplace_back(f.path, std::move(task_names));
+
+    const auto starts = line_starts(f.content);
+    collect_lock_edges(f.path, stripped, starts, &index.lock_edges);
   }
+
+  // Unordered-alias fixpoint: `using A = std::unordered_map<...>`, then
+  // `using B = A`, then variables declared `A x;` / `B y;` anywhere.
+  std::set<std::string> unordered_aliases;
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const auto& [alias, base] : aliases) {
+      if (unordered_aliases.contains(alias)) continue;
+      const std::string root = type_root(base);
+      if (root == "std::unordered_map" || root == "std::unordered_set" ||
+          unordered_aliases.contains(root)) {
+        unordered_aliases.insert(alias);
+        changed = true;
+      }
+    }
+  }
+  for (const std::string& stripped : stripped_files) {
+    collect_alias_vars(stripped, unordered_aliases, &index.unordered_names);
+    classify_pending_channels(stripped, &channels);
+  }
+
+  for (const auto& [name, flags] : fn_decls) {
+    if (flags.first && !flags.second) index.global_task_fns.insert(name);
+  }
+  index.bounded_channels = std::move(channels.bounded);
+  index.unbounded_channels = std::move(channels.unbounded);
+
+  detect_lock_cycles(&index);
   return index;
 }
 
 namespace {
 
-/// Task-fn names visible to `path`: its own declarations plus those of the
-/// sibling header/source (same stem, .hpp <-> .cpp), so member coroutines
-/// declared in a header are known when linting the .cpp.
+/// Task-fn names visible to `path`: the whole-program set of unambiguous
+/// Task-returning names, plus every name (ambiguous or not) declared in the
+/// file itself or its sibling header/source (same stem, .hpp <-> .cpp),
+/// where the match is precise enough to trust.
 std::set<std::string> visible_task_fns(const std::string& path,
                                        const ProjectIndex& index) {
   auto stem = [](const std::string& p) {
     const std::size_t dot = p.rfind('.');
     return dot == std::string::npos ? p : p.substr(0, dot);
   };
-  std::set<std::string> out;
+  std::set<std::string> out = index.global_task_fns;
   const std::string my_stem = stem(path);
   for (const auto& [file, names] : index.task_fns) {
     if (stem(file) == my_stem) out.insert(names.begin(), names.end());
@@ -708,10 +1382,16 @@ std::vector<Finding> lint_file(const SourceFile& file,
   check_raw_random(stripped, starts, &findings);
   check_ptr_key_order(stripped, starts, &findings);
   check_coro_lambda_capture(stripped, starts, &findings);
-  check_missing_co_await(stripped_lines, &findings);
-  check_discarded_task(stripped_lines, visible_task_fns(file.path, index),
-                       &findings);
-  check_layering(file.path, file.content, &findings);
+  check_missing_co_await(stripped_lines, starts, &findings);
+  check_discarded_task(stripped_lines, starts,
+                       visible_task_fns(file.path, index), &findings);
+  check_channel_self_deadlock(stripped, starts, index.bounded_channels,
+                              &findings);
+  check_capture_escape(stripped, starts, &findings);
+  check_layering(file.path, file.content, starts, &findings);
+  for (const Finding& f : index.global_findings) {
+    if (f.file == file.path) findings.push_back(f);
+  }
 
   std::erase_if(findings, [&](const Finding& f) {
     return options.disabled.contains(f.check);
@@ -726,6 +1406,7 @@ std::vector<Finding> lint_file(const SourceFile& file,
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.line != b.line) return a.line < b.line;
+              if (a.col != b.col) return a.col < b.col;
               return std::string_view(a.check) < std::string_view(b.check);
             });
   return findings;

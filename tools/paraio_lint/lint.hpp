@@ -3,21 +3,34 @@
 // A deliberately small, token/heuristic-based linter (no libclang): it knows
 // nothing about C++ semantics beyond comment/string stripping, balanced
 // template arguments, and line structure, but that is enough to catch the
-// three bug classes that break the golden-trace guarantee:
+// bug classes that break the golden-trace guarantee:
 //
 //   * determinism hazards  — iteration over unordered containers in
 //     trace-affecting code, wall-clock reads, raw libc randomness,
 //     pointer-keyed ordered containers;
 //   * coroutine-lifetime hazards — captures in coroutine lambdas, awaitables
-//     constructed and dropped without co_await, discarded Task<T> results;
+//     constructed and dropped without co_await, discarded Task<T> results,
+//     stack-local references escaping into detached coroutines;
+//   * concurrency hazards — lock-acquisition order cycles across the whole
+//     tree, a channel sent and received by the same task;
 //   * layering violations — a lower simulator layer including a higher one,
 //     or apps reaching past the hw::Machine facade into device internals.
 //
-// Findings print in compiler format (`file:line: error: [id] message`) and
-// can be suppressed per line with `// paraio-lint: allow(<id>[,<id>...])`.
+// The linter runs in two passes.  Pass 1 (index_project) builds a
+// whole-program symbol table: container variables declared unordered
+// anywhere (including through `using`/`typedef` aliases), every function
+// returning sim::Task<...> in any translation unit, channel declarations
+// with their boundedness, and the cross-file lock-acquisition graph.  Pass 2
+// (lint_file) applies the per-file checks against that global knowledge, so
+// a Task<> coroutine declared in one file and discarded in another is still
+// caught.
+//
+// Findings print in compiler format (`file:line:col: error: [id] message`)
+// and can be suppressed per line with `// paraio-lint: allow(<id>[,<id>...])`.
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -39,6 +52,7 @@ const std::vector<CheckInfo>& checks();
 struct Finding {
   std::string file;
   std::size_t line = 0;  // 1-based
+  std::size_t col = 0;   // 1-based; 0 when only the line is known
   const char* check = "";
   Severity severity = Severity::kError;
   std::string message;
@@ -51,15 +65,40 @@ struct SourceFile {
   std::string content;  // raw bytes
 };
 
-/// Cross-file facts gathered in a first pass over the whole input set:
-/// container variables declared unordered anywhere (so a member declared in
-/// a header is recognized when its .cpp iterates it), and, per file, the
-/// names of functions returning sim::Task<...> (checked against statements
-/// in that file and its sibling .cpp/.hpp).
+/// Cross-file facts gathered in a first pass over the whole input set.
 struct ProjectIndex {
+  /// Container variables (and type aliases, resolved to fixpoint) declared
+  /// unordered anywhere, so a member declared in a header is recognized when
+  /// its .cpp iterates it.
   std::set<std::string> unordered_names;
-  // file path -> Task-returning function/method names declared there
+
+  /// Per file: Task-returning function/method names declared there (used
+  /// with sibling-file visibility, where the match is precise).
   std::vector<std::pair<std::string, std::set<std::string>>> task_fns;
+  /// Whole-program union of Task-returning names, minus names that some
+  /// file also declares with a non-Task return type (those stay
+  /// sibling-only: a global match on an ambiguous name like `run` would
+  /// misfire on every class that has a non-coroutine `run()`).
+  std::set<std::string> global_task_fns;
+
+  /// Channel variables by declared boundedness (kUnbounded => unbounded).
+  std::set<std::string> bounded_channels;
+  std::set<std::string> unbounded_channels;
+
+  /// Cross-file lock-acquisition graph: one edge per "acquired `to` while
+  /// holding `from`" site, with the acquiring location.
+  struct LockEdge {
+    std::string from;
+    std::string to;
+    std::string file;
+    std::size_t line = 0;
+    std::size_t col = 0;
+  };
+  std::vector<LockEdge> lock_edges;
+
+  /// Whole-program findings (currently lock-order cycles), computed once at
+  /// index time and emitted by lint_file for the file they name.
+  std::vector<Finding> global_findings;
 };
 
 struct Options {

@@ -1,11 +1,14 @@
 // paraio_lint command-line driver.
 //
-//   paraio_lint [--werror] [--disable=id[,id...]] [--list-checks] paths...
+//   paraio_lint [--werror] [--disable=id[,id...]] [--sarif=path]
+//               [--list-checks] paths...
 //
 // Paths may be files or directories (searched recursively for
-// .hpp/.h/.cpp/.cc).  Findings print to stdout in compiler format; the exit
-// code is 1 when any unsuppressed error (or, with --werror, warning) was
-// found, 2 on usage/IO errors, 0 otherwise.
+// .hpp/.h/.cpp/.cc).  Findings print to stdout in compiler format
+// (`file:line:col:`); with --sarif= the run is also written as a SARIF
+// 2.1.0 log (self-validated before writing).  The exit code is 1 when any
+// unsuppressed error (or, with --werror, warning) was found, 2 on
+// usage/IO errors, 0 otherwise.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -14,7 +17,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/json.hpp"
 #include "paraio_lint/lint.hpp"
+#include "paraio_lint/sarif.hpp"
 
 namespace fs = std::filesystem;
 using paraio::lint::Finding;
@@ -29,7 +34,7 @@ bool lintable(const fs::path& p) {
 
 int usage() {
   std::cerr << "usage: paraio_lint [--werror] [--disable=id[,id...]] "
-               "[--list-checks] <file-or-dir>...\n";
+               "[--sarif=path] [--list-checks] <file-or-dir>...\n";
   return 2;
 }
 
@@ -39,11 +44,15 @@ int main(int argc, char** argv) {
   bool werror = false;
   paraio::lint::Options options;
   std::vector<std::string> roots;
+  std::string sarif_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--werror") {
       werror = true;
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_path = arg.substr(8);
+      if (sarif_path.empty()) return usage();
     } else if (arg == "--list-checks") {
       for (const auto& c : paraio::lint::checks()) {
         std::cout << c.id << " ("
@@ -101,22 +110,42 @@ int main(int argc, char** argv) {
   std::size_t errors = 0;
   std::size_t warnings = 0;
   std::size_t suppressed = 0;
+  std::vector<Finding> all;
   for (const auto& file : files) {
-    for (const Finding& f : paraio::lint::lint_file(file, index, options)) {
+    for (Finding& f : paraio::lint::lint_file(file, index, options)) {
       if (f.suppressed) {
         ++suppressed;
+        all.push_back(std::move(f));
         continue;
       }
       const bool is_error = f.severity == Severity::kError;
       (is_error ? errors : warnings) += 1;
-      std::cout << f.file << ":" << f.line << ": "
+      std::cout << f.file << ":" << f.line << ":"
+                << (f.col == 0 ? 1 : f.col) << ": "
                 << (is_error ? "error" : "warning") << ": [" << f.check
                 << "] " << f.message << "\n";
+      all.push_back(std::move(f));
     }
   }
   std::cerr << "paraio_lint: " << files.size() << " file(s), " << errors
             << " error(s), " << warnings << " warning(s), " << suppressed
             << " suppressed\n";
+  if (!sarif_path.empty()) {
+    const std::string sarif = paraio::lint::to_sarif(all);
+    std::string why;
+    if (!paraio::obs::validate_json(sarif, &why)) {
+      std::cerr << "paraio_lint: internal error: SARIF output is not valid "
+                   "JSON: "
+                << why << "\n";
+      return 2;
+    }
+    std::ofstream out(sarif_path, std::ios::binary);
+    out << sarif << "\n";
+    if (!out) {
+      std::cerr << "paraio_lint: cannot write " << sarif_path << "\n";
+      return 2;
+    }
+  }
   if (errors > 0 || (werror && warnings > 0)) return 1;
   return 0;
 }

@@ -1,0 +1,87 @@
+#include "paraio_lint/sarif.hpp"
+
+#include <sstream>
+
+namespace paraio::lint {
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* level_of(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\"version\":\"2.1.0\","
+         "\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\","
+         "\"runs\":[{\"tool\":{\"driver\":{"
+         "\"name\":\"paraio-lint\","
+         "\"informationUri\":\"docs/LINTING.md\","
+         "\"rules\":[";
+  bool first = true;
+  for (const CheckInfo& c : checks()) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"id\":\"" << json_escape(c.id) << "\","
+        << "\"shortDescription\":{\"text\":\"" << json_escape(c.summary)
+        << "\"},"
+        << "\"defaultConfiguration\":{\"level\":\"" << level_of(c.severity)
+        << "\"}}";
+  }
+  out << "]}},\"results\":[";
+  first = true;
+  for (const Finding& f : findings) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"ruleId\":\"" << json_escape(f.check) << "\","
+        << "\"level\":\"" << level_of(f.severity) << "\","
+        << "\"message\":{\"text\":\"" << json_escape(f.message) << "\"},"
+        << "\"locations\":[{\"physicalLocation\":{"
+        << "\"artifactLocation\":{\"uri\":\"" << json_escape(f.file) << "\"},"
+        << "\"region\":{\"startLine\":" << f.line
+        << ",\"startColumn\":" << (f.col == 0 ? 1 : f.col) << "}}}]";
+    if (f.suppressed) {
+      out << ",\"suppressions\":[{\"kind\":\"inSource\"}]";
+    }
+    out << "}";
+  }
+  out << "]}]}";
+  return out.str();
+}
+
+}  // namespace paraio::lint

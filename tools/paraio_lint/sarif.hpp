@@ -1,0 +1,21 @@
+// Minimal SARIF 2.1.0 export for paraio-lint findings, so CI systems and
+// editors that understand the Static Analysis Results Interchange Format can
+// ingest the lint run as an artifact.  Only the required subset is emitted:
+// one run, tool.driver with the check catalog as rules, and one result per
+// finding (suppressed findings carry a `suppressions` entry rather than
+// being dropped, which is what SARIF consumers expect).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "paraio_lint/lint.hpp"
+
+namespace paraio::lint {
+
+/// Serializes `findings` as a SARIF 2.1.0 log (one run).  The output is
+/// self-contained valid JSON; callers should still round-trip it through
+/// obs::validate_json as a belt-and-braces check before shipping it.
+std::string to_sarif(const std::vector<Finding>& findings);
+
+}  // namespace paraio::lint
