@@ -8,6 +8,7 @@
 // system control-path serialization, not media time.
 #include <cstdio>
 #include <iostream>
+#include <stdexcept>
 
 #include "analysis/tables.hpp"
 #include "analysis/timeline.hpp"
@@ -78,7 +79,8 @@ int main(int argc, char** argv) {
       hw::ScheduledArray sched(engine, array, policy);
       sim::Rng rng(11);
       auto proc = [](hw::ScheduledArray& s, std::uint64_t off) -> sim::Task<> {
-        co_await s.access(off, 2048);
+        const hw::DiskOutcome r = co_await s.access(off, 2048);
+        if (r.failed) throw std::runtime_error("fault-free array refused");
       };
       for (int i = 0; i < backlog; ++i) {
         engine.spawn(proc(sched, rng.uniform_int(0, 10000) * 100'000));

@@ -60,6 +60,13 @@ echo "== verify: tree-wide lint with SARIF artifact =="
 test -s build/paraio_lint.sarif
 grep -q '"version":"2.1.0"' build/paraio_lint.sarif
 
+# --- fault stage -----------------------------------------------------------
+# Fault injection & recovery (docs/FAULTS.md): mid-run disk failure with the
+# degraded-RAID penalty, ION crash with retry/backoff + failover, empty-plan
+# byte-identity, and the randomized fault-schedule properties.
+echo "== fault: injection & recovery suite =="
+ctest --test-dir build --output-on-failure -j "${jobs}" -R 'Fault|Recovery'
+
 # --- observability stage ---------------------------------------------------
 echo "== obs: lint src/obs (warnings fatal) =="
 "${lint_dir}/paraio_lint" --werror src/obs

@@ -40,6 +40,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   if (metrics != nullptr && config.hooks.sample_period > 0.0) {
     sampler.emplace(engine, *metrics, config.hooks.sample_period);
   }
+  // Fault injector chains like the sampler.  With an empty plan it only
+  // forwards observer callbacks, which keeps the run bit-identical.
+  std::optional<fault::FaultInjector> injector;
+  if (config.attach_fault_layer || !config.fault_plan.empty()) {
+    injector.emplace(engine, machine, config.fault_plan, metrics, tracer);
+  }
 
   std::unique_ptr<pfs::Pfs> pfs_fs;
   std::unique_ptr<ppfs::Ppfs> ppfs_fs;
@@ -89,7 +95,20 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       config.app);
 
   if (pfs_fs) result.pfs_counters = pfs_fs->counters();
-  if (ppfs_fs) result.ppfs_counters = ppfs_fs->counters();
+  if (ppfs_fs) {
+    result.ppfs_counters = ppfs_fs->counters();
+    result.recovery = ppfs_fs->recovery_stats();
+  }
+  if (injector) result.faults_injected = injector->applied();
+  for (std::size_t k = 0; k < machine.io_nodes(); ++k) {
+    const hw::RaidFaultStats& rf = machine.ion_array(k).fault_stats();
+    result.raid_faults.disk_failures += rf.disk_failures;
+    result.raid_faults.repairs += rf.repairs;
+    result.raid_faults.degraded_accesses += rf.degraded_accesses;
+    result.raid_faults.failed_accesses += rf.failed_accesses;
+    result.raid_faults.rebuild_chunks += rf.rebuild_chunks;
+    result.raid_faults.rebuild_bytes += rf.rebuild_bytes;
+  }
 
   if (tracer != nullptr) {
     // Application compute/IO phases become spans on a machine-wide row,

@@ -11,6 +11,7 @@
 #include "apps/htf.hpp"
 #include "apps/render.hpp"
 #include "apps/synthetic.hpp"
+#include "fault/fault.hpp"
 #include "hw/machine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -78,6 +79,14 @@ struct ExperimentConfig {
   /// requests contend).  The testkit's schedule-perturbation checker
   /// (testkit/perturb.hpp) asserts exactly that.
   std::uint64_t tie_break_seed = 0;
+  /// Timed hardware faults injected while the experiment runs (disk
+  /// failures/repairs, ION crashes/restarts, interconnect loss/delay).
+  /// Empty plan + attach_fault_layer=false: no fault machinery is built.
+  /// Empty plan + attach_fault_layer=true: the injector is attached but
+  /// idle — results and trace digests are bit-identical to no layer at all
+  /// (the golden-trace tests assert this).
+  fault::FaultPlan fault_plan;
+  bool attach_fault_layer = false;
 };
 
 struct ExperimentResult {
@@ -90,6 +99,13 @@ struct ExperimentResult {
   /// Cumulative file-system counters (physical view).
   pfs::PfsCounters pfs_counters;      // valid for Kind::kPfs mounts
   ppfs::PpfsCounters ppfs_counters;   // valid for Kind::kPpfs mounts
+  /// Graceful-degradation report: what the PPFS client-side recovery layer
+  /// did (retries, failovers, dirty data lost).  Zero for PFS mounts.
+  fault::RecoveryStats recovery;
+  /// How many faults the injector fired, and the degraded-hardware totals
+  /// summed over every RAID-3 array.
+  std::size_t faults_injected = 0;
+  hw::RaidFaultStats raid_faults;
 };
 
 /// Runs one experiment to completion (blocking; the simulation runs inside).

@@ -1,0 +1,149 @@
+// Deterministic, schedule-driven fault injection.
+//
+// The paper's Paragon ran 16 I/O nodes each backed by a five-disk RAID-3
+// array — a topology whose whole point is surviving a single disk failure —
+// so this layer lets every experiment run under degraded hardware: a
+// FaultPlan is a list of timed events (disk failure/repair, I/O-node
+// crash/restart, interconnect loss and delay spikes) that a FaultInjector
+// applies as simulated time passes.
+//
+// Design rules (all load-bearing for determinism):
+//  * Schedule-driven, not sampled — every fault fires at a planned simulated
+//    time, so the same plan + seed reproduces bit-identical traces.
+//  * Injection via the chained sim::EngineObserver pattern (the Sampler /
+//    RaceDetector / DeadlockDetector discipline): the injector flips state
+//    on the hardware models from inside on_event() and schedules nothing
+//    itself, so an attached injector with an empty plan is byte-identical
+//    to no injector at all.
+//  * All randomness (loss draws, retry jitter) flows through sim::Rng
+//    streams seeded from the plan/policy, and no stream is drawn from
+//    unless a fault window is actually active.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace paraio::fault {
+
+enum class FaultKind {
+  kDiskFail,    ///< one disk of an ION's RAID-3 array fails
+  kDiskRepair,  ///< replace the disk and start a background rebuild
+  kIonCrash,    ///< the I/O node stops serving (volatile server state lost)
+  kIonRestart,  ///< the I/O node comes back with a fresh epoch
+  kNetLoss,     ///< set interconnect message-drop probability to `value`
+  kNetDelay,    ///< add `value` seconds to every transfer (0 clears)
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// One timed fault.  `ion` selects the target I/O node for the disk and ION
+/// kinds; `disk` the drive within that array for the disk kinds; `value`
+/// carries the drop probability (kNetLoss) or extra seconds (kNetDelay).
+struct FaultEvent {
+  sim::SimTime at = 0.0;
+  FaultKind kind = FaultKind::kDiskFail;
+  std::uint32_t ion = 0;
+  std::uint32_t disk = 0;
+  double value = 0.0;
+};
+
+/// A timed fault schedule plus the seed for the interconnect's loss draws.
+/// Events are applied in `at` order (the injector sorts a copy on attach).
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+  std::uint64_t seed = 0xFA17u;
+
+  [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events.size(); }
+  void add(const FaultEvent& event) { events.push_back(event); }
+
+  /// One line per event, for test failure messages.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Client-side recovery knobs for PPFS (see ppfs::PpfsParams::recovery).
+/// The timeout bounds how long a client charges for a lost request before
+/// declaring it failed; retries back off exponentially with seeded jitter;
+/// failover re-routes a request that exhausted its retries to the next
+/// surviving I/O node in deterministic scan order.
+struct RecoveryPolicy {
+  sim::SimDuration request_timeout = sim::milliseconds(500.0);
+  std::uint32_t max_retries = 3;
+  sim::SimDuration backoff_base = sim::milliseconds(50.0);
+  sim::SimDuration backoff_max = sim::seconds(2.0);
+  /// Jitter fraction: each backoff is scaled by a seeded uniform factor in
+  /// [1 - jitter, 1 + jitter].  0 disables the draw entirely.
+  double jitter = 0.25;
+  std::uint64_t jitter_seed = 0x5EEDu;
+  bool failover = true;
+};
+
+/// What the recovery machinery did over one run.  `requests` always equals
+/// `ok + failed` once the simulation has quiesced — the accounting invariant
+/// the fault property test asserts.
+struct [[nodiscard]] RecoveryStats {
+  std::uint64_t requests = 0;    ///< recovered submissions (one per piece)
+  std::uint64_t ok = 0;          ///< completed, possibly after retry/failover
+  std::uint64_t failed = 0;      ///< exhausted every recovery path
+  std::uint64_t retries = 0;     ///< re-submissions after a typed error
+  std::uint64_t timeouts = 0;    ///< errors that were lost-message timeouts
+  std::uint64_t refused = 0;     ///< errors that were down-ION refusals
+  std::uint64_t failovers = 0;   ///< requests completed on a substitute ION
+  std::uint64_t failover_bytes = 0;
+  std::uint64_t degraded = 0;    ///< requests served by a degraded array
+  /// Write-behind dirty data that could not be made durable anywhere
+  /// (flush-on-crash loss, in bytes).
+  std::uint64_t dirty_bytes_lost = 0;
+};
+
+/// Applies a FaultPlan to a machine as simulated time passes.  Chains onto
+/// whatever engine observer is already attached (construction attaches,
+/// destruction restores), exactly like obs::Sampler.  When `metrics` /
+/// `tracer` are non-null, each applied fault bumps `fault.*` counters and
+/// drops a Chrome-trace instant marker.
+class FaultInjector final : public sim::EngineObserver {
+ public:
+  FaultInjector(sim::Engine& engine, hw::Machine& machine, FaultPlan plan,
+                obs::Registry* metrics = nullptr,
+                obs::Tracer* tracer = nullptr);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+  ~FaultInjector() override;
+
+  [[nodiscard]] sim::EngineObserver* chained() const override {
+    return chained_;
+  }
+
+  /// Finds an injector anywhere in the engine's observer chain.
+  [[nodiscard]] static FaultInjector* find(sim::Engine& engine);
+
+  void on_schedule(sim::SimTime now, sim::SimTime when) override;
+  void on_event(sim::SimTime when) override;
+  void on_run_complete(sim::SimTime now, std::size_t pending_events,
+                       std::size_t live_tasks) override;
+
+  /// Number of plan events applied so far.
+  [[nodiscard]] std::size_t applied() const noexcept { return cursor_; }
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  void apply(const FaultEvent& event);
+
+  sim::Engine& engine_;
+  hw::Machine& machine_;
+  FaultPlan plan_;  // sorted by `at` on construction
+  std::size_t cursor_ = 0;
+  sim::EngineObserver* chained_ = nullptr;
+  obs::Registry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+};
+
+}  // namespace paraio::fault

@@ -11,6 +11,8 @@ Machine::Machine(sim::Engine& engine, const MachineConfig& config)
   for (std::size_t i = 0; i < config.io_nodes; ++i) {
     arrays_.push_back(std::make_unique<Raid3Array>(engine, config.raid));
   }
+  ion_up_.assign(config.io_nodes, 1);
+  ion_epoch_.assign(config.io_nodes, 0);
 }
 
 std::uint64_t Machine::total_capacity() const {

@@ -5,6 +5,8 @@
 
 #include <cstddef>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "hw/network.hpp"
@@ -53,16 +55,52 @@ class Machine {
     return config_.io_nodes;
   }
 
-  /// NodeId of I/O node `ion` on the interconnect.
+  /// NodeId of I/O node `ion` on the interconnect.  Throws std::out_of_range
+  /// on a bad index.
   [[nodiscard]] NodeId ion_node_id(std::size_t ion) const {
+    check_ion(ion, "ion_node_id");
     return static_cast<NodeId>(config_.compute_nodes + ion);
   }
 
+  /// NodeId of compute node `node`.  Throws std::out_of_range on a bad
+  /// index (compute nodes occupy [0, compute_nodes) on the interconnect).
+  [[nodiscard]] NodeId compute_node_id(std::size_t node) const {
+    if (node >= config_.compute_nodes) {
+      throw std::out_of_range(
+          "Machine::compute_node_id: node index " + std::to_string(node) +
+          " out of range (machine has " +
+          std::to_string(config_.compute_nodes) + " compute nodes)");
+    }
+    return static_cast<NodeId>(node);
+  }
+
   [[nodiscard]] Raid3Array& ion_array(std::size_t ion) {
+    check_ion(ion, "ion_array");
     return *arrays_[ion];
   }
   [[nodiscard]] const Raid3Array& ion_array(std::size_t ion) const {
+    check_ion(ion, "ion_array");
     return *arrays_[ion];
+  }
+
+  /// Whether I/O node `ion` is serving.  Crash/restart transitions come
+  /// from fault::FaultInjector; every node is up on a fault-free run.
+  [[nodiscard]] bool ion_up(std::size_t ion) const {
+    check_ion(ion, "ion_up");
+    return ion_up_[ion] != 0;
+  }
+  /// Crash (`up == false`) or restart (`up == true`) an I/O node.  A crash
+  /// bumps the node's epoch, which is how servers detect that volatile
+  /// state (e.g. the ION block cache) did not survive.
+  void set_ion_up(std::size_t ion, bool up) {
+    check_ion(ion, "set_ion_up");
+    if (!up && ion_up_[ion] != 0) ++ion_epoch_[ion];
+    ion_up_[ion] = up ? 1 : 0;
+  }
+  /// Incremented once per crash of this I/O node.
+  [[nodiscard]] std::uint32_t ion_epoch(std::size_t ion) const {
+    check_ion(ion, "ion_epoch");
+    return ion_epoch_[ion];
   }
 
   /// Total storage capacity across all I/O nodes.
@@ -74,11 +112,22 @@ class Machine {
   void attach_metrics(obs::Registry& registry);
 
  private:
+  void check_ion(std::size_t ion, const char* op) const {
+    if (ion >= arrays_.size()) {
+      throw std::out_of_range(
+          std::string("Machine::") + op + ": I/O node index " +
+          std::to_string(ion) + " out of range (machine has " +
+          std::to_string(arrays_.size()) + " I/O nodes)");
+    }
+  }
+
   sim::Engine& engine_;
   MachineConfig config_;
   Interconnect net_;
   FrameBuffer framebuffer_;
   std::vector<std::unique_ptr<Raid3Array>> arrays_;
+  std::vector<char> ion_up_;          // 1 = serving; indexed like arrays_
+  std::vector<std::uint32_t> ion_epoch_;
 };
 
 }  // namespace paraio::hw

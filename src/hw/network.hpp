@@ -22,6 +22,7 @@
 #include "hw/disk.hpp"  // DeviceStats
 #include "obs/metrics.hpp"
 #include "sim/engine.hpp"
+#include "sim/random.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 
@@ -53,9 +54,39 @@ class Interconnect {
   /// Completes when the last leaf has the data.
   sim::Task<> broadcast(NodeId root, std::uint64_t bytes, std::size_t parties);
 
-  /// Pure cost model for one point-to-point transfer.
+  /// Pure cost model for one point-to-point transfer (including any active
+  /// fault-injected delay spike).
   [[nodiscard]] sim::SimDuration transfer_time(std::uint64_t bytes) const {
-    return params_.latency + static_cast<double>(bytes) / params_.bandwidth;
+    return params_.latency + static_cast<double>(bytes) / params_.bandwidth +
+           extra_delay_;
+  }
+
+  // --- fault injection (driven by fault::FaultInjector) --------------------
+
+  /// Message-drop probability for loss-aware paths.  Only the PPFS RPC
+  /// channel consults should_drop(); PFS has no retry path, so its messages
+  /// are never dropped.
+  void set_drop_probability(double p) noexcept { drop_probability_ = p; }
+  [[nodiscard]] double drop_probability() const noexcept {
+    return drop_probability_;
+  }
+  /// Adds a delay spike to every transfer (0 clears it).
+  void set_extra_delay(sim::SimDuration d) noexcept { extra_delay_ = d; }
+  [[nodiscard]] sim::SimDuration extra_delay() const noexcept {
+    return extra_delay_;
+  }
+  /// Reseeds the loss stream (fault::FaultPlan::seed).
+  void set_fault_seed(std::uint64_t seed) { fault_rng_ = sim::Rng(seed); }
+  /// One Bernoulli loss draw.  Draws from the stream only while a loss
+  /// window is active, so fault-free runs consume no randomness.
+  [[nodiscard]] bool should_drop() {
+    if (drop_probability_ <= 0.0) return false;
+    const bool drop = fault_rng_.bernoulli(drop_probability_);
+    if (drop) ++dropped_;
+    return drop;
+  }
+  [[nodiscard]] std::uint64_t dropped_messages() const noexcept {
+    return dropped_;
   }
 
   /// Number of sequential stages a binomial broadcast needs.
@@ -92,6 +123,11 @@ class Interconnect {
   std::vector<std::unique_ptr<sim::Semaphore>> rx_;
   DeviceStats stats_;
   std::vector<obs::DeviceMetrics> link_metrics_;  // empty until attached
+  // Fault-injection state; inert (and draw-free) until a plan activates it.
+  double drop_probability_ = 0.0;
+  sim::SimDuration extra_delay_ = 0.0;
+  sim::Rng fault_rng_{0xFA17u};
+  std::uint64_t dropped_ = 0;
 };
 
 /// HiPPi frame buffer: a fixed-bandwidth streaming sink with a FIFO queue.

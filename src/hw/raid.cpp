@@ -1,5 +1,9 @@
 #include "hw/raid.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
 namespace paraio::hw {
 
 sim::SimDuration Raid3Array::service_time(std::uint64_t offset,
@@ -19,18 +23,107 @@ sim::SimDuration Raid3Array::service_time(std::uint64_t offset,
   return positioning + static_cast<double>(bytes) / params_.streaming_rate();
 }
 
-sim::Task<> Raid3Array::access(std::uint64_t offset, std::uint64_t bytes) {
+void Raid3Array::check_disk(std::size_t disk, const char* op) const {
+  if (disk >= disk_state_.size()) {
+    throw std::out_of_range(std::string("Raid3Array::") + op + ": disk index " +
+                            std::to_string(disk) + " out of range (array has " +
+                            std::to_string(disk_state_.size()) + " disks)");
+  }
+}
+
+std::size_t Raid3Array::missing_disks() const noexcept {
+  std::size_t n = 0;
+  for (const DiskHealth s : disk_state_) {
+    if (s != DiskHealth::kHealthy) ++n;
+  }
+  return n;
+}
+
+DiskHealth Raid3Array::disk_health(std::size_t disk) const {
+  check_disk(disk, "disk_health");
+  return disk_state_[disk];
+}
+
+void Raid3Array::fail_disk(std::size_t disk) {
+  check_disk(disk, "fail_disk");
+  if (disk_state_[disk] == DiskHealth::kFailed) return;
+  // A disk mid-rebuild can fail again; the rebuild task notices the state
+  // change at its next chunk and aborts.
+  disk_state_[disk] = DiskHealth::kFailed;
+  ++fault_stats_.disk_failures;
+}
+
+void Raid3Array::repair_disk(std::size_t disk) {
+  check_disk(disk, "repair_disk");
+  if (disk_state_[disk] != DiskHealth::kFailed) return;
+  disk_state_[disk] = DiskHealth::kRebuilding;
+  ++fault_stats_.repairs;
+  engine_.spawn(rebuild(disk));
+}
+
+sim::Task<> Raid3Array::rebuild(std::size_t disk) {
+  // Reconstruct the written extent chunk by chunk through the same gate the
+  // foreground requests use, so rebuild traffic visibly contends with them.
+  const std::uint64_t end = max_extent_;
+  const std::uint64_t chunk = std::max<std::uint64_t>(params_.rebuild_chunk, 1);
+  for (std::uint64_t pos = 0; pos < end; pos += chunk) {
+    if (disk_state_[disk] != DiskHealth::kRebuilding) co_return;  // re-failed
+    co_await gate_.acquire();
+    if (disk_state_[disk] != DiskHealth::kRebuilding) {
+      gate_.release();
+      co_return;
+    }
+    const std::uint64_t n = std::min(chunk, end - pos);
+    // Reconstruction reads every survivor and writes the replacement — one
+    // pass over the stripe at the aggregate rate.
+    const sim::SimDuration service = service_time(pos, n);
+    head_pos_ = pos + n;
+    stats_.busy_time += service;
+    ++fault_stats_.rebuild_chunks;
+    fault_stats_.rebuild_bytes += n;
+    if (m_rebuild_bytes_ != nullptr) m_rebuild_bytes_->add(n);
+    co_await engine_.delay(service);
+    gate_.release();
+  }
+  if (disk_state_[disk] == DiskHealth::kRebuilding) {
+    disk_state_[disk] = DiskHealth::kHealthy;
+  }
+}
+
+sim::Task<DiskOutcome> Raid3Array::access(std::uint64_t offset,
+                                          std::uint64_t bytes, bool is_write) {
+  if (failed()) {
+    // Data is unavailable; refuse without consuming spindle time so the
+    // failure is detected at controller speed.
+    ++fault_stats_.failed_accesses;
+    if (m_failed_ != nullptr) m_failed_->add();
+    co_return DiskOutcome{.failed = true, .degraded = false};
+  }
   const sim::SimTime arrival = engine_.now();
   if (metrics_.qdepth != nullptr) metrics_.qdepth->record(gate_.waiters());
   co_await gate_.acquire();
   const sim::SimDuration waited = engine_.now() - arrival;
   stats_.queue_time += waited;
+  // The array may have failed while this request queued.
+  if (failed()) {
+    gate_.release();
+    ++fault_stats_.failed_accesses;
+    if (m_failed_ != nullptr) m_failed_->add();
+    co_return DiskOutcome{.failed = true, .degraded = false};
+  }
+  const bool was_degraded = degraded();
   const bool positioned = offset != head_pos_;
-  const sim::SimDuration service = service_time(offset, bytes);
+  sim::SimDuration service = service_time(offset, bytes);
+  if (was_degraded && !is_write) service += degraded_read_extra(bytes);
   head_pos_ = offset + bytes;
+  if (is_write) max_extent_ = std::max(max_extent_, offset + bytes);
   ++stats_.requests;
   stats_.bytes += bytes;
   stats_.busy_time += service;
+  if (was_degraded) {
+    ++fault_stats_.degraded_accesses;
+    if (m_degraded_ != nullptr) m_degraded_->add();
+  }
   if (metrics_.attached()) {
     metrics_.requests->add();
     metrics_.bytes->add(bytes);
@@ -40,6 +133,7 @@ sim::Task<> Raid3Array::access(std::uint64_t offset, std::uint64_t bytes) {
   }
   co_await engine_.delay(service);
   gate_.release();
+  co_return DiskOutcome{.failed = false, .degraded = was_degraded};
 }
 
 }  // namespace paraio::hw

@@ -55,7 +55,9 @@ void ScheduledArray::admit_next() {
   engine_.call_in(0.0, [handle] { handle.resume(); });
 }
 
-sim::Task<> ScheduledArray::access(std::uint64_t offset, std::uint64_t bytes) {
+sim::Task<DiskOutcome> ScheduledArray::access(std::uint64_t offset,
+                                              std::uint64_t bytes,
+                                              bool is_write) {
   if (busy_) {
     struct Enqueue {
       ScheduledArray& sched;
@@ -73,9 +75,10 @@ sim::Task<> ScheduledArray::access(std::uint64_t offset, std::uint64_t bytes) {
     busy_ = true;
   }
   ++admitted_;
-  co_await array_.access(offset, bytes);
+  const DiskOutcome outcome = co_await array_.access(offset, bytes, is_write);
   head_ = offset + bytes;
   admit_next();
+  co_return outcome;
 }
 
 }  // namespace paraio::hw

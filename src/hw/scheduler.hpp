@@ -35,7 +35,8 @@ class ScheduledArray {
                  DiskSchedPolicy policy)
       : engine_(engine), array_(array), policy_(policy) {}
 
-  sim::Task<> access(std::uint64_t offset, std::uint64_t bytes);
+  sim::Task<DiskOutcome> access(std::uint64_t offset, std::uint64_t bytes,
+                                bool is_write = false);
 
   [[nodiscard]] DiskSchedPolicy policy() const noexcept { return policy_; }
   [[nodiscard]] std::size_t queue_depth() const noexcept {

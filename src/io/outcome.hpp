@@ -1,0 +1,53 @@
+// Typed result for fault-aware I/O paths.
+//
+// Under an active fault plan an I/O request can fail for reasons the model
+// must surface rather than swallow: a lost message that timed out, a refusal
+// from a crashed I/O node, or an array with too many dead disks.  IoOutcome
+// is the client-visible verdict; every call site must inspect it (the
+// `swallowed-io-error` paraio-lint check flags bare-statement discards).
+#pragma once
+
+#include <cstdint>
+
+namespace paraio::io {
+
+enum class IoErrc {
+  kOk = 0,
+  kTimeout,      ///< request or reply message lost; client timed out
+  kIonDown,      ///< I/O node crashed (refused or abandoned the request)
+  kArrayFailed,  ///< RAID-3 array has >= 2 unavailable disks
+  kDataLost,     ///< buffered dirty data could not be made durable anywhere
+};
+
+[[nodiscard]] constexpr const char* to_string(IoErrc e) {
+  switch (e) {
+    case IoErrc::kOk:
+      return "ok";
+    case IoErrc::kTimeout:
+      return "timeout";
+    case IoErrc::kIonDown:
+      return "ion-down";
+    case IoErrc::kArrayFailed:
+      return "array-failed";
+    case IoErrc::kDataLost:
+      return "data-lost";
+  }
+  return "unknown";
+}
+
+/// Verdict on one I/O request after every recovery path has been tried.
+struct [[nodiscard]] IoOutcome {
+  IoErrc error = IoErrc::kOk;
+  /// Submissions made to the primary I/O node (1 = first try succeeded).
+  std::uint32_t attempts = 1;
+  /// The request completed on a substitute I/O node.
+  bool failed_over = false;
+  /// The serving array was running degraded (parity reconstruction).
+  bool degraded = false;
+
+  [[nodiscard]] constexpr bool ok() const noexcept {
+    return error == IoErrc::kOk;
+  }
+};
+
+}  // namespace paraio::io

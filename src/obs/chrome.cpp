@@ -107,6 +107,19 @@ void write_chrome_trace(std::ostream& out, const Tracer& tracer,
       << ",\"args\":{\"span\":" << id << ",\"parent\":" << span.parent << "}}";
   }
 
+  for (const Tracer::Instant& mark : tracer.instants()) {
+    auto& o = events.next();
+    o << "\"name\":";
+    write_escaped(o, mark.name);
+    if (!mark.category.empty()) {
+      o << ",\"cat\":";
+      write_escaped(o, mark.category);
+    }
+    // "s":"t" scopes the marker to its track row.
+    o << ",\"ph\":\"i\",\"s\":\"t\",\"pid\":" << mark.process
+      << ",\"tid\":" << mark.track << ",\"ts\":" << micros(mark.time) << "}";
+  }
+
   if (registry != nullptr) {
     for (const Registry::Sample& s : registry->samples()) {
       auto& o = events.next();

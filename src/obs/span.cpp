@@ -48,6 +48,17 @@ void Tracer::end(SpanId id) {
   if (it != stack.rend()) stack.erase(std::next(it).base());
 }
 
+void Tracer::instant(Track at, std::string name, std::string category) {
+  assert(engine_ != nullptr && "Tracer::bind must precede instant()");
+  Instant mark;
+  mark.name = std::move(name);
+  mark.category = std::move(category);
+  mark.process = at.process;
+  mark.track = at.track;
+  mark.time = engine_->now();
+  instants_.push_back(std::move(mark));
+}
+
 void Tracer::complete(Track at, std::string name, sim::SimTime start,
                       sim::SimTime end, std::string category) {
   Span span;

@@ -52,6 +52,16 @@ class Tracer {
     [[nodiscard]] bool closed() const noexcept { return end >= start; }
   };
 
+  /// A zero-duration marker — a fault injection, an exhausted-recovery I/O
+  /// error — pinned to a moment on a (process, track) pair.
+  struct Instant {
+    std::string name;
+    std::string category;
+    std::uint32_t process = 0;
+    std::uint32_t track = 0;
+    sim::SimTime time = 0.0;
+  };
+
   /// Binds the tracer to the engine whose clock timestamps spans.  Must be
   /// called before begin()/end(); core::run_experiment does it for hooks.
   void bind(sim::Engine& engine) noexcept { engine_ = &engine; }
@@ -73,6 +83,8 @@ class Tracer {
   /// phase spans from the PhaseLog after a run).
   void complete(Track at, std::string name, sim::SimTime start,
                 sim::SimTime end, std::string category = {});
+  /// Drops a zero-duration marker at now() (Chrome trace "instant" event).
+  void instant(Track at, std::string name, std::string category = {});
 
   void name_process(std::uint32_t process, std::string name) {
     process_names_[process] = std::move(name);
@@ -83,6 +95,9 @@ class Tracer {
 
   [[nodiscard]] const std::vector<Span>& spans() const noexcept {
     return spans_;
+  }
+  [[nodiscard]] const std::vector<Instant>& instants() const noexcept {
+    return instants_;
   }
   [[nodiscard]] const std::map<std::uint32_t, std::string>& process_names()
       const noexcept {
@@ -97,6 +112,7 @@ class Tracer {
  private:
   sim::Engine* engine_ = nullptr;
   std::vector<Span> spans_;
+  std::vector<Instant> instants_;
   // Stack of open spans per (process, track); the top is the parent of the
   // next begin() on that track.
   std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<SpanId>>

@@ -143,8 +143,16 @@ sim::Task<std::uint64_t> Pfs::transfer(io::NodeId node,
         co_await fs.machine_.engine().delay(fs.params_.data_service);
         fs.ion_control_[s.ion]->release();
       }
-      co_await fs.machine_.ion_array(s.ion).access(f.disk_base() + s.local_offset,
-                                                   s.length);
+      const hw::DiskOutcome disk = co_await fs.machine_.ion_array(s.ion).access(
+          f.disk_base() + s.local_offset, s.length, write);
+      if (disk.failed) {
+        // PFS has no recovery path: a dead array is fatal to the run (the
+        // property generator constrains PFS fault plans to recoverable
+        // faults; degraded mode is transparent, just slower).
+        throw std::runtime_error("PFS: RAID-3 array on I/O node " +
+                                 std::to_string(s.ion) +
+                                 " has failed and PFS cannot recover");
+      }
       // Ack (write) or data (read) back to the compute node.
       co_await fs.machine_.net().send(
           ion_node, src, write ? fs.params_.control_bytes : s.length);

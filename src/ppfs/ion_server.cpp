@@ -16,11 +16,12 @@ constexpr std::uint64_t kCacheBlock = 64 * 1024;
 
 IonServer::IonServer(hw::Machine& machine, std::size_t ion_index,
                      bool aggregate, std::uint64_t merge_gap,
-                     std::size_t cache_blocks)
+                     std::size_t cache_blocks, sim::SimDuration drop_timeout)
     : machine_(machine),
       ion_index_(ion_index),
       aggregate_(aggregate),
       merge_gap_(merge_gap),
+      drop_timeout_(drop_timeout),
       queue_(machine.engine(), sim::Channel<Request>::kUnbounded),
       cache_(cache_blocks) {
   machine_.engine().spawn_daemon(serve());
@@ -52,19 +53,38 @@ void IonServer::cache_fill(std::uint64_t address, std::uint64_t length) {
   }
 }
 
-sim::Task<> IonServer::submit(io::NodeId src, std::uint64_t disk_address,
-                              std::uint64_t length, bool is_write) {
+sim::Task<io::IoOutcome> IonServer::submit(io::NodeId src,
+                                           std::uint64_t disk_address,
+                                           std::uint64_t length,
+                                           bool is_write) {
   const io::NodeId ion_node = machine_.ion_node_id(ion_index_);
+  hw::Interconnect& net = machine_.net();
+  // A down ION refuses: one control round trip ("connection refused") —
+  // fast, deterministic, and retryable once the node restarts.
+  if (!machine_.ion_up(ion_index_)) {
+    ++stats_.refused;
+    co_await net.send(src, ion_node, kControlBytes);
+    co_await net.send(ion_node, src, kControlBytes);
+    co_return io::IoOutcome{.error = io::IoErrc::kIonDown};
+  }
+  // A dropped request still occupies the sender's link, but never arrives;
+  // the client learns nothing until its timeout expires.
+  if (net.should_drop()) {
+    co_await net.send(src, ion_node, is_write ? length : kControlBytes);
+    co_await machine_.engine().delay(drop_timeout_);
+    co_return io::IoOutcome{.error = io::IoErrc::kTimeout};
+  }
   // Ship the data (write) or the request descriptor (read).
-  co_await machine_.net().send(src, ion_node,
-                               is_write ? length : kControlBytes);
+  co_await net.send(src, ion_node, is_write ? length : kControlBytes);
   Request req;
   req.address = disk_address;
   req.length = length;
   req.is_write = is_write;
   req.src = src;
   req.done = std::make_shared<sim::Event>(machine_.engine());
+  req.result = std::make_shared<io::IoOutcome>();
   auto done = req.done;
+  auto result = req.result;
   auto* deadlocks = sim::DeadlockDetector::find(machine_.engine());
   if (deadlocks) {
     // The server daemon is the only task that drains this queue and sets
@@ -91,9 +111,17 @@ sim::Task<> IonServer::submit(io::NodeId src, std::uint64_t disk_address,
     co_await queue_.send(std::move(req));
     co_await done->wait();
   }
-  // Reply: the data (read) or an ack (write) travels back.
-  co_await machine_.net().send(ion_node, src,
-                               is_write ? kControlBytes : length);
+  // A lost reply: the server did the work (a retried write lands twice),
+  // but the client sees only its timeout.
+  if (result->ok() && net.should_drop()) {
+    co_await machine_.engine().delay(drop_timeout_);
+    co_return io::IoOutcome{.error = io::IoErrc::kTimeout};
+  }
+  // Reply: the data (read) or an ack (write) on success; a typed error
+  // notification (control-sized) otherwise.
+  co_await net.send(ion_node, src,
+                    result->ok() && !is_write ? length : kControlBytes);
+  co_return *result;
 }
 
 sim::Task<> IonServer::serve() {
@@ -118,6 +146,13 @@ sim::Task<> IonServer::serve() {
         batch.push_back(std::move(*more));
       }
     }
+    // A restart since the last batch means the volatile block cache died
+    // with the old incarnation.
+    const std::uint32_t epoch = machine_.ion_epoch(ion_index_);
+    if (epoch != seen_epoch_) {
+      cache_.erase_file(0);
+      seen_epoch_ = epoch;
+    }
     stats_.requests += batch.size();
     ++stats_.batches;
     if (m_batch_requests_ != nullptr) m_batch_requests_->record(batch.size());
@@ -140,6 +175,17 @@ sim::Task<> IonServer::serve() {
 
     std::size_t i = 0;
     while (i < order.size()) {
+      // Crashed mid-batch: every request not yet serviced is abandoned and
+      // reported as a typed error instead of left stranded.
+      if (!machine_.ion_up(ion_index_)) {
+        for (std::size_t k = i; k < order.size(); ++k) {
+          Request& lost = batch[order[k]];
+          lost.result->error = io::IoErrc::kIonDown;
+          lost.done->set();
+          ++stats_.abandoned;
+        }
+        break;
+      }
       const Request& first = batch[order[i]];
       // Server-side cache: a read whose blocks are all resident skips the
       // array (the second buffering level of the paper's §8).
@@ -165,11 +211,26 @@ sim::Task<> IonServer::serve() {
         hi = std::max(hi, next.address + next.length);
         ++j;
       }
-      co_await machine_.ion_array(ion_index_).access(lo, hi - lo);
-      cache_fill(lo, hi - lo);
+      hw::Raid3Array& array = machine_.ion_array(ion_index_);
+      const hw::DiskOutcome disk =
+          co_await array.access(lo, hi - lo, first.is_write);
       ++stats_.disk_accesses;
+      if (disk.failed) {
+        for (std::size_t k = i; k < j; ++k) {
+          batch[order[k]].result->error = io::IoErrc::kArrayFailed;
+          batch[order[k]].done->set();
+          ++stats_.array_failures;
+        }
+        i = j;
+        continue;
+      }
+      cache_fill(lo, hi - lo);
       stats_.bytes += hi - lo;
-      for (std::size_t k = i; k < j; ++k) batch[order[k]].done->set();
+      for (std::size_t k = i; k < j; ++k) {
+        batch[order[k]].result->degraded = disk.degraded;
+        batch[order[k]].done->set();
+        if (disk.degraded) ++stats_.degraded;
+      }
       i = j;
     }
     if (tracer_ != nullptr) tracer_->end(span);

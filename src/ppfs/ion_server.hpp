@@ -15,6 +15,7 @@
 
 #include "hw/machine.hpp"
 #include "io/file.hpp"
+#include "io/outcome.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "ppfs/cache.hpp"
@@ -31,6 +32,10 @@ struct IonServerStats {
   std::uint64_t bytes = 0;
   std::uint64_t cache_hits = 0;    ///< read requests served from ION cache
   std::uint64_t cache_misses = 0;  ///< read requests that touched the array
+  std::uint64_t refused = 0;       ///< submissions bounced off a down ION
+  std::uint64_t abandoned = 0;     ///< queued requests dropped by a crash
+  std::uint64_t array_failures = 0;  ///< requests that hit a failed array
+  std::uint64_t degraded = 0;      ///< requests served by a degraded array
   /// requests / disk_accesses > 1 means aggregation is working.
   [[nodiscard]] double aggregation_factor() const {
     return disk_accesses
@@ -47,14 +52,21 @@ class IonServer {
   /// (0 = disabled): the second level of the paper's §8 "two level
   /// buffering at compute nodes and input/output nodes".  Unlike the
   /// per-client caches, it serves every node, so cross-node rereads hit.
+  /// `drop_timeout` is how long a client charges for a lost request or
+  /// reply before returning IoErrc::kTimeout (the recovery policy's
+  /// request timeout).
   IonServer(hw::Machine& machine, std::size_t ion_index, bool aggregate,
-            std::uint64_t merge_gap, std::size_t cache_blocks = 0);
+            std::uint64_t merge_gap, std::size_t cache_blocks = 0,
+            sim::SimDuration drop_timeout = sim::milliseconds(500.0));
 
   /// Ships the request/data to the I/O node, queues it, and completes when
-  /// the server has serviced it and the reply/data has returned.
-  /// `disk_address` is the ION-local byte address (file base + local offset).
-  sim::Task<> submit(io::NodeId src, std::uint64_t disk_address,
-                     std::uint64_t length, bool is_write);
+  /// the server has serviced it and the reply/data has returned — or when a
+  /// fault path resolved it: a down ION refuses after one control round
+  /// trip (kIonDown), a dropped request/reply times out (kTimeout), a
+  /// failed array reports kArrayFailed.  `disk_address` is the ION-local
+  /// byte address (file base + local offset).
+  sim::Task<io::IoOutcome> submit(io::NodeId src, std::uint64_t disk_address,
+                                  std::uint64_t length, bool is_write);
 
   [[nodiscard]] const IonServerStats& stats() const noexcept { return stats_; }
 
@@ -71,6 +83,8 @@ class IonServer {
     bool is_write = false;
     io::NodeId src = 0;
     std::shared_ptr<sim::Event> done;
+    /// Filled in by the server before `done` is set.
+    std::shared_ptr<io::IoOutcome> result;
   };
 
   sim::Task<> serve();
@@ -86,8 +100,10 @@ class IonServer {
   std::size_t ion_index_;
   bool aggregate_;
   std::uint64_t merge_gap_;
+  sim::SimDuration drop_timeout_;
   sim::Channel<Request> queue_;
   BlockCache cache_;  // keyed by disk-address block; file id unused (0)
+  std::uint32_t seen_epoch_ = 0;  // wipe cache_ when the ION restarts
   IonServerStats stats_;
 
   // Observability handles; null until attach_observability.

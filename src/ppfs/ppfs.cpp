@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 
 #include "sim/task_group.hpp"
@@ -12,13 +13,15 @@ namespace paraio::ppfs {
 // Ppfs
 
 Ppfs::Ppfs(hw::Machine& machine, PpfsParams params)
-    : machine_(machine), params_(params) {
+    : machine_(machine),
+      params_(params),
+      retry_rng_(params.recovery.jitter_seed) {
   servers_.reserve(machine_.io_nodes());
   ion_control_.reserve(machine_.io_nodes());
   for (std::size_t i = 0; i < machine_.io_nodes(); ++i) {
     servers_.push_back(std::make_unique<IonServer>(
         machine_, i, params_.aggregation, params_.merge_gap,
-        params_.ion_cache_blocks));
+        params_.ion_cache_blocks, params_.recovery.request_timeout));
     ion_control_.push_back(
         std::make_unique<sim::Semaphore>(machine_.engine(), 1));
   }
@@ -83,14 +86,78 @@ sim::Task<> Ppfs::transfer(io::NodeId node, detail::PpfsFileObject& file,
   for (const pfs::Segment& seg : segments) {
     auto piece = [](Ppfs& fs, io::NodeId src, detail::PpfsFileObject& f,
                     pfs::Segment s, bool write) -> sim::Task<> {
-      co_await fs.servers_[s.ion]->submit(src, f.disk_base() + s.local_offset,
-                                          s.length, write);
+      const io::IoOutcome r = co_await fs.submit_with_recovery(
+          src, s.ion, f.disk_base() + s.local_offset, s.length, write);
+      // Exhausted recovery: the stripe is gone.  The loss is accounted in
+      // recovery_stats() (dirty_bytes_lost for writes); mark the client's
+      // timeline so degraded runs are visible in the Chrome trace.
+      if (!r.ok() && fs.tracer_ != nullptr) {
+        fs.tracer_->instant({src, 0}, "ppfs.io-error", "fault");
+      }
     };
     group.spawn(piece(*this, node, file, seg, is_write));
   }
   co_await group.join();
   if (tracer_ != nullptr) tracer_->end(span);
   if (is_write) file.size = std::max(file.size, offset + bytes);
+}
+
+sim::Task<io::IoOutcome> Ppfs::submit_with_recovery(io::NodeId node,
+                                                    std::uint32_t ion,
+                                                    std::uint64_t disk_address,
+                                                    std::uint64_t length,
+                                                    bool is_write) {
+  const fault::RecoveryPolicy& rp = params_.recovery;
+  ++recovery_stats_.requests;
+  io::IoOutcome out;
+  std::uint32_t attempts = 0;
+  for (;;) {
+    out = co_await servers_[ion]->submit(node, disk_address, length, is_write);
+    ++attempts;
+    if (out.ok() || attempts > rp.max_retries) break;
+    ++recovery_stats_.retries;
+    if (out.error == io::IoErrc::kTimeout) ++recovery_stats_.timeouts;
+    if (out.error == io::IoErrc::kIonDown) ++recovery_stats_.refused;
+    // Exponential backoff with seeded jitter: base * 2^(attempt-1), clamped,
+    // scaled by a factor in [1 - jitter, 1 + jitter].  The jitter stream is
+    // only drawn from on an actual retry, so fault-free runs never touch it.
+    sim::SimDuration backoff =
+        std::min(rp.backoff_max,
+                 std::ldexp(rp.backoff_base, static_cast<int>(attempts) - 1));
+    if (rp.jitter > 0.0) {
+      backoff *= 1.0 + rp.jitter * (2.0 * retry_rng_.uniform01() - 1.0);
+    }
+    co_await machine_.engine().delay(backoff);
+  }
+  out.attempts = attempts;
+  if (!out.ok() && rp.failover) {
+    // Re-route the stripe to surviving IONs in deterministic scan order;
+    // each substitute array holds a spill region at the same local address.
+    for (std::size_t k = 1; k < servers_.size() && !out.ok(); ++k) {
+      const std::size_t alt = (ion + k) % servers_.size();
+      if (!machine_.ion_up(alt)) continue;
+      io::IoOutcome alt_out =
+          co_await servers_[alt]->submit(node, disk_address, length, is_write);
+      ++attempts;
+      if (alt_out.ok()) {
+        alt_out.attempts = attempts;
+        alt_out.failed_over = true;
+        out = alt_out;
+        ++recovery_stats_.failovers;
+        recovery_stats_.failover_bytes += length;
+      }
+    }
+  }
+  if (out.degraded) ++recovery_stats_.degraded;
+  if (out.ok()) {
+    ++recovery_stats_.ok;
+  } else {
+    ++recovery_stats_.failed;
+    // A lost write is dirty data that had been acknowledged to the
+    // application (write-behind) but never reached stable storage.
+    if (is_write) recovery_stats_.dirty_bytes_lost += length;
+  }
+  co_return out;
 }
 
 sim::Task<> Ppfs::fetch_blocks(io::NodeId node, detail::PpfsFileObject& file,

@@ -25,8 +25,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "hw/machine.hpp"
 #include "io/file.hpp"
+#include "io/outcome.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "pfs/observer.hpp"
@@ -66,6 +68,12 @@ struct PpfsParams {
   sim::SimDuration close_service = sim::milliseconds(1.0);
   sim::SimDuration meta_service = sim::milliseconds(1.0);
   std::uint32_t control_bytes = 64;
+  /// Client-side recovery: request timeout, exponential backoff with
+  /// seeded jitter, and ION failover.  Inert on a fault-free run (the
+  /// retry loop never engages and the jitter stream is never drawn from).
+  /// Control RPCs (open/close/metadata) are not retried: the metadata
+  /// service is modeled as always available.
+  fault::RecoveryPolicy recovery;
 
   /// Policy preset matching the paper's §5.2 ESCAT port: write-behind with
   /// global request aggregation.
@@ -181,6 +189,20 @@ class Ppfs final : public io::FileSystem {
   [[nodiscard]] const IonServerStats& ion_stats(std::size_t ion) const {
     return servers_[ion]->stats();
   }
+  /// What the retry/backoff/failover machinery did this run.
+  [[nodiscard]] const fault::RecoveryStats& recovery_stats() const noexcept {
+    return recovery_stats_;
+  }
+
+  /// Submits one request to ION `ion` under the mount's RecoveryPolicy:
+  /// retries typed errors with exponentially backed-off, jittered delays,
+  /// then re-routes to surviving IONs in deterministic scan order.  All
+  /// recovery accounting happens here.
+  sim::Task<io::IoOutcome> submit_with_recovery(io::NodeId node,
+                                                std::uint32_t ion,
+                                                std::uint64_t disk_address,
+                                                std::uint64_t length,
+                                                bool is_write);
   /// Per-node client cache (created on first use).
   [[nodiscard]] BlockCache& node_cache(io::NodeId node);
 
@@ -263,6 +285,8 @@ class Ppfs final : public io::FileSystem {
       inflight_;
   io::FileId next_file_id_ = 1;
   PpfsCounters counters_;
+  fault::RecoveryStats recovery_stats_;
+  sim::Rng retry_rng_;  // jitter stream; drawn from only on actual retries
   pfs::IoObserver* observer_ = nullptr;
 
   // Observability handles; null until attach_observability.

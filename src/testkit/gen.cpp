@@ -83,7 +83,9 @@ Gen<apps::SyntheticConfig> gen_synthetic(std::uint32_t max_nodes) {
     const std::size_t phase_count = rng.uniform_int(1, 3);
     for (std::size_t i = 0; i < phase_count; ++i) {
       apps::SyntheticPhase phase;
-      phase.name = "p" + std::to_string(i);
+      // Appended (not operator+) to dodge GCC 12's bogus -Wrestrict at -O3.
+      phase.name = "p";
+      phase.name += std::to_string(i);
       phase.direction = rng.bernoulli(0.5) ? apps::SyntheticDirection::kRead
                                            : apps::SyntheticDirection::kWrite;
       const apps::SyntheticPattern patterns[] = {
@@ -189,6 +191,90 @@ std::vector<apps::SyntheticConfig> shrink_synthetic(
       c.phases[i].size_jitter = 0.0;
       out.push_back(std::move(c));
     }
+  }
+  return out;
+}
+
+Gen<fault::FaultPlan> gen_fault_plan(std::size_t io_nodes, std::size_t disks,
+                                     double horizon) {
+  return Gen<fault::FaultPlan>([io_nodes, disks, horizon](sim::Rng& rng) {
+    fault::FaultPlan plan;
+    plan.seed = rng.next_u64();
+    const std::size_t injections = rng.uniform_int(1, 3);
+    for (std::size_t i = 0; i < injections; ++i) {
+      const sim::SimTime at = rng.uniform(0.0, horizon);
+      const auto ion =
+          static_cast<std::uint32_t>(rng.uniform_int(0, io_nodes - 1));
+      switch (rng.uniform_int(0, 3)) {
+        case 0: {
+          const auto disk =
+              static_cast<std::uint32_t>(rng.uniform_int(0, disks - 1));
+          plan.add({at, fault::FaultKind::kDiskFail, ion, disk, 0.0});
+          plan.add({at + rng.uniform(0.01, horizon),
+                    fault::FaultKind::kDiskRepair, ion, disk, 0.0});
+          break;
+        }
+        case 1: {
+          plan.add({at, fault::FaultKind::kIonCrash, ion, 0, 0.0});
+          plan.add({at + rng.uniform(0.01, horizon / 2),
+                    fault::FaultKind::kIonRestart, ion, 0, 0.0});
+          break;
+        }
+        case 2: {
+          plan.add({at, fault::FaultKind::kNetLoss, 0, 0,
+                    rng.uniform(0.05, 0.4)});
+          plan.add({at + rng.uniform(0.01, horizon / 2),
+                    fault::FaultKind::kNetLoss, 0, 0, 0.0});
+          break;
+        }
+        default: {
+          plan.add({at, fault::FaultKind::kNetDelay, 0, 0,
+                    rng.uniform(1e-4, 5e-3)});
+          plan.add({at + rng.uniform(0.01, horizon / 2),
+                    fault::FaultKind::kNetDelay, 0, 0, 0.0});
+          break;
+        }
+      }
+    }
+    return plan;
+  });
+}
+
+Gen<FaultCase> gen_fault_case() {
+  return Gen<FaultCase>([](sim::Rng& rng) {
+    FaultCase fc;
+    fc.base = gen_sim_case(core::FsChoice::Kind::kPpfs)(rng);
+    fc.plan = gen_fault_plan(fc.base.machine.io_nodes,
+                             fc.base.machine.raid.disks)(rng);
+    return fc;
+  });
+}
+
+std::string FaultCase::describe() const {
+  return base.describe() + "\n" + plan.describe();
+}
+
+std::vector<FaultCase> shrink_fault_case(const FaultCase& failing) {
+  std::vector<FaultCase> out;
+  if (!failing.plan.empty()) {
+    // Is the fault schedule implicated at all?
+    FaultCase none = failing;
+    none.plan.events.clear();
+    out.push_back(std::move(none));
+    for (std::size_t i = 0; i < failing.plan.events.size(); ++i) {
+      FaultCase c = failing;
+      c.plan.events.erase(c.plan.events.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+      out.push_back(std::move(c));
+    }
+  }
+  for (SimCase& base : shrink_sim_case(failing.base)) {
+    FaultCase c = failing;
+    // The shrunk machine may have fewer I/O nodes; keep targets in range.
+    const auto ions = static_cast<std::uint32_t>(base.machine.io_nodes);
+    c.base = std::move(base);
+    for (fault::FaultEvent& e : c.plan.events) e.ion %= ions;
+    out.push_back(std::move(c));
   }
   return out;
 }

@@ -17,6 +17,7 @@
 
 #include "apps/synthetic.hpp"
 #include "core/experiment.hpp"
+#include "fault/fault.hpp"
 #include "hw/machine.hpp"
 #include "pfs/pfs.hpp"
 #include "ppfs/ppfs.hpp"
@@ -117,5 +118,27 @@ Gen<SimCase> gen_sim_case(core::FsChoice::Kind kind);
 std::vector<apps::SyntheticConfig> shrink_synthetic(
     const apps::SyntheticConfig& config);
 std::vector<SimCase> shrink_sim_case(const SimCase& failing);
+
+// --- fault-injection cases -------------------------------------------------
+
+/// Random fault schedule for a machine with `io_nodes` arrays of `disks`
+/// drives each: paired disk fail/repair, ION crash/restart, interconnect
+/// loss windows and delay spikes, all starting inside [0, horizon) seconds.
+/// Every destructive event is paired with its recovery event so a schedule
+/// perturbs the run rather than ending it.
+Gen<fault::FaultPlan> gen_fault_plan(std::size_t io_nodes, std::size_t disks,
+                                     double horizon = 2.0);
+
+/// A PPFS simulation case plus a fault schedule over its machine (PPFS is
+/// the fault-aware mount: typed errors, retry/backoff, ION failover).
+struct FaultCase {
+  SimCase base;
+  fault::FaultPlan plan;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+Gen<FaultCase> gen_fault_case();
+std::vector<FaultCase> shrink_fault_case(const FaultCase& failing);
 
 }  // namespace paraio::testkit

@@ -51,7 +51,8 @@ TEST(Machine, ArraysOperateIndependently) {
   sim::Engine e;
   Machine m(e, MachineConfig::paragon_xps(4, 2));
   auto proc = [&](std::size_t ion) -> sim::Task<> {
-    co_await m.ion_array(ion).access(12345, 1'000'000);
+    const DiskOutcome r = co_await m.ion_array(ion).access(12345, 1'000'000);
+    EXPECT_TRUE(r.ok());
   };
   e.spawn(proc(0));
   e.spawn(proc(1));

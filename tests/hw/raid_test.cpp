@@ -65,7 +65,9 @@ TEST(Raid3, FifoQueueing) {
   Raid3Array array(e, test_params());
   std::vector<int> order;
   auto proc = [&](int id) -> sim::Task<> {
-    co_await array.access(static_cast<std::uint64_t>(id) * 1'000'000, 8000);
+    const DiskOutcome r =
+        co_await array.access(static_cast<std::uint64_t>(id) * 1'000'000, 8000);
+    EXPECT_TRUE(r.ok());
     order.push_back(id);
   };
   for (int i = 0; i < 4; ++i) e.spawn(proc(i));
@@ -78,8 +80,9 @@ TEST(Raid3, BusyTimeMatchesSumOfServiceTimes) {
   sim::Engine e;
   Raid3Array array(e, test_params());
   auto proc = [&]() -> sim::Task<> {
-    co_await array.access(0, 1'000'000);
-    co_await array.access(5'000'000, 1'000'000);
+    const DiskOutcome a = co_await array.access(0, 1'000'000);
+    const DiskOutcome b = co_await array.access(5'000'000, 1'000'000);
+    EXPECT_TRUE(a.ok() && b.ok());
   };
   e.spawn(proc());
   e.run();

@@ -30,7 +30,10 @@ struct Fixture {
 
 TEST(ScheduledArray, SingleRequestPassesThrough) {
   Fixture fx(DiskSchedPolicy::kFifo);
-  auto proc = [&]() -> sim::Task<> { co_await fx.sched.access(0, 8000); };
+  auto proc = [&]() -> sim::Task<> {
+    const DiskOutcome r = co_await fx.sched.access(0, 8000);
+    EXPECT_TRUE(r.ok());
+  };
   fx.engine.spawn(proc());
   fx.engine.run();
   EXPECT_EQ(fx.array.stats().requests, 1u);
@@ -41,7 +44,8 @@ TEST(ScheduledArray, FifoPreservesArrivalOrder) {
   Fixture fx(DiskSchedPolicy::kFifo);
   std::vector<int> order;
   auto proc = [&](int id, std::uint64_t offset) -> sim::Task<> {
-    co_await fx.sched.access(offset, 1000);
+    const DiskOutcome r = co_await fx.sched.access(offset, 1000);
+    EXPECT_TRUE(r.ok());
     order.push_back(id);
   };
   // Arrive in id order with shuffled offsets.
@@ -57,7 +61,8 @@ TEST(ScheduledArray, ScanServesByAddress) {
   Fixture fx(DiskSchedPolicy::kScan);
   std::vector<std::uint64_t> service_order;
   auto proc = [&](std::uint64_t offset) -> sim::Task<> {
-    co_await fx.sched.access(offset, 1000);
+    const DiskOutcome r = co_await fx.sched.access(offset, 1000);
+    EXPECT_TRUE(r.ok());
     service_order.push_back(offset);
   };
   // First request grabs the arm; the rest queue and are swept in address
@@ -78,7 +83,8 @@ TEST(ScheduledArray, ScanSweepsDownWhenNothingAbove) {
   Fixture fx(DiskSchedPolicy::kScan);
   std::vector<std::uint64_t> order;
   auto proc = [&](std::uint64_t offset) -> sim::Task<> {
-    co_await fx.sched.access(offset, 1000);
+    const DiskOutcome r = co_await fx.sched.access(offset, 1000);
+    EXPECT_TRUE(r.ok());
     order.push_back(offset);
   };
   fx.engine.spawn(proc(8'000'000));  // arm ends high
@@ -95,7 +101,8 @@ TEST(ScheduledArray, AllRequestsEventuallyServed) {
   sim::Rng rng(3);
   int done = 0;
   auto proc = [&](std::uint64_t offset) -> sim::Task<> {
-    co_await fx.sched.access(offset, 500);
+    const DiskOutcome r = co_await fx.sched.access(offset, 500);
+    EXPECT_TRUE(r.ok());
     ++done;
   };
   constexpr int kRequests = 64;
@@ -113,7 +120,8 @@ TEST(ScheduledArray, ScanBeatsFifoOnRandomBacklog) {
     Fixture fx(policy);
     sim::Rng rng(7);
     auto proc = [&](std::uint64_t offset) -> sim::Task<> {
-      co_await fx.sched.access(offset, 2048);
+      const DiskOutcome r = co_await fx.sched.access(offset, 2048);
+      EXPECT_TRUE(r.ok());
     };
     for (int i = 0; i < 48; ++i) {
       fx.engine.spawn(proc(rng.uniform_int(0, 4000) * 100'000));
@@ -130,7 +138,8 @@ TEST(ScheduledArray, LateArrivalsJoinTheSweep) {
   std::vector<std::uint64_t> order;
   auto proc = [&](double delay, std::uint64_t offset) -> sim::Task<> {
     co_await fx.engine.delay(delay);
-    co_await fx.sched.access(offset, 200'000);  // ~0.1 s service
+    const DiskOutcome r = co_await fx.sched.access(offset, 200'000);
+    EXPECT_TRUE(r.ok());  // ~0.1 s service
     order.push_back(offset);
   };
   fx.engine.spawn(proc(0.0, 1'000'000));

@@ -107,6 +107,27 @@ TEST(LintFixtures, DiscardedTaskSeededCounts) {
   EXPECT_EQ(t.suppressed, 1);
 }
 
+TEST(LintFixtures, SwallowedIoErrorSeededCounts) {
+  const auto findings = lint_fixture("swallowed_io_error.cc");
+  const Tally t = tally(findings, "swallowed-io-error");
+  EXPECT_EQ(t.active, 3);
+  EXPECT_EQ(t.suppressed, 1);
+  // The co_awaited discard is this check's territory alone; the bare
+  // (un-awaited) statement is additionally a discarded-task.
+  const Tally dropped = tally(findings, "discarded-task");
+  EXPECT_EQ(dropped.active, 1);
+}
+
+TEST(LintIndex, OutcomeReturningFunctionsIndexed) {
+  const SourceFile file = load_fixture("swallowed_io_error.cc");
+  const ProjectIndex index = paraio::lint::index_project({file});
+  EXPECT_TRUE(index.outcome_fns.contains("access"));
+  EXPECT_TRUE(index.outcome_fns.contains("flush"));
+  // Value uses of an Outcome type are not declarations.
+  EXPECT_FALSE(index.outcome_fns.contains("r"));
+  EXPECT_FALSE(index.outcome_fns.contains("drive"));
+}
+
 TEST(LintFixtures, LayeringLowLayerSeededCounts) {
   const auto findings = lint_fixture("src/sim/bad_layering.hpp");
   const Tally t = tally(findings, "layering");

@@ -21,7 +21,9 @@ struct Fixture {
 TEST(IonServer, SingleRequestServiced) {
   Fixture fx(true);
   auto proc = [&]() -> sim::Task<> {
-    co_await fx.server.submit(0, 0, 64 * 1024, /*is_write=*/true);
+    const io::IoOutcome r =
+        co_await fx.server.submit(0, 0, 64 * 1024, /*is_write=*/true);
+    EXPECT_TRUE(r.ok());
   };
   fx.engine.spawn(proc());
   fx.engine.run();
@@ -37,9 +39,11 @@ TEST(IonServer, AdjacentRequestsMergeWhenAggregating) {
   auto driver = [&]() -> sim::Task<> {
     for (int i = 0; i < 8; ++i) {
       auto piece = [](Fixture& f, int idx) -> sim::Task<> {
-        co_await f.server.submit(static_cast<io::NodeId>(idx),
-                                 static_cast<std::uint64_t>(idx) * 2048, 2048,
-                                 /*is_write=*/true);
+        const io::IoOutcome r =
+            co_await f.server.submit(static_cast<io::NodeId>(idx),
+                                     static_cast<std::uint64_t>(idx) * 2048,
+                                     2048, /*is_write=*/true);
+        EXPECT_TRUE(r.ok());
       };
       group.spawn(piece(fx, i));
     }
@@ -58,9 +62,11 @@ TEST(IonServer, NoAggregationServesOneByOne) {
   auto driver = [&]() -> sim::Task<> {
     for (int i = 0; i < 8; ++i) {
       auto piece = [](Fixture& f, int idx) -> sim::Task<> {
-        co_await f.server.submit(static_cast<io::NodeId>(idx),
-                                 static_cast<std::uint64_t>(idx) * 2048, 2048,
-                                 /*is_write=*/true);
+        const io::IoOutcome r =
+            co_await f.server.submit(static_cast<io::NodeId>(idx),
+                                     static_cast<std::uint64_t>(idx) * 2048,
+                                     2048, /*is_write=*/true);
+        EXPECT_TRUE(r.ok());
       };
       group.spawn(piece(fx, i));
     }
@@ -79,8 +85,10 @@ TEST(IonServer, DistantRequestsDoNotMerge) {
     for (int i = 0; i < 4; ++i) {
       auto piece = [](Fixture& f, int idx) -> sim::Task<> {
         // 1 MB apart: never adjacent.
-        co_await f.server.submit(0, static_cast<std::uint64_t>(idx) << 20,
-                                 2048, /*is_write=*/true);
+        const io::IoOutcome r =
+            co_await f.server.submit(0, static_cast<std::uint64_t>(idx) << 20,
+                                     2048, /*is_write=*/true);
+        EXPECT_TRUE(r.ok());
       };
       group.spawn(piece(fx, i));
     }
@@ -96,10 +104,14 @@ TEST(IonServer, ReadsAndWritesDoNotMergeTogether) {
   sim::TaskGroup group(fx.engine);
   auto driver = [&]() -> sim::Task<> {
     auto read_piece = [](Fixture& f) -> sim::Task<> {
-      co_await f.server.submit(0, 0, 2048, /*is_write=*/false);
+      const io::IoOutcome r =
+          co_await f.server.submit(0, 0, 2048, /*is_write=*/false);
+      EXPECT_TRUE(r.ok());
     };
     auto write_piece = [](Fixture& f) -> sim::Task<> {
-      co_await f.server.submit(1, 2048, 2048, /*is_write=*/true);
+      const io::IoOutcome r =
+          co_await f.server.submit(1, 2048, 2048, /*is_write=*/true);
+      EXPECT_TRUE(r.ok());
     };
     group.spawn(read_piece(fx));
     group.spawn(write_piece(fx));

@@ -205,8 +205,9 @@ TEST(DeadlockDetector, CleanIonServerRunHasNoFindings) {
   DeadlockDetector det(engine);
 
   auto proc = [&](io::NodeId node) -> Task<> {
-    co_await server.submit(node, std::uint64_t{node} * 4096, 4096,
-                           /*is_write=*/true);
+    const io::IoOutcome r = co_await server.submit(
+        node, std::uint64_t{node} * 4096, 4096, /*is_write=*/true);
+    EXPECT_TRUE(r.ok());
   };
   engine.spawn(proc(0));
   engine.spawn(proc(1));

@@ -80,6 +80,24 @@ TEST(GoldenTrace, EscatScalesTo16) {
   check_digests("escat.pfs.n16", cfg);
 }
 
+// The fault layer's no-op contract: an attached FaultInjector with an empty
+// plan must leave every golden digest byte-identical — the injector only
+// forwards observer callbacks until a plan event is due, so the machinery
+// can ride along in every experiment without perturbing fault-free runs.
+TEST(GoldenTrace, EmptyFaultPlanLeavesDigestsByteIdentical) {
+  struct Named {
+    const char* key;
+    core::ExperimentConfig config;
+  };
+  for (Named n :
+       {Named{"escat.pfs.n8", golden_experiment(golden_escat())},
+        Named{"render.pfs.n9", golden_experiment(golden_render())},
+        Named{"htf.pfs.n8", golden_experiment(golden_htf())}}) {
+    n.config.attach_fault_layer = true;  // empty plan, injector attached
+    check_digests(n.key, n.config);
+  }
+}
+
 // Differential: the golden configurations rerun must reproduce the exact
 // digests within one process too (no hidden global state between runs).
 TEST(GoldenTrace, RerunIsBitIdentical) {

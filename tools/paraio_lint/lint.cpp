@@ -33,6 +33,9 @@ constexpr CheckInfo kChecks[] = {
     {"discarded-task", Severity::kError,
      "Task<T>-returning call used as a plain statement: the coroutine is "
      "destroyed without ever starting"},
+    {"swallowed-io-error", Severity::kError,
+     "typed I/O outcome discarded: the *Outcome return value is the only "
+     "failure channel; bind and inspect it"},
     {"lock-order", Severity::kWarning,
      "lock acquired in conflicting orders across the tree: some "
      "interleaving can deadlock; establish one global acquisition order"},
@@ -917,6 +920,96 @@ void check_discarded_task(const std::vector<std::string>& stripped_lines,
 }
 
 // ---------------------------------------------------------------------------
+// Swallowed typed I/O outcomes (pass 2, against the pass-1 outcome-fn index)
+
+/// Function/method names whose declared return type is — or wraps, as in
+/// `sim::Task<io::IoOutcome>` — an identifier ending in "Outcome".  The
+/// declaration shape is `...Outcome[>&]* name(`, which a value use never
+/// matches (a variable name, `=`, `{`, or `;` follows instead).
+void collect_outcome_fns(const std::string& stripped,
+                         std::set<std::string>* fns) {
+  static constexpr std::string_view kTail = "Outcome";
+  for (std::size_t pos = 0; pos + kTail.size() <= stripped.size(); ++pos) {
+    if (stripped.compare(pos, kTail.size(), kTail) != 0) continue;
+    const std::size_t after = pos + kTail.size();
+    if (after < stripped.size() && is_ident(stripped[after])) continue;
+    pos = after - 1;  // resume the scan past this token either way
+    std::size_t cursor = after;
+    while (cursor < stripped.size() &&
+           (stripped[cursor] == '>' || stripped[cursor] == '&' ||
+            stripped[cursor] == ' ' || stripped[cursor] == '\t' ||
+            stripped[cursor] == '\n')) {
+      ++cursor;
+    }
+    if (cursor >= stripped.size() || !is_ident_start(stripped[cursor])) {
+      continue;
+    }
+    std::size_t end = cursor;
+    const std::string name = read_ident(stripped, cursor, &end);
+    const std::size_t paren = skip_spaces(stripped, end);
+    if (paren < stripped.size() && stripped[paren] == '(') fns->insert(name);
+  }
+}
+
+/// Flags single-line statements that call an Outcome-returning function and
+/// drop the result.  `co_await` does not rescue the value — the awaited
+/// outcome is still discarded — so awaited bare statements are flagged too
+/// (complementary to discarded-task, which catches the un-awaited form).
+/// Deliberate discards go through `(void)` or an allow() suppression.
+void check_swallowed_io_error(const std::vector<std::string>& stripped_lines,
+                              const std::vector<std::size_t>& starts,
+                              const std::set<std::string>& outcome_fns,
+                              Sink* out) {
+  if (outcome_fns.empty()) return;
+  static constexpr std::string_view kAwait = "co_await ";
+  for (std::size_t i = 0; i < stripped_lines.size(); ++i) {
+    const std::string& raw_line = stripped_lines[i];
+    std::string line = trim(raw_line);
+    if (line.empty() || line.back() != ';') continue;
+    // Wrapped statements: when the predecessor line neither closes a
+    // statement nor opens a block, this line is a continuation (`const
+    // IoOutcome r =` wrapped above the call), not a discard.
+    bool continuation = false;
+    for (std::size_t j = i; j > 0;) {
+      const std::string prev = trim(stripped_lines[--j]);
+      if (prev.empty()) continue;
+      if (prev.front() == '#') break;  // preprocessor line: a boundary
+      const char last = prev.back();
+      continuation = last != ';' && last != '{' && last != '}' &&
+                     last != ')' && last != ':';
+      break;
+    }
+    if (continuation) continue;
+    const std::size_t indent = raw_line.find_first_not_of(" \t");
+    std::size_t stmt_off = indent == std::string::npos ? 0 : indent;
+    if (line.starts_with(kAwait)) {
+      line = line.substr(kAwait.size());
+      stmt_off += kAwait.size();
+    }
+    for (const std::string& name : outcome_fns) {
+      const std::size_t at = line.find(name + "(");
+      if (at == std::string::npos) continue;
+      if (at > 0 && is_ident(line[at - 1])) continue;
+      // Statement position: nothing but an object chain (`obj.`, `ptr->`,
+      // `ns::`) before the call — an enclosing call, assignment, return,
+      // declaration, or cast all consume the value.
+      const std::string prefix = line.substr(0, at);
+      const bool chain_only = prefix.find('(') == std::string::npos &&
+                              prefix.find(' ') == std::string::npos &&
+                              prefix.find('=') == std::string::npos &&
+                              prefix.find("co_") == std::string::npos;
+      if (!chain_only) continue;
+      add(out, "swallowed-io-error", starts, starts[i] + stmt_off + at,
+          "result of '" + name +
+              "()' discarded: the typed I/O outcome is the only failure "
+              "channel; bind and inspect it (or cast to void to discard "
+              "deliberately)");
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Channel self-deadlock (pass 2, against the pass-1 channel tables)
 
 /// Maximal balanced `{...}` regions whose opener follows a `)` — function
@@ -1075,17 +1168,20 @@ const std::vector<LayerRule>& layer_rules() {
       {"obs", {"obs", "pablo", "io", "sim"}},
       {"hw", {"hw", "obs", "sim"}},
       {"io", {"io", "hw", "sim"}},
+      // Fault injection drives the hardware models (and publishes into obs)
+      // but must never know about the file systems built on top of them.
+      {"fault", {"fault", "hw", "obs", "io", "sim"}},
       {"pfs", {"pfs", "obs", "io", "hw", "sim"}},
-      {"ppfs", {"ppfs", "pfs", "obs", "io", "hw", "sim"}},
+      {"ppfs", {"ppfs", "pfs", "fault", "obs", "io", "hw", "sim"}},
       {"pablo", {"pablo", "io", "hw", "sim"}},
       {"analysis", {"analysis", "pablo", "io", "sim"}},
       {"apps", {"apps", "analysis", "pablo", "io", "hw", "sim"}},
       {"core",
-       {"core", "apps", "analysis", "pablo", "ppfs", "pfs", "obs", "io", "hw",
-        "sim"}},
-      {"testkit",
-       {"testkit", "core", "apps", "analysis", "pablo", "ppfs", "pfs", "obs",
+       {"core", "apps", "analysis", "pablo", "ppfs", "pfs", "fault", "obs",
         "io", "hw", "sim"}},
+      {"testkit",
+       {"testkit", "core", "apps", "analysis", "pablo", "ppfs", "pfs",
+        "fault", "obs", "io", "hw", "sim"}},
   };
   return kRules;
 }
@@ -1289,6 +1385,7 @@ ProjectIndex index_project(const std::vector<SourceFile>& files) {
     collect_unordered_names(stripped, &index.unordered_names);
     collect_type_aliases(stripped, &aliases);
     collect_channel_decls(stripped, &channels);
+    collect_outcome_fns(stripped, &index.outcome_fns);
 
     std::map<std::string, std::pair<bool, bool>> file_decls;
     collect_fn_decls(stripped, &file_decls);
@@ -1385,6 +1482,8 @@ std::vector<Finding> lint_file(const SourceFile& file,
   check_missing_co_await(stripped_lines, starts, &findings);
   check_discarded_task(stripped_lines, starts,
                        visible_task_fns(file.path, index), &findings);
+  check_swallowed_io_error(stripped_lines, starts, index.outcome_fns,
+                           &findings);
   check_channel_self_deadlock(stripped, starts, index.bounded_channels,
                               &findings);
   check_capture_escape(stripped, starts, &findings);

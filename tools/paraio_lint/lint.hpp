@@ -81,6 +81,11 @@ struct ProjectIndex {
   /// misfire on every class that has a non-coroutine `run()`).
   std::set<std::string> global_task_fns;
 
+  /// Whole-program names of functions whose declared return type is (or
+  /// wraps, as in sim::Task<io::IoOutcome>) an identifier ending in
+  /// "Outcome" — the typed I/O error channel a call site must inspect.
+  std::set<std::string> outcome_fns;
+
   /// Channel variables by declared boundedness (kUnbounded => unbounded).
   std::set<std::string> bounded_channels;
   std::set<std::string> unbounded_channels;
