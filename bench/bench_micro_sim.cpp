@@ -1,149 +1,256 @@
-// Microbenchmarks of the simulation substrate (google-benchmark): event
-// queue, coroutine scheduling, synchronization, striping, and the PPFS
-// bookkeeping structures.  These bound how large a simulated machine the
-// toolkit can handle per wall-clock second.
-#include <benchmark/benchmark.h>
+// Microbenchmarks of the simulation kernel hot path: event queue churn,
+// same-instant bursts, cancellation, coroutine timer chains, process fan-out,
+// and the synchronization primitives.  These bound how large a simulated
+// machine the toolkit can handle per wall-clock second, so their events/sec
+// numbers are the repo's tracked performance trajectory:
+//
+//   $ bench_micro_sim --json build/bench_micro_sim.json
+//   $ tools/check_bench.py BENCH_micro_sim.json build/bench_micro_sim.json
+//
+// The committed baseline lives in BENCH_micro_sim.json; docs/PERF.md
+// describes the recording/refresh workflow and the CI regression gate.
+// Scenarios run with NO observers attached — they measure the fast path.
+// (Data-structure micros that don't involve the kernel live in
+// bench_micro_structs.)
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
-#include "pfs/stripe.hpp"
-#include "ppfs/cache.hpp"
-#include "ppfs/extent.hpp"
+#include "bench_util.hpp"
 #include "sim/channel.hpp"
 #include "sim/engine.hpp"
 #include "sim/event_queue.hpp"
-#include "sim/random.hpp"
 #include "sim/sync.hpp"
+#include "sim/task.hpp"
 
 namespace {
 
 using namespace paraio;
 
-void BM_EventQueueScheduleAndPop(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    sim::EventQueue q;
-    for (int i = 0; i < n; ++i) {
-      q.schedule(static_cast<double>((i * 7919) % 104729), [] {});
+/// One scenario repetition: returns (kernel events processed, simulated
+/// seconds covered).
+using ScenarioFn = std::pair<double, double> (*)();
+
+struct Scenario {
+  const char* name;
+  ScenarioFn run;
+};
+
+// --- event-queue scenarios (no engine, raw schedule/pop) -------------------
+
+template <int N>
+std::pair<double, double> queue_churn() {
+  sim::EventQueue q;
+  for (int i = 0; i < N; ++i) {
+    q.schedule(static_cast<double>((i * 7919) % 104729), [] {});
+  }
+  double last = 0.0;
+  while (!q.empty()) {
+    auto [when, action] = q.pop();
+    last = when;
+    action();
+  }
+  return {static_cast<double>(N), last};
+}
+
+// Interleaved schedule/pop around a rolling time horizon: the steady-state
+// shape of a running simulation (queue stays small, events keep arriving).
+std::pair<double, double> queue_rolling_horizon() {
+  constexpr int kEvents = 100000;
+  constexpr int kWindow = 64;
+  sim::EventQueue q;
+  int scheduled = 0;
+  for (; scheduled < kWindow; ++scheduled) {
+    q.schedule(static_cast<double>((scheduled * 13) % 97), [] {});
+  }
+  double last = 0.0;
+  while (!q.empty()) {
+    auto [when, action] = q.pop();
+    last = when;
+    action();
+    if (scheduled < kEvents) {
+      q.schedule(when + static_cast<double>((scheduled * 13) % 97), [] {});
+      ++scheduled;
     }
-    while (!q.empty()) q.pop().second();
   }
-  state.SetItemsProcessed(state.iterations() * n);
+  return {static_cast<double>(kEvents), last};
 }
-BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1000)->Arg(100000);
 
-void BM_EngineTimerChain(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    sim::Engine e;
-    auto proc = [](sim::Engine& eng, int steps) -> sim::Task<> {
-      for (int i = 0; i < steps; ++i) co_await eng.delay(1.0);
-    };
-    e.spawn(proc(e, n));
-    e.run();
+// Every event at the same instant: the tie-break path (barriers, collective
+// wake-ups) and the dense bucket the golden stress config guards.
+std::pair<double, double> queue_same_instant() {
+  constexpr int kEvents = 20000;
+  sim::EventQueue q;
+  for (int i = 0; i < kEvents; ++i) q.schedule(5.0, [] {});
+  while (!q.empty()) q.pop().second();
+  return {static_cast<double>(kEvents), 5.0};
+}
+
+std::pair<double, double> queue_cancel_half() {
+  constexpr int kEvents = 20000;
+  sim::EventQueue q;
+  std::vector<sim::EventId> ids;
+  ids.reserve(kEvents);
+  for (int i = 0; i < kEvents; ++i) {
+    ids.push_back(q.schedule(static_cast<double>((i * 31) % 1009), [] {}));
   }
-  state.SetItemsProcessed(state.iterations() * n);
+  for (int i = 0; i < kEvents; i += 2) (void)q.cancel(ids[static_cast<std::size_t>(i)]);
+  while (!q.empty()) q.pop().second();
+  return {static_cast<double>(kEvents), 0.0};
 }
-BENCHMARK(BM_EngineTimerChain)->Arg(1000)->Arg(100000);
 
-void BM_EngineManyProcesses(benchmark::State& state) {
-  const int procs = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    sim::Engine e;
-    auto proc = [](sim::Engine& eng) -> sim::Task<> {
-      for (int i = 0; i < 10; ++i) co_await eng.delay(1.0);
-    };
-    for (int p = 0; p < procs; ++p) e.spawn(proc(e));
-    e.run();
-  }
-  state.SetItemsProcessed(state.iterations() * procs * 10);
+// --- engine scenarios (coroutines, sync primitives) ------------------------
+
+std::pair<double, double> timer_chain() {
+  constexpr int kSteps = 100000;
+  sim::Engine e;
+  auto proc = [](sim::Engine& eng, int steps) -> sim::Task<> {
+    for (int i = 0; i < steps; ++i) co_await eng.delay(1.0);
+  };
+  e.spawn(proc(e, kSteps));
+  e.run();
+  return {static_cast<double>(e.events_executed()), e.now()};
 }
-BENCHMARK(BM_EngineManyProcesses)->Arg(128)->Arg(4096);
 
-void BM_ChannelPingPong(benchmark::State& state) {
-  const int msgs = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    sim::Engine e;
-    sim::Channel<int> ch(e, 8);
-    auto producer = [](sim::Channel<int>& c, int n) -> sim::Task<> {
-      for (int i = 0; i < n; ++i) co_await c.send(i);
-    };
-    auto consumer = [](sim::Channel<int>& c, int n) -> sim::Task<> {
-      for (int i = 0; i < n; ++i) (void)co_await c.recv();
-    };
-    e.spawn(producer(ch, msgs));
-    e.spawn(consumer(ch, msgs));
-    e.run();
-  }
-  state.SetItemsProcessed(state.iterations() * msgs);
+std::pair<double, double> many_processes() {
+  constexpr int kProcs = 4096;
+  sim::Engine e;
+  auto proc = [](sim::Engine& eng) -> sim::Task<> {
+    for (int i = 0; i < 10; ++i) co_await eng.delay(1.0);
+  };
+  for (int p = 0; p < kProcs; ++p) e.spawn(proc(e));
+  e.run();
+  return {static_cast<double>(e.events_executed()), e.now()};
 }
-BENCHMARK(BM_ChannelPingPong)->Arg(10000);
 
-void BM_SemaphoreContention(benchmark::State& state) {
-  const int tasks = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    sim::Engine e;
-    sim::Semaphore sem(e, 1);
-    auto proc = [](sim::Engine& eng, sim::Semaphore& s) -> sim::Task<> {
-      for (int i = 0; i < 16; ++i) {
-        co_await s.acquire();
-        co_await eng.delay(0.001);
-        s.release();
-      }
-    };
-    for (int t = 0; t < tasks; ++t) e.spawn(proc(e, sem));
-    e.run();
-  }
-  state.SetItemsProcessed(state.iterations() * tasks * 16);
+std::pair<double, double> channel_pingpong() {
+  constexpr int kMsgs = 10000;
+  sim::Engine e;
+  sim::Channel<int> ch(e, 8);
+  auto producer = [](sim::Channel<int>& c, int n) -> sim::Task<> {
+    for (int i = 0; i < n; ++i) co_await c.send(i);
+  };
+  auto consumer = [](sim::Channel<int>& c, int n) -> sim::Task<> {
+    for (int i = 0; i < n; ++i) (void)co_await c.recv();
+  };
+  e.spawn(producer(ch, kMsgs));
+  e.spawn(consumer(ch, kMsgs));
+  e.run();
+  return {static_cast<double>(e.events_executed()), e.now()};
 }
-BENCHMARK(BM_SemaphoreContention)->Arg(64);
 
-void BM_StripeDecompose(benchmark::State& state) {
-  pfs::StripeParams params;
-  params.unit = 64 * 1024;
-  params.io_nodes = 16;
-  pfs::StripeMap map(params);
-  sim::Rng rng(1);
-  for (auto _ : state) {
-    const auto offset = rng.uniform_int(0, 1u << 30);
-    const auto segs = map.decompose(offset, 3 * 1024 * 1024);
-    benchmark::DoNotOptimize(segs.data());
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_StripeDecompose);
-
-void BM_ExtentSetSequentialInserts(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    ppfs::ExtentSet set;
-    for (int i = 0; i < n; ++i) {
-      set.insert(static_cast<std::uint64_t>(i) * 2048, 2048);
+std::pair<double, double> semaphore_contention() {
+  constexpr int kTasks = 64;
+  sim::Engine e;
+  sim::Semaphore sem(e, 1);
+  auto proc = [](sim::Engine& eng, sim::Semaphore& s) -> sim::Task<> {
+    for (int i = 0; i < 16; ++i) {
+      co_await s.acquire();
+      co_await eng.delay(0.001);
+      s.release();
     }
-    benchmark::DoNotOptimize(set.total_bytes());
-  }
-  state.SetItemsProcessed(state.iterations() * n);
+  };
+  for (int t = 0; t < kTasks; ++t) e.spawn(proc(e, sem));
+  e.run();
+  return {static_cast<double>(e.events_executed()), e.now()};
 }
-BENCHMARK(BM_ExtentSetSequentialInserts)->Arg(1000);
 
-void BM_BlockCacheLookups(benchmark::State& state) {
-  ppfs::BlockCache cache(1024);
-  for (std::uint64_t b = 0; b < 1024; ++b) cache.insert({1, b});
-  sim::Rng rng(7);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cache.lookup({1, rng.uniform_int(0, 2047)}));
-  }
-  state.SetItemsProcessed(state.iterations());
+// Spawn-heavy fork/join shape: short-lived coroutines created in waves, the
+// allocation-rate stress for coroutine frames.
+std::pair<double, double> spawn_waves() {
+  // maybe_unused: only read inside the capture-less driver coroutine (a
+  // constant expression, not an odr-use), which GCC's
+  // -Wunused-but-set-variable fails to see as a use.
+  [[maybe_unused]] constexpr int kWaves = 200;
+  [[maybe_unused]] constexpr int kPerWave = 256;
+  sim::Engine e;
+  auto worker = [](sim::Engine& eng) -> sim::Task<> {
+    co_await eng.delay(0.5);
+  };
+  auto driver = [](sim::Engine& eng, auto spawn_worker) -> sim::Task<> {
+    for (int w = 0; w < kWaves; ++w) {
+      spawn_worker(eng, kPerWave);
+      co_await eng.delay(1.0);
+    }
+  };
+  auto spawn_worker = [&worker](sim::Engine& eng, int n) {
+    for (int i = 0; i < n; ++i) eng.spawn(worker(eng));
+  };
+  e.spawn(driver(e, spawn_worker));
+  e.run();
+  return {static_cast<double>(e.events_executed()), e.now()};
 }
-BENCHMARK(BM_BlockCacheLookups);
 
-void BM_RngThroughput(benchmark::State& state) {
-  sim::Rng rng(42);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rng.next_u64());
-  }
-  state.SetItemsProcessed(state.iterations());
+constexpr Scenario kScenarios[] = {
+    {"queue_churn_1k", &queue_churn<1000>},
+    {"queue_churn_100k", &queue_churn<100000>},
+    {"queue_rolling_horizon_100k", &queue_rolling_horizon},
+    {"queue_same_instant_20k", &queue_same_instant},
+    {"queue_cancel_half_20k", &queue_cancel_half},
+    {"timer_chain_100k", &timer_chain},
+    {"many_processes_4096x10", &many_processes},
+    {"channel_pingpong_10k", &channel_pingpong},
+    {"semaphore_contention_64x16", &semaphore_contention},
+    {"spawn_waves_200x256", &spawn_waves},
+};
+
+/// Runs `s` repeatedly until at least `min_wall_ms` of host time has been
+/// measured (with one untimed warm-up rep) and reports the FASTEST rep.
+/// Best-of, not average-of: the simulator is deterministic, so every rep
+/// does identical work and the fastest one is the measurement least
+/// disturbed by scheduler preemption or a noisy co-tenant — the same
+/// reasoning as minimum-time benchmarking.  Throughput on a shared host
+/// only ever loses time to interference; it never gains any.
+bench::ScenarioRecord measure(const Scenario& s, double min_wall_ms) {
+  (void)s.run();  // warm-up: page in code, grow pools to steady state
+  double best_ms = 0.0;
+  double events = 0.0;
+  double sim_time = 0.0;
+  const bench::WallTimer total;
+  do {
+    const bench::WallTimer rep;
+    const auto [ev, st] = s.run();
+    const double ms = rep.elapsed_ms();
+    if (best_ms == 0.0 || ms < best_ms) {
+      best_ms = ms;
+      events = ev;
+      sim_time = st;
+    }
+  } while (total.elapsed_ms() < min_wall_ms);
+  bench::ScenarioRecord rec;
+  rec.name = s.name;
+  rec.events = events;
+  rec.wall_ms = best_ms;
+  rec.events_per_sec = events / (best_ms / 1000.0);
+  rec.sim_time = sim_time;
+  return rec;
 }
-BENCHMARK(BM_RngThroughput);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_args(argc, argv);
+  // Keep one full run cheap (~3 s) while giving each scenario enough wall
+  // time that events/sec is stable to a few percent on an idle host.
+  const double min_wall_ms = 250.0;
+
+  std::printf("=== simulation-kernel microbenchmarks (no observers) ===\n");
+  std::printf("%-28s %14s %10s %16s\n", "scenario", "events", "wall_ms",
+              "events/sec");
+  std::vector<bench::ScenarioRecord> records;
+  std::string csv = "scenario,events,wall_ms,events_per_sec\n";
+  for (const Scenario& s : kScenarios) {
+    const bench::ScenarioRecord rec = measure(s, min_wall_ms);
+    std::printf("%-28s %14.0f %10.1f %16.0f\n", rec.name.c_str(), rec.events,
+                rec.wall_ms, rec.events_per_sec);
+    csv += rec.name + "," + std::to_string(rec.events) + "," +
+           std::to_string(rec.wall_ms) + "," +
+           std::to_string(rec.events_per_sec) + "\n";
+    records.push_back(rec);
+  }
+
+  bench::write_csv(opt, "micro_sim.csv", csv);
+  bench::write_scenarios_json(opt, "micro_sim", records);
+  return 0;
+}

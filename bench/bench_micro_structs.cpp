@@ -1,0 +1,66 @@
+// Microbenchmarks of the data-structure substrate (google-benchmark):
+// striping arithmetic and the PPFS bookkeeping structures.  These have no
+// simulation clock, so they live apart from bench_micro_sim, whose
+// events/sec numbers feed the tracked performance trajectory.
+#include <benchmark/benchmark.h>
+
+#include "pfs/stripe.hpp"
+#include "ppfs/cache.hpp"
+#include "ppfs/extent.hpp"
+#include "sim/random.hpp"
+
+namespace {
+
+using namespace paraio;
+
+void BM_StripeDecompose(benchmark::State& state) {
+  pfs::StripeParams params;
+  params.unit = 64 * 1024;
+  params.io_nodes = 16;
+  pfs::StripeMap map(params);
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    const auto offset = rng.uniform_int(0, 1u << 30);
+    const auto segs = map.decompose(offset, 3 * 1024 * 1024);
+    benchmark::DoNotOptimize(segs.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StripeDecompose);
+
+void BM_ExtentSetSequentialInserts(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ppfs::ExtentSet set;
+    for (int i = 0; i < n; ++i) {
+      set.insert(static_cast<std::uint64_t>(i) * 2048, 2048);
+    }
+    benchmark::DoNotOptimize(set.total_bytes());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ExtentSetSequentialInserts)->Arg(1000);
+
+void BM_BlockCacheLookups(benchmark::State& state) {
+  ppfs::BlockCache cache(1024);
+  for (std::uint64_t b = 0; b < 1024; ++b) cache.insert({1, b});
+  sim::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup({1, rng.uniform_int(0, 2047)}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockCacheLookups);
+
+void BM_RngThroughput(benchmark::State& state) {
+  sim::Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_u64());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -11,6 +11,7 @@
 // with no re-tuning, and reports where the I/O time goes at scale.
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "analysis/tables.hpp"
 #include "bench_util.hpp"
@@ -20,6 +21,7 @@ int main(int argc, char** argv) {
   using namespace paraio;
   const bench::Options opt = bench::parse_args(argc, argv);
   std::string csv = "run,duration_s,io_node_time_s\n";
+  std::vector<bench::ScenarioRecord> scenarios;
 
   {
     std::cout << "=== ESCAT production: 512 nodes, 5x quadrature data ===\n";
@@ -28,7 +30,15 @@ int main(int argc, char** argv) {
     auto& app = std::get<apps::EscatConfig>(cfg.app);
     app.nodes = 512;
     app.iterations = 260;  // production data set: ~5x the test set
+    const bench::WallTimer timer;
     const auto r = core::run_experiment(cfg);
+    bench::ScenarioRecord rec;
+    rec.name = "escat_production_512n";
+    rec.wall_ms = timer.elapsed_ms();
+    rec.events = static_cast<double>(r.kernel_events);
+    rec.events_per_sec = rec.events / (rec.wall_ms / 1000.0);
+    rec.sim_time = r.run_end;
+    scenarios.push_back(rec);
     const double hours = (r.run_end - r.run_start) / 3600.0;
     analysis::OperationTable t(r.trace);
     std::printf("  run time %.1f h (paper: 10-20 h);  I/O node time %.0f s; "
@@ -48,7 +58,15 @@ int main(int argc, char** argv) {
     app.frames = 5000;
     app.to_framebuffer = true;
     app.frame_compute = 0.2;  // production-tuned renderer (30 min / 5000)
+    const bench::WallTimer timer;
     const auto r = core::run_experiment(cfg);
+    bench::ScenarioRecord rec;
+    rec.name = "render_production_5000f";
+    rec.wall_ms = timer.elapsed_ms();
+    rec.events = static_cast<double>(r.kernel_events);
+    rec.events_per_sec = rec.events / (rec.wall_ms / 1000.0);
+    rec.sim_time = r.run_end;
+    scenarios.push_back(rec);
     const double render_minutes =
         (r.run_end - r.phases.end_of("initialization")) / 60.0;
     const double fps =
@@ -69,5 +87,6 @@ int main(int argc, char** argv) {
   std::cout << "the calibrations extrapolate: production envelopes are "
                "reached with no per-scale re-tuning.\n";
   bench::write_csv(opt, "production.csv", csv);
+  bench::write_scenarios_json(opt, "production", scenarios);
   return 0;
 }

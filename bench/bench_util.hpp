@@ -96,6 +96,45 @@ inline void append_json_string(std::string& out, const std::string& s) {
   out += '"';
 }
 
+/// One throughput scenario inside a multi-scenario bench (bench_micro_sim,
+/// bench_production): how many kernel events (or data-structure items) were
+/// processed, how long the host took, and how much simulated time was
+/// covered (0 when the scenario has no simulation clock).  The JSON these
+/// serialize into is the format tools/check_bench.py regression-gates
+/// against; bump "schema" if a field changes meaning.
+struct ScenarioRecord {
+  std::string name;
+  double events = 0.0;
+  double wall_ms = 0.0;
+  double events_per_sec = 0.0;
+  double sim_time = 0.0;
+};
+
+inline void write_scenarios_json(const Options& opt,
+                                 const std::string& bench_name,
+                                 const std::vector<ScenarioRecord>& scenarios) {
+  if (opt.json_path.empty()) return;
+  std::string out = "{\n  \"name\": ";
+  append_json_string(out, bench_name);
+  out += ",\n  \"schema\": 1,\n  \"scenarios\": [";
+  bool first = true;
+  for (const ScenarioRecord& s : scenarios) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    {\"name\": ";
+    append_json_string(out, s.name);
+    out += ", \"events\": " + obs::format_double(s.events);
+    out += ", \"wall_ms\": " + obs::format_double(s.wall_ms);
+    out += ", \"events_per_sec\": " + obs::format_double(s.events_per_sec);
+    out += ", \"sim_time\": " + obs::format_double(s.sim_time);
+    out += "}";
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  std::ofstream file(opt.json_path);
+  file << out;
+  std::cout << "  [json] " << opt.json_path << "\n";
+}
+
 inline void write_json(const Options& opt, const JsonRecord& record) {
   if (opt.json_path.empty()) return;
   std::string out = "{\n  \"name\": ";

@@ -15,7 +15,14 @@
 #               JSON (paraio_stat revalidates it before writing and exits
 #               nonzero otherwise); any lint finding in src/obs fails, even
 #               warnings.
-#   5. asan   — the same suite under AddressSanitizer + UBSanitizer.
+#   5. perf   — a Release build of the self-harnessed kernel microbench
+#               (bench_micro_sim --json, three invocations), regression-
+#               gated by tools/check_bench.py against the committed
+#               BENCH_micro_sim.json snapshot: any scenario whose BEST run
+#               lands more than 20% below baseline fails.
+#               PARAIO_BENCH_SOFT=1 downgrades the gate to a warning for
+#               hosts the snapshot was not recorded on (see docs/PERF.md).
+#   6. asan   — the same suite under AddressSanitizer + UBSanitizer.
 #
 #   ./ci.sh            # all stages
 #   ./ci.sh --fast     # lint + plain stage only
@@ -84,6 +91,23 @@ grep -q "^counter " "${obs_out}/escat_metrics.txt"
 grep -q '"traceEvents"' "${obs_out}/escat_trace.json"
 
 if [[ "${1:-}" != "--fast" ]]; then
+  # --- perf stage ----------------------------------------------------------
+  # Release build (no sanitizers, no asserts) so the numbers are comparable
+  # to the committed snapshot; only the one bench target is built.
+  echo "== perf: kernel microbench vs BENCH_micro_sim.json =="
+  cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release -DBUILD_TESTING=OFF
+  cmake --build build-perf -j "${jobs}" --target bench_micro_sim
+  # Three separate invocations; the gate scores each scenario on the best
+  # of them (minimum-time benchmarking across processes — a co-tenant can
+  # slow one run, only a real regression slows all three).
+  for rep in 1 2 3; do
+    build-perf/bench/bench_micro_sim --json \
+      "build-perf/bench_micro_sim.${rep}.json"
+  done
+  python3 tools/check_bench.py BENCH_micro_sim.json \
+    build-perf/bench_micro_sim.1.json build-perf/bench_micro_sim.2.json \
+    build-perf/bench_micro_sim.3.json
+
   run_stage build-asan -DPARAIO_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DPARAIO_WERROR=ON
 fi

@@ -94,6 +94,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       },
       config.app);
 
+  result.kernel_events = engine.events_executed();
   if (pfs_fs) result.pfs_counters = pfs_fs->counters();
   if (ppfs_fs) {
     result.ppfs_counters = ppfs_fs->counters();

@@ -106,6 +106,10 @@ struct ExperimentResult {
   /// summed over every RAID-3 array.
   std::size_t faults_injected = 0;
   hw::RaidFaultStats raid_faults;
+  /// Total kernel events the engine executed for the whole experiment
+  /// (staging + measured run).  Deterministic for a fixed config, so benches
+  /// report throughput as kernel_events / wall time.
+  std::uint64_t kernel_events = 0;
 };
 
 /// Runs one experiment to completion (blocking; the simulation runs inside).

@@ -1,0 +1,110 @@
+#include "sim/arena.hpp"
+
+#include <cassert>
+#include <new>
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define PARAIO_ARENA_PASSTHROUGH 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define PARAIO_ARENA_PASSTHROUGH 1
+#endif
+#endif
+
+namespace paraio::sim::arena {
+
+#ifdef PARAIO_ARENA_PASSTHROUGH
+
+void* allocate(std::size_t size) { return ::operator new(size); }
+void deallocate(void* p, std::size_t size) noexcept {
+  ::operator delete(p, size);
+}
+Stats stats() noexcept { return {}; }
+bool pooling_enabled() noexcept { return false; }
+
+#else
+
+namespace {
+
+constexpr std::size_t kClassGranularity = 64;
+constexpr std::size_t kClassCount = 16;  // classes 64, 128, ..., 1024 bytes
+constexpr std::size_t kMaxPooledSize = kClassGranularity * kClassCount;
+constexpr std::size_t kSlabBytes = 64 * 1024;
+
+struct FreeBlock {
+  FreeBlock* next;
+};
+
+struct ThreadPool {
+  FreeBlock* free_lists[kClassCount] = {};
+  Stats counters;
+
+  void* allocate_class(std::size_t cls) {
+    if (FreeBlock* head = free_lists[cls]) {
+      free_lists[cls] = head->next;
+      ++counters.pool_allocs;
+      return head;
+    }
+    carve_slab(cls);
+    FreeBlock* head = free_lists[cls];
+    free_lists[cls] = head->next;
+    ++counters.pool_allocs;
+    return head;
+  }
+
+  void carve_slab(std::size_t cls) {
+    const std::size_t chunk = (cls + 1) * kClassGranularity;
+    const std::size_t count = kSlabBytes / chunk;
+    // Slabs are deliberately never freed: see the header.  max_align_t
+    // alignment from ::operator new covers every pooled object.
+    auto* base = static_cast<unsigned char*>(::operator new(kSlabBytes));
+    for (std::size_t i = 0; i < count; ++i) {
+      auto* block = reinterpret_cast<FreeBlock*>(base + i * chunk);
+      block->next = free_lists[cls];
+      free_lists[cls] = block;
+    }
+    ++counters.slabs;
+  }
+};
+
+ThreadPool& pool() {
+  thread_local ThreadPool tp;
+  return tp;
+}
+
+constexpr std::size_t class_of(std::size_t size) {
+  return (size + kClassGranularity - 1) / kClassGranularity - 1;
+}
+
+}  // namespace
+
+void* allocate(std::size_t size) {
+  if (size == 0) size = 1;
+  if (size > kMaxPooledSize) {
+    ++pool().counters.fallback_allocs;
+    return ::operator new(size);
+  }
+  return pool().allocate_class(class_of(size));
+}
+
+void deallocate(void* p, std::size_t size) noexcept {
+  if (p == nullptr) return;
+  if (size == 0) size = 1;
+  if (size > kMaxPooledSize) {
+    ::operator delete(p, size);
+    return;
+  }
+  ThreadPool& tp = pool();
+  const std::size_t cls = class_of(size);
+  auto* block = static_cast<FreeBlock*>(p);
+  block->next = tp.free_lists[cls];
+  tp.free_lists[cls] = block;
+}
+
+Stats stats() noexcept { return pool().counters; }
+bool pooling_enabled() noexcept { return true; }
+
+#endif  // PARAIO_ARENA_PASSTHROUGH
+
+}  // namespace paraio::sim::arena

@@ -5,21 +5,30 @@
 
 namespace paraio::sim {
 
+void Engine::note_task_finished(void* engine) noexcept {
+  ++static_cast<Engine*>(engine)->finished_unreaped_;
+}
+
 void Engine::spawn(Task<> task) {
   assert(task.valid());
   detached_.push_back(std::move(task));
-  detached_.back().start();
-  reap_finished();
+  Task<>& t = detached_.back();
+  t.set_on_complete(&Engine::note_task_finished, this);
+  t.start();
+  if (finished_unreaped_ >= kReapBatch) reap_finished();
 }
 
 void Engine::spawn_daemon(Task<> task) {
   assert(task.valid());
   daemons_.push_back(std::move(task));
-  daemons_.back().start();
-  reap_finished();
+  Task<>& t = daemons_.back();
+  t.set_on_complete(&Engine::note_task_finished, this);
+  t.start();
+  if (finished_unreaped_ >= kReapBatch) reap_finished();
 }
 
 void Engine::reap_finished() {
+  finished_unreaped_ = 0;
   for (auto* list : {&detached_, &daemons_}) {
     for (auto it = list->begin(); it != list->end();) {
       if (it->done()) {
@@ -40,9 +49,10 @@ bool Engine::step() {
   ++executed_;
   if (observer_) observer_->on_event(when);
   action();
-  // Reaping scans the detached list, so amortize it: failures surface by
-  // the end of run() at the latest.
-  if ((executed_ & 0xFF) == 0) reap_finished();
+  // Reaping scans the task lists, so amortize it: only once enough tasks
+  // have finished (their completion hooks count for us).  Failures surface
+  // by the end of run() at the latest.
+  if (finished_unreaped_ >= kReapBatch) reap_finished();
   return true;
 }
 
@@ -60,6 +70,7 @@ SimTime Engine::run_until(SimTime deadline) {
   while (!queue_.empty() && queue_.next_time() <= deadline) {
     step();
   }
+  reap_finished();
   if (now_ < deadline && !queue_.empty()) {
     now_ = deadline;
   } else if (queue_.empty() && now_ < deadline) {

@@ -148,12 +148,19 @@ class Engine {
 
  private:
   void reap_finished();
+  /// Completion hook installed on every spawned task (see Task's
+  /// set_on_complete): counts finished-but-unreaped tasks so reaping can be
+  /// batched instead of scanning the task lists every spawn/step.
+  static void note_task_finished(void* engine) noexcept;
+
+  static constexpr std::size_t kReapBatch = 32;
 
   SimTime now_ = 0.0;
   EventQueue queue_;
   std::list<Task<>> detached_;
   std::list<Task<>> daemons_;
   std::uint64_t executed_ = 0;
+  std::size_t finished_unreaped_ = 0;
   EngineObserver* observer_ = nullptr;
 };
 

@@ -1,33 +1,67 @@
 // Deterministic pending-event set for the discrete-event kernel.
 //
-// Events are (time, sequence, action) triples ordered by time with the
-// insertion sequence number as a tie-break, so two events scheduled for the
-// same instant always fire in the order they were scheduled.  That property
-// is load-bearing: every table in the benchmark suite is expected to be
-// bit-for-bit reproducible across runs.
+// Events are (time, key, action) entries ordered by time, with a per-event
+// key breaking same-instant ties: under the default FIFO order the key IS
+// the insertion sequence number, and under a tie-break seed it is a seeded
+// bijection of it (keys are therefore always distinct, so (time, key) is a
+// strict total order).  Two events scheduled for the same instant fire in
+// key order.  That property is load-bearing: every table in the benchmark
+// suite is expected to be bit-for-bit reproducible across runs.
+//
+// Structure: a ladder queue (Tang & Goh's design family) instead of a binary
+// heap, for O(1) amortized schedule/pop instead of O(log n):
+//
+//   bottom   sorted vector (ascending, consumed through a head index)
+//            holding the next events to fire; pop() is an index increment,
+//            and the common arrival — a same-instant or near-future event
+//            with the newest key — is an O(1) append at the back.
+//   rungs    a stack of bucket arrays, each subdividing a time window of the
+//            rung above it; draining a bucket either sorts it into bottom or,
+//            if it is crowded, spawns a finer child rung.
+//   top      unsorted catch-all for far-future events, bulk-converted into a
+//            rung (or directly into bottom when small) when reached.
+//
+// Bucket placement uses exact boundary arithmetic (the same floating-point
+// expression for routing, placement, and drain thresholds) so same-instant
+// events can never be split across structures or mis-ordered relative to the
+// reference heap — tests/sim/event_queue_diff_test.cpp runs this queue in
+// lockstep against sim::HeapEventQueue to prove it.
+//
+// Cancellation is O(1): an EventId names a slot in the action pool plus the
+// slot's generation; cancel bumps the generation, which tombstones the entry
+// still sitting in the ladder (skipped when it surfaces).  The action is
+// destroyed eagerly so captured resources are released at cancel time.
+//
+// The queue maintains the invariant that whenever live events exist, the
+// earliest one is at bottom's head — which is what lets next_time() be a
+// genuinely const, branch-free read (the old heap needed a `mutable` member
+// and lazy cleanup inside const methods).
+//
+// Not thread-safe by design: the kernel is single-threaded and determinism
+// is the whole point.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
 #include <utility>
+#include <vector>
 
+#include "sim/action.hpp"
 #include "sim/time.hpp"
 
 namespace paraio::sim {
 
 /// Opaque handle identifying a scheduled event, usable for cancellation.
 struct EventId {
-  std::uint64_t seq = 0;
+  std::uint64_t seq = 0;   ///< global schedule order (diagnostics)
+  std::uint64_t gen = 0;   ///< slot generation at schedule time
+  std::uint32_t slot = 0;  ///< index into the queue's action pool
   friend bool operator==(EventId, EventId) = default;
 };
 
-/// Min-heap of scheduled actions.  Not thread-safe by design: the kernel is
-/// single-threaded and determinism is the whole point.
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = sim::Action;
 
   /// Seeds the schedule-perturbation mode: with a non-zero seed, events at
   /// the *same* instant are ordered by a seeded permutation of their
@@ -48,16 +82,16 @@ class EventQueue {
   EventId schedule(SimTime when, Action action);
 
   /// Cancels a previously scheduled event.  Returns true if the event was
-  /// still pending.  Cancellation is lazy: the heap entry is skipped when it
-  /// reaches the top, which keeps schedule/cancel O(log n), but the action
-  /// (and anything it captures) is released eagerly.
+  /// still pending.  O(1): the ladder entry is tombstoned via its generation
+  /// and skipped when it surfaces, but the action (and anything it captures)
+  /// is released eagerly.
   bool cancel(EventId id);
 
   /// True if no live (non-cancelled) events remain.
-  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
 
   /// Number of live events.
-  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
 
   /// Time of the earliest live event.  Precondition: !empty().
   [[nodiscard]] SimTime next_time() const;
@@ -68,21 +102,94 @@ class EventQueue {
  private:
   struct Entry {
     SimTime when;
-    std::uint64_t seq;
-    std::uint64_t key;  // == seq under FIFO; permuted under a tie-break seed
-    // std::priority_queue is a max-heap, so invert the comparison.
-    bool operator<(const Entry& other) const {
-      if (when != other.when) return when > other.when;
-      if (key != other.key) return key > other.key;
-      return seq > other.seq;
+    std::uint64_t key;   // == seq under FIFO; permuted under a tie-break seed
+    std::uint64_t gen;   // matches the slot's generation while live
+    std::uint32_t slot;
+  };
+
+  struct Slot {
+    Action action;
+    std::uint64_t gen = 1;  // bumped on pop/cancel; 64-bit so it never wraps
+    std::uint32_t next_free = kNoSlot;
+  };
+
+  /// One ladder rung: `buckets.size()` equal-width buckets starting at
+  /// `start`.  `route_end` is the exclusive upper routing bound — every
+  /// entry stored in (or newly routed to) this rung has when < route_end,
+  /// and every live entry in outer structures has when >= route_end.
+  struct Rung {
+    SimTime start;
+    SimTime width;
+    SimTime route_end;
+    std::size_t cur = 0;  // next bucket to drain
+    std::vector<std::vector<Entry>> buckets;
+
+    /// The exact boundary expression.  Placement, routing, and the bottom
+    /// threshold all evaluate this same formula so floating-point rounding
+    /// is bit-identical everywhere.
+    [[nodiscard]] SimTime boundary(std::size_t i) const {
+      return start + static_cast<SimTime>(i) * width;
     }
   };
 
-  /// Pops cancelled entries off the top of the heap.
-  void drop_dead_top() const;
+  [[nodiscard]] bool is_live(const Entry& e) const noexcept {
+    return slots_[e.slot].gen == e.gen;
+  }
 
-  mutable std::priority_queue<Entry> heap_;
-  std::unordered_map<std::uint64_t, Action> pending_;  // seq -> action
+  /// Ascending (when, key) order: the sort order of bottom_, so the
+  /// earliest event is at the head.  Keys are distinct, so this is strict.
+  static bool earlier(const Entry& a, const Entry& b) noexcept;
+  static bool all_same_when(const std::vector<Entry>& entries) noexcept;
+
+  [[nodiscard]] bool bottom_empty() const noexcept {
+    return bottom_head_ == bottom_.size();
+  }
+
+  std::uint32_t acquire_slot(Action action);
+  void release_slot(std::uint32_t slot) noexcept;
+
+  void route(const Entry& e);
+  void insert_bottom(const Entry& e);
+  void place_in_rung(Rung& r, const Entry& e);
+  void maybe_spill_bottom();
+
+  /// Restores the invariant "live_ > 0 implies bottom_'s head is live",
+  /// pulling from rungs/top as needed.
+  void refill();
+  void purge_bottom() noexcept;
+  void refill_from_rung();
+  void refill_from_top();
+
+  /// Builds a rung over [start, route_end) and distributes `entries` into
+  /// it (consuming them).  Returns false — leaving `entries` untouched —
+  /// when the window is degenerate (zero/absorbed width), in which case the
+  /// caller must fall back to sorting the entries directly.
+  bool build_rung(std::vector<Entry>& entries, SimTime start,
+                  SimTime route_end);
+
+  /// Sorts `entries` (ascending) and makes them the new bottom.
+  void sort_into_bottom(std::vector<Entry> entries, SimTime new_threshold);
+
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+  static constexpr std::size_t kDirectSortLimit = 64;   // top -> bottom as-is
+  static constexpr std::size_t kSpawnThreshold = 48;    // bucket -> child rung
+  static constexpr std::size_t kMaxBuckets = 4096;
+  static constexpr std::size_t kMaxRungs = 8;
+  static constexpr std::size_t kBottomSpillLimit = 256; // sorted-insert bound
+  static constexpr std::size_t kBottomKeep = 64;
+
+  std::vector<Entry> bottom_;  // sorted ascending by (when, key)
+  std::size_t bottom_head_ = 0;  // entries before this index already popped
+  /// Events with when < bottom_threshold_ are sorted into bottom_ on
+  /// arrival; everything at or above it belongs to the rungs/top.
+  SimTime bottom_threshold_ = -kTimeInfinity;
+  std::vector<Rung> rungs_;    // [0] outermost; back() is drained first
+  std::vector<Entry> top_;     // unsorted far-future events
+  SimTime top_min_ = kTimeInfinity;
+  SimTime top_max_ = -kTimeInfinity;
+
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
   std::uint64_t next_seq_ = 1;
   std::size_t live_ = 0;
   std::uint64_t tie_seed_ = 0;

@@ -14,9 +14,12 @@
 
 #include <cassert>
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <optional>
 #include <utility>
+
+#include "sim/arena.hpp"
 
 namespace paraio::sim {
 
@@ -28,13 +31,28 @@ namespace detail {
 struct PromiseBase {
   std::coroutine_handle<> continuation;
   std::exception_ptr exception;
+  /// Completion hook, fired once when the coroutine reaches its final
+  /// suspend point (the task is done() from then on).  The Engine registers
+  /// one on detached tasks so it can count finished processes instead of
+  /// scanning its whole task list (see Engine::spawn).
+  void (*on_complete)(void*) noexcept = nullptr;
+  void* on_complete_arg = nullptr;
+
+  // Coroutine frames are the kernel's highest-rate allocation; route them
+  // through the size-class pool.  Inherited by every Promise<T>.
+  static void* operator new(std::size_t size) { return arena::allocate(size); }
+  static void operator delete(void* p, std::size_t size) noexcept {
+    arena::deallocate(p, size);
+  }
 
   struct FinalAwaiter {
     bool await_ready() noexcept { return false; }
     template <typename Promise>
     std::coroutine_handle<> await_suspend(
         std::coroutine_handle<Promise> h) noexcept {
-      auto cont = h.promise().continuation;
+      PromiseBase& p = h.promise();
+      if (p.on_complete != nullptr) p.on_complete(p.on_complete_arg);
+      auto cont = p.continuation;
       return cont ? cont : std::noop_coroutine();
     }
     void await_resume() noexcept {}
@@ -110,6 +128,15 @@ class [[nodiscard]] Task {
   [[nodiscard]] bool failed() const noexcept {
     return handle_ && handle_.done() &&
            handle_.promise().exception != nullptr;
+  }
+
+  /// Registers a hook fired when the task reaches its final suspend point
+  /// (i.e. the moment done() becomes true).  At most one hook; the Engine
+  /// uses it to batch-reap detached tasks.  Call before start()/awaiting.
+  void set_on_complete(void (*fn)(void*) noexcept, void* arg) noexcept {
+    assert(handle_);
+    handle_.promise().on_complete = fn;
+    handle_.promise().on_complete_arg = arg;
   }
 
   /// Awaiting a task starts it (if not yet started) and suspends the parent

@@ -80,6 +80,14 @@ TEST(GoldenTrace, EscatScalesTo16) {
   check_digests("escat.pfs.n16", cfg);
 }
 
+// Same-instant stress: twelve nodes behind per-phase barriers with zero
+// think time, so the queue's densest tie-break buckets decide the trace.
+// Pinning its digests guards the FIFO same-instant contract end-to-end —
+// an event-queue ordering bug shows up here before anywhere else.
+TEST(GoldenTrace, SyntheticStressN12) {
+  check_digests("synthetic.stress.n12", golden_experiment(golden_stress()));
+}
+
 // The fault layer's no-op contract: an attached FaultInjector with an empty
 // plan must leave every golden digest byte-identical — the injector only
 // forwards observer callbacks until a plan event is due, so the machinery

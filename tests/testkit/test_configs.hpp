@@ -46,6 +46,46 @@ inline apps::HtfConfig golden_htf() {
   return c;
 }
 
+/// Same-instant stress workload for the golden suite: every phase opens
+/// with a barrier and runs with zero think time, so all twelve nodes issue
+/// their requests at identical simulated instants.  This packs the event
+/// queue's densest tie-break buckets — the case where a time-bucketed
+/// structure cannot subdivide and ordering rests entirely on the (when,
+/// key) contract — and pins the resulting trace byte-for-byte.
+inline apps::SyntheticConfig golden_stress() {
+  apps::SyntheticConfig c;
+  c.nodes = 12;
+  c.file_prefix = "/stress/data";
+  c.seed = 0xD1CE;
+  apps::SyntheticPhase burst;
+  burst.name = "burst-write";
+  burst.direction = apps::SyntheticDirection::kWrite;
+  burst.pattern = apps::SyntheticPattern::kOwnRegion;
+  burst.layout = apps::SyntheticFileLayout::kShared;
+  burst.requests = 24;
+  burst.size = 16 * 1024;
+  burst.barrier_entry = true;
+  apps::SyntheticPhase readback;
+  readback.name = "burst-read";
+  readback.direction = apps::SyntheticDirection::kRead;
+  readback.pattern = apps::SyntheticPattern::kStrided;
+  readback.layout = apps::SyntheticFileLayout::kShared;
+  readback.requests = 24;
+  readback.size = 16 * 1024;
+  readback.stride = 12 * 16 * 1024;
+  readback.barrier_entry = true;
+  apps::SyntheticPhase probe;
+  probe.name = "probe";
+  probe.direction = apps::SyntheticDirection::kRead;
+  probe.pattern = apps::SyntheticPattern::kRandom;
+  probe.layout = apps::SyntheticFileLayout::kPerNode;
+  probe.requests = 16;
+  probe.size = 4 * 1024;
+  probe.barrier_entry = true;
+  c.phases = {burst, readback, probe};
+  return c;
+}
+
 /// Machine + PFS mount matching the application's calibration, at the small
 /// scale above (RENDER needs the extra gateway node).
 inline core::ExperimentConfig golden_experiment(core::AppConfig app) {
