@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # Continuous-integration entry point:
 #
-#   1. lint   — paraio_lint (cross-file concurrency checks included) over
-#               every shipping source tree (src/, bench/, examples/,
-#               tools/); any unsuppressed finding fails CI.
+#   1. lint   — paraio_lint (cross-file concurrency + flow-sensitive
+#               dataflow checks) over every shipping source tree (src/,
+#               bench/, examples/, tools/) and tests/ (seeded fixtures
+#               excluded), with the checked-in SARIF baseline applied and
+#               docs/LINTING.md checked against the compiled-in catalog;
+#               any unsuppressed finding — or stale baseline entry — fails
+#               CI.
 #   2. build  — the tier-1 verification (build + full test suite) in a plain
 #               build, warnings promoted to errors.
 #   3. verify — the concurrency-verification layer on its own: the
@@ -22,7 +26,11 @@
 #               lands more than 20% below baseline fails.
 #               PARAIO_BENCH_SOFT=1 downgrades the gate to a warning for
 #               hosts the snapshot was not recorded on (see docs/PERF.md).
-#   6. asan   — the same suite under AddressSanitizer + UBSanitizer.
+#   6. ubsan  — a tier-1 subset rebuilt under UBSanitizer alone
+#               (PARAIO_SANITIZE=undefined): catches arithmetic/shift/
+#               bounds UB cheaply, and keeps a sanitizer prong alive on
+#               hosts where ASan shadow memory is unavailable.
+#   7. asan   — the same suite under AddressSanitizer + UBSanitizer.
 #
 #   ./ci.sh            # all stages
 #   ./ci.sh --fast     # lint + plain stage only
@@ -46,9 +54,14 @@ echo "== lint =="
 lint_dir=build-lint
 mkdir -p "${lint_dir}"
 "${CXX:-c++}" -std=c++20 -O1 -o "${lint_dir}/paraio_lint" \
-  tools/paraio_lint/lint.cpp tools/paraio_lint/sarif.cpp \
+  tools/paraio_lint/lint.cpp tools/paraio_lint/cfg.cpp \
+  tools/paraio_lint/dataflow.cpp tools/paraio_lint/flow_checks.cpp \
+  tools/paraio_lint/baseline.cpp tools/paraio_lint/sarif.cpp \
   tools/paraio_lint/main.cpp src/obs/json.cpp -I tools -I src
-"${lint_dir}/paraio_lint" --werror src bench examples tools
+"${lint_dir}/paraio_lint" --check-docs=docs/LINTING.md
+"${lint_dir}/paraio_lint" --werror \
+  --baseline=tools/paraio_lint/baseline.sarif --exclude=fixtures \
+  src bench examples tools tests
 
 run_stage build -DPARAIO_WERROR=ON
 
@@ -63,7 +76,8 @@ ctest --test-dir build --output-on-failure -j "${jobs}" \
 
 echo "== verify: tree-wide lint with SARIF artifact =="
 "${lint_dir}/paraio_lint" --werror --sarif=build/paraio_lint.sarif \
-  src bench examples tools
+  --baseline=tools/paraio_lint/baseline.sarif --exclude=fixtures \
+  src bench examples tools tests
 test -s build/paraio_lint.sarif
 grep -q '"version":"2.1.0"' build/paraio_lint.sarif
 
@@ -107,6 +121,17 @@ if [[ "${1:-}" != "--fast" ]]; then
   python3 tools/check_bench.py BENCH_micro_sim.json \
     build-perf/bench_micro_sim.1.json build-perf/bench_micro_sim.2.json \
     build-perf/bench_micro_sim.3.json
+
+  # --- ubsan stage ---------------------------------------------------------
+  # UBSan alone: no shadow memory, ~no slowdown, so the tier-1 kernel subset
+  # (event queue, engine, sync, hardware, striping, lint core) runs as its
+  # own prong; UB that ASan's instrumentation happens to mask still traps.
+  echo "== ubsan: tier-1 subset under PARAIO_SANITIZE=undefined =="
+  cmake -B build-ubsan -S . -DPARAIO_SANITIZE=undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPARAIO_WERROR=ON
+  cmake --build build-ubsan -j "${jobs}"
+  ctest --test-dir build-ubsan --output-on-failure -j "${jobs}" \
+    -R 'EventQueue|Engine|Task|Sync|Semaphore|Mutex|Barrier|Latch|Disk|Raid|Network|Stripe|Cfg|Dataflow|Lint'
 
   run_stage build-asan -DPARAIO_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DPARAIO_WERROR=ON

@@ -1,0 +1,333 @@
+// Unit tests for the linter's flow core: CFG construction over stripped
+// source (branch/loop/early-return shapes, suspension marking, nested-lambda
+// masking) and the forward dataflow solver (may-union at joins, kill
+// semantics, fixpoint across back edges, no iteration-cap bailouts).
+#include "paraio_lint/cfg.hpp"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "paraio_lint/dataflow.hpp"
+#include "paraio_lint/lint.hpp"
+
+namespace {
+
+using paraio::lint::CfgNode;
+using paraio::lint::DataflowStats;
+using paraio::lint::FactSet;
+using paraio::lint::FunctionCfg;
+using paraio::lint::GenKill;
+
+// The CFG is built over comment/string-stripped text, same as in the driver.
+struct Built {
+  std::string stripped;
+  std::vector<FunctionCfg> cfgs;
+};
+
+Built build(const std::string& source) {
+  Built b;
+  b.stripped = paraio::lint::strip_comments_and_strings(source);
+  b.cfgs = paraio::lint::build_cfgs(b.stripped);
+  return b;
+}
+
+const FunctionCfg* by_name(const Built& b, const std::string& name) {
+  for (const auto& fn : b.cfgs) {
+    if (fn.name == name) return &fn;
+  }
+  return nullptr;
+}
+
+// Index of the node whose text contains `marker`, or -1.  Condition nodes
+// cover only the header, statement nodes only their own range, so a unique
+// marker identifies a unique node.
+int node_with(const Built& b, const FunctionCfg& fn,
+              const std::string& marker) {
+  for (std::size_t i = 0; i < fn.nodes.size(); ++i) {
+    const CfgNode& n = fn.nodes[i];
+    if (n.hi <= n.lo) continue;
+    if (b.stripped.substr(n.lo, n.hi - n.lo).find(marker) !=
+        std::string::npos) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+bool has_succ(const FunctionCfg& fn, int from, int to) {
+  for (int s : fn.nodes[static_cast<std::size_t>(from)].succs) {
+    if (s == to) return true;
+  }
+  return false;
+}
+
+constexpr const char* kSimPreamble =
+    "namespace sim {\n"
+    "template <typename T = void> struct Task {};\n"
+    "struct Mutex { Task<> lock(); void unlock(); };\n"
+    "}\n";
+
+TEST(Cfg, IfElseDiamond) {
+  const Built b = build(
+      "void f(int x) {\n"
+      "  int a = 0;\n"
+      "  if (x > 0) {\n"
+      "    a = 1;\n"
+      "  } else {\n"
+      "    a = 2;\n"
+      "  }\n"
+      "  int b = a;\n"
+      "}\n");
+  const FunctionCfg* f = by_name(b, "f");
+  ASSERT_NE(f, nullptr);
+  const int cond = node_with(b, *f, "x > 0");
+  const int then_arm = node_with(b, *f, "a = 1");
+  const int else_arm = node_with(b, *f, "a = 2");
+  const int join = node_with(b, *f, "int b");
+  ASSERT_GE(cond, 0);
+  ASSERT_GE(then_arm, 0);
+  ASSERT_GE(else_arm, 0);
+  ASSERT_GE(join, 0);
+  EXPECT_EQ(f->nodes[static_cast<std::size_t>(cond)].kind,
+            CfgNode::Kind::kCondition);
+  // Both arms are reachable from the header and rejoin at the next statement.
+  EXPECT_TRUE(has_succ(*f, cond, then_arm));
+  EXPECT_TRUE(has_succ(*f, cond, else_arm));
+  EXPECT_TRUE(has_succ(*f, then_arm, join));
+  EXPECT_TRUE(has_succ(*f, else_arm, join));
+  EXPECT_FALSE(has_succ(*f, then_arm, else_arm));
+  EXPECT_TRUE(has_succ(*f, join, FunctionCfg::kExit));
+}
+
+TEST(Cfg, WhileLoopHasBackEdge) {
+  const Built b = build(
+      "void g(int n) {\n"
+      "  int i = 0;\n"
+      "  while (i < n) {\n"
+      "    ++i;\n"
+      "  }\n"
+      "  int done = i;\n"
+      "}\n");
+  const FunctionCfg* g = by_name(b, "g");
+  ASSERT_NE(g, nullptr);
+  const int cond = node_with(b, *g, "i < n");
+  const int body = node_with(b, *g, "++i");
+  const int after = node_with(b, *g, "int done");
+  ASSERT_GE(cond, 0);
+  ASSERT_GE(body, 0);
+  ASSERT_GE(after, 0);
+  EXPECT_TRUE(has_succ(*g, cond, body));   // loop taken
+  EXPECT_TRUE(has_succ(*g, cond, after));  // loop exits
+  EXPECT_TRUE(has_succ(*g, body, cond));   // back edge
+}
+
+TEST(Cfg, EarlyReturnGoesToExit) {
+  const Built b = build(
+      "int h(int x) {\n"
+      "  if (x < 0) {\n"
+      "    return -1;\n"
+      "  }\n"
+      "  return x + 1;\n"
+      "}\n");
+  const FunctionCfg* h = by_name(b, "h");
+  ASSERT_NE(h, nullptr);
+  const int early = node_with(b, *h, "return -1");
+  const int tail = node_with(b, *h, "return x + 1");
+  ASSERT_GE(early, 0);
+  ASSERT_GE(tail, 0);
+  // A return's only successor is the exit: nothing falls through to the tail.
+  ASSERT_EQ(h->nodes[static_cast<std::size_t>(early)].succs.size(), 1u);
+  EXPECT_EQ(h->nodes[static_cast<std::size_t>(early)].succs[0],
+            FunctionCfg::kExit);
+  EXPECT_FALSE(has_succ(*h, early, tail));
+}
+
+TEST(Cfg, SuspensionPointsAndParamsAreMarked) {
+  const Built b = build(std::string(kSimPreamble) +
+                        "sim::Task<> c(sim::Mutex& m, int* p, int v) {\n"
+                        "  co_await m.lock();\n"
+                        "  m.unlock();\n"
+                        "}\n");
+  const FunctionCfg* c = by_name(b, "c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->is_coroutine);
+  const int awaiting = node_with(b, *c, "co_await m.lock");
+  const int unlocking = node_with(b, *c, "m.unlock");
+  ASSERT_GE(awaiting, 0);
+  ASSERT_GE(unlocking, 0);
+  EXPECT_TRUE(c->nodes[static_cast<std::size_t>(awaiting)].suspends);
+  EXPECT_FALSE(c->nodes[static_cast<std::size_t>(unlocking)].suspends);
+  ASSERT_EQ(c->params.size(), 3u);
+  EXPECT_EQ(c->params[0].name, "m");
+  EXPECT_TRUE(c->params[0].is_reference);
+  EXPECT_EQ(c->params[1].name, "p");
+  EXPECT_TRUE(c->params[1].is_pointer);
+  EXPECT_EQ(c->params[2].name, "v");
+  EXPECT_FALSE(c->params[2].is_reference);
+  EXPECT_FALSE(c->params[2].is_pointer);
+}
+
+TEST(Cfg, NestedLambdaGetsOwnCfgAndIsMaskedFromEnclosingNodes) {
+  const Built b = build(std::string(kSimPreamble) +
+                        "sim::Task<> something();\n"
+                        "void outer() {\n"
+                        "  int before = 0;\n"
+                        "  auto inner = [&before]() -> sim::Task<> {\n"
+                        "    co_await something();\n"
+                        "    before = 1;\n"
+                        "  };\n"
+                        "  int after = 0;\n"
+                        "}\n");
+  const FunctionCfg* outer = by_name(b, "outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_FALSE(outer->is_coroutine);
+  const FunctionCfg* lambda = nullptr;
+  for (const auto& fn : b.cfgs) {
+    if (fn.is_lambda) lambda = &fn;
+  }
+  ASSERT_NE(lambda, nullptr);
+  EXPECT_TRUE(lambda->is_coroutine);
+  EXPECT_EQ(lambda->captures, "&before");
+  // The lambda's co_await must not mark the enclosing `auto inner = ...;`
+  // statement as a suspension point...
+  const int decl = node_with(b, *outer, "auto inner");
+  ASSERT_GE(decl, 0);
+  EXPECT_FALSE(outer->nodes[static_cast<std::size_t>(decl)].suspends);
+  // ...and a word scan over the masked node text must not see into it.
+  const std::string masked = paraio::lint::masked_node_text(
+      b.stripped, b.cfgs, *outer, outer->nodes[static_cast<std::size_t>(decl)]);
+  EXPECT_EQ(masked.find("co_await"), std::string::npos);
+  EXPECT_NE(masked.find("auto inner"), std::string::npos);
+}
+
+TEST(Dataflow, MayUnionAtDiamondJoin) {
+  const Built b = build(
+      "void f(int x) {\n"
+      "  int a = 0;\n"
+      "  if (x > 0) {\n"
+      "    a = 1;\n"
+      "  } else {\n"
+      "    a = 2;\n"
+      "  }\n"
+      "  int b = a;\n"
+      "}\n");
+  const FunctionCfg* f = by_name(b, "f");
+  ASSERT_NE(f, nullptr);
+  const int then_arm = node_with(b, *f, "a = 1");
+  const int else_arm = node_with(b, *f, "a = 2");
+  const int join = node_with(b, *f, "int b");
+  ASSERT_GE(then_arm, 0);
+  ASSERT_GE(else_arm, 0);
+  ASSERT_GE(join, 0);
+  GenKill gk(f->nodes.size());
+  gk.gen[static_cast<std::size_t>(then_arm)].insert(7);
+  DataflowStats stats;
+  const std::vector<FactSet> in = gk.solve(*f, &stats);
+  EXPECT_FALSE(stats.capped);
+  // May-analysis: the fact generated on one arm reaches the join...
+  EXPECT_TRUE(in[static_cast<std::size_t>(join)].count(7));
+  // ...but not the other arm, and not the node that generated it.
+  EXPECT_FALSE(in[static_cast<std::size_t>(else_arm)].count(7));
+  EXPECT_FALSE(in[static_cast<std::size_t>(then_arm)].count(7));
+}
+
+TEST(Dataflow, KillStopsPropagation) {
+  const Built b = build(
+      "void f() {\n"
+      "  acquire();\n"
+      "  release();\n"
+      "  use();\n"
+      "}\n");
+  const FunctionCfg* f = by_name(b, "f");
+  ASSERT_NE(f, nullptr);
+  const int acq = node_with(b, *f, "acquire");
+  const int rel = node_with(b, *f, "release");
+  const int use = node_with(b, *f, "use");
+  GenKill gk(f->nodes.size());
+  gk.gen[static_cast<std::size_t>(acq)].insert(1);
+  gk.kill[static_cast<std::size_t>(rel)].insert(1);
+  const std::vector<FactSet> in = gk.solve(*f);
+  EXPECT_TRUE(in[static_cast<std::size_t>(rel)].count(1));
+  EXPECT_FALSE(in[static_cast<std::size_t>(use)].count(1));
+}
+
+TEST(Dataflow, LoopReachesFixpointAcrossBackEdge) {
+  const Built b = build(
+      "void g(int n) {\n"
+      "  while (n > 0) {\n"
+      "    taint();\n"
+      "  }\n"
+      "  sink();\n"
+      "}\n");
+  const FunctionCfg* g = by_name(b, "g");
+  ASSERT_NE(g, nullptr);
+  const int cond = node_with(b, *g, "n > 0");
+  const int body = node_with(b, *g, "taint");
+  const int after = node_with(b, *g, "sink");
+  ASSERT_GE(cond, 0);
+  ASSERT_GE(body, 0);
+  ASSERT_GE(after, 0);
+  GenKill gk(g->nodes.size());
+  gk.gen[static_cast<std::size_t>(body)].insert(3);
+  DataflowStats stats;
+  const std::vector<FactSet> in = gk.solve(*g, &stats);
+  EXPECT_FALSE(stats.capped);
+  EXPECT_GT(stats.node_visits, 0u);
+  // The fact generated in the body flows around the back edge into the
+  // header's IN, and out of the loop into the code after it.
+  EXPECT_TRUE(in[static_cast<std::size_t>(cond)].count(3));
+  EXPECT_TRUE(in[static_cast<std::size_t>(after)].count(3));
+}
+
+TEST(Dataflow, GenericTransferAccumulatesReachableNodes) {
+  const Built b = build(
+      "void f(int x) {\n"
+      "  if (x) {\n"
+      "    a();\n"
+      "  }\n"
+      "  b();\n"
+      "}\n");
+  const FunctionCfg* f = by_name(b, "f");
+  ASSERT_NE(f, nullptr);
+  DataflowStats stats;
+  // Monotone transfer: each node stamps its own index into the flow.
+  const std::vector<FactSet> in = paraio::lint::solve_forward(
+      *f,
+      [](int node, const FactSet& flow) {
+        FactSet out = flow;
+        out.insert(node);
+        return out;
+      },
+      &stats);
+  EXPECT_FALSE(stats.capped);
+  const int cond = node_with(b, *f, "if (x");
+  const int then_arm = node_with(b, *f, "a()");
+  const int tail = node_with(b, *f, "b()");
+  ASSERT_GE(cond, 0);
+  ASSERT_GE(then_arm, 0);
+  ASSERT_GE(tail, 0);
+  // The exit has seen every node on some path; the tail may or may not have
+  // passed through the then-arm, so (may) both appear in its IN.
+  const FactSet& exit_in = in[FunctionCfg::kExit];
+  EXPECT_TRUE(exit_in.count(cond));
+  EXPECT_TRUE(exit_in.count(then_arm));
+  EXPECT_TRUE(exit_in.count(tail));
+  EXPECT_TRUE(in[static_cast<std::size_t>(tail)].count(then_arm));
+}
+
+TEST(Dataflow, UnparsableBodyDegradesToEntryExit) {
+  // A body the statement parser cannot fully digest still yields a CFG with
+  // entry/exit so callers can iterate without special cases.
+  const Built b = build("void broken() { asm goto ( ::: ); }\n");
+  for (const auto& fn : b.cfgs) {
+    ASSERT_GE(fn.nodes.size(), 2u);
+    GenKill gk(fn.nodes.size());
+    DataflowStats stats;
+    (void)gk.solve(fn, &stats);
+    EXPECT_FALSE(stats.capped);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,59 @@
+// Lint fixture: `determinism-taint` (2 active, 1 suppressed).  A value
+// derived from a nondeterminism source (wall clock, libc randomness,
+// pointer identity, unordered-container iteration order) must not reach a
+// simulation-visible sink (schedule/observe/record/emit/...): replays would
+// diverge.  The check is flow-sensitive: a clean reassignment kills the
+// taint before the sink.
+#include <chrono>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Tracer {
+  void record(double);
+  void emit(double);
+};
+
+struct Counter {
+  void add(double);
+};
+
+// Wall clock -> local -> sink: the taint flows through `now`.
+inline void stamp(Tracer& tracer) {
+  double now = static_cast<double>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+  tracer.emit(now);  // violation: `now` carries wall-clock taint
+}
+
+// Unordered iteration order taints the fold; FP addition is not
+// associative, so the recorded sum depends on hash layout.
+struct Metrics {
+  std::unordered_map<int, double> by_node_;
+  Counter total_;
+
+  void fold() {
+    double acc = 0.0;
+    for (const auto& [node, bytes] : by_node_) {
+      acc += bytes;  // taints acc: summation order follows hash layout
+    }
+    total_.add(acc);  // violation: order-dependent aggregate observed
+  }
+};
+
+// Clean reassignment kills the taint before it reaches the sink.
+inline void reseeded(Tracer& tracer) {
+  int jitter = std::rand();
+  jitter = 0;             // overwritten with a deterministic value
+  tracer.record(jitter);  // clean: taint killed by the reassignment
+}
+
+// Deliberately sampling the host clock (e.g. a wall-time harness probe)
+// gets a same-line allow.
+inline void wall_probe(Tracer& tracer) {
+  double t = static_cast<double>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  tracer.record(t);  // paraio-lint: allow(determinism-taint)
+}
+
+}  // namespace fixture

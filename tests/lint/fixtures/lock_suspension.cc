@@ -1,0 +1,67 @@
+// Lint fixture: `lock-across-suspension` (2 active, 1 suppressed).  Holding
+// a sim::Mutex across a co_await serializes every other critical section
+// behind that suspension's simulated latency.  The check is flow-sensitive:
+// unlock-before-suspend is clean, and a branch that releases on only one
+// path still warns because the other path reaches the suspension holding
+// the lock.  sim::Semaphore capacity tokens are exempt — holding one across
+// a delay is how device service time is modeled.
+namespace sim {
+template <typename T = void>
+struct Task {};
+struct Mutex {
+  Task<> lock();
+  void unlock();
+};
+struct Semaphore {
+  Task<> acquire();
+  void release();
+};
+}  // namespace sim
+
+namespace fixture {
+
+sim::Task<> io_op();
+
+// Held across the suspension: every peer queues behind the I/O latency.
+sim::Task<> bad_flush(sim::Mutex& m) {
+  co_await m.lock();
+  co_await io_op();  // violation: m acquired above is still held here
+  m.unlock();
+}
+
+// Released on the fast path only; the slow path reaches the suspension
+// still holding m, so the (may) analysis warns.
+sim::Task<> bad_branch(sim::Mutex& m, bool fast) {
+  co_await m.lock();
+  if (fast) {
+    m.unlock();
+  }
+  co_await io_op();  // violation: m may still be held on the !fast path
+  if (!fast) {
+    m.unlock();
+  }
+}
+
+// Unlock-before-suspend: the critical section ends before the wait.
+sim::Task<> good_flush(sim::Mutex& m) {
+  co_await m.lock();
+  m.unlock();
+  co_await io_op();  // clean: released on every path into this node
+}
+
+// Intentional hold (e.g. a handoff-order test) gets a same-line allow.
+sim::Task<> pinned(sim::Mutex& m) {
+  co_await m.lock();
+  co_await io_op();  // paraio-lint: allow(lock-across-suspension)
+  m.unlock();
+}
+
+// Semaphore tokens model device occupancy; holding across a wait is the
+// whole point, so acquire/release never participates in this check.
+sim::Task<> gated(sim::Semaphore& gate) {
+  co_await gate.acquire();
+  co_await io_op();  // clean: capacity token, not a mutex
+  gate.release();
+}
+
+}  // namespace fixture

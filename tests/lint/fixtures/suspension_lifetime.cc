@@ -1,0 +1,83 @@
+// Lint fixture: `suspension-lifetime` (2 active, 1 suppressed).  A detached
+// coroutine's frame outlives the spawning stack, so a reference/pointer
+// parameter — or a by-reference lambda capture — is only safe to read
+// before the first suspension point.  The check is flow-sensitive: the
+// same reference read before the co_await, a by-value parameter, and a
+// spawn followed by a same-block engine.run() are all clean.
+namespace sim {
+template <typename T = void>
+struct Task {};
+}  // namespace sim
+
+namespace fixture {
+
+struct Engine {
+  void spawn(sim::Task<>);
+  void spawn_daemon(sim::Task<>);
+  void run();
+};
+
+struct Config {
+  int budget = 0;
+};
+
+sim::Task<> tick();
+
+// Reference parameter of a detached coroutine (see Daemon::kick below).
+sim::Task<> pump(const Config& cfg, int limit) {
+  int warm = cfg.budget;  // clean: read before the first suspension
+  co_await tick();
+  warm += cfg.budget;  // violation: cfg may dangle once the caller is gone
+  warm += limit;       // clean: value parameter, copied into the frame
+  co_return;
+}
+
+sim::Task<> drain(Config& cfg) {
+  co_await tick();
+  cfg.budget = 0;  // paraio-lint: allow(suspension-lifetime)
+  co_return;
+}
+
+struct Daemon {
+  Engine engine_;
+  Config cfg_;
+
+  // No same-block run(): the spawned frames outlive kick()'s stack.
+  void kick() {
+    engine_.spawn(pump(cfg_, 1));
+    engine_.spawn_daemon(drain(cfg_));
+  }
+
+  // By-reference capture of an escaping coroutine lambda.
+  void watch() {
+    bool stop = false;
+    auto loop = [&stop]() -> sim::Task<> {
+      co_await tick();
+      if (stop) co_return;  // violation: &stop dangles after suspension
+      co_await tick();
+    };
+    engine_.spawn(loop());
+  }
+};
+
+// The structured driver idiom: run() blocks until every spawned task is
+// done, so the caller's stack (and cfg) outlives the frames.
+void run_structured(Engine& engine, Config& cfg) {
+  engine.spawn(pump(cfg, 3));
+  engine.run();
+}
+
+// A by-ref capture in a lambda that never escapes (no detached spawn) is
+// the closure's business, not this check's.
+inline int local_only(Config& cfg) {
+  int hits = 0;
+  auto probe = [&hits]() -> sim::Task<> {
+    co_await tick();
+    ++hits;
+    co_return;
+  };
+  (void)probe;
+  return hits;
+}
+
+}  // namespace fixture

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "obs/json.hpp"
+#include "paraio_lint/baseline.hpp"
 #include "paraio_lint/sarif.hpp"
 
 namespace {
@@ -190,6 +191,82 @@ TEST(LintFixtures, CaptureEscapeSeededCounts) {
   const Tally t = tally(findings, "capture-escape");
   EXPECT_EQ(t.active, 2);
   EXPECT_EQ(t.suppressed, 1);
+}
+
+TEST(LintFixtures, SuspensionLifetimeSeededCounts) {
+  const auto findings = lint_fixture("suspension_lifetime.cc");
+  const Tally t = tally(findings, "suspension-lifetime");
+  EXPECT_EQ(t.active, 2);
+  EXPECT_EQ(t.suppressed, 1);
+}
+
+TEST(LintFixtures, LockAcrossSuspensionSeededCounts) {
+  const auto findings = lint_fixture("lock_suspension.cc");
+  const Tally t = tally(findings, "lock-across-suspension");
+  EXPECT_EQ(t.active, 2);
+  EXPECT_EQ(t.suppressed, 1);
+}
+
+TEST(LintFixtures, DeterminismTaintSeededCounts) {
+  const auto findings = lint_fixture("determinism_taint.cc");
+  const Tally t = tally(findings, "determinism-taint");
+  EXPECT_EQ(t.active, 2);
+  EXPECT_EQ(t.suppressed, 1);
+}
+
+// Shared helper for the flow-sensitive column tests: collect the text each
+// active finding's column points at within its line.
+std::vector<std::string> active_tokens_at_columns(const std::string& fixture,
+                                                  const std::string& check) {
+  const SourceFile file = load_fixture(fixture);
+  const std::vector<SourceFile> files = {file};
+  const ProjectIndex index = paraio::lint::index_project(files);
+  const auto findings = paraio::lint::lint_file(file, index, Options{});
+
+  std::vector<std::string> lines;
+  std::stringstream text(file.content);
+  for (std::string line; std::getline(text, line);) lines.push_back(line);
+
+  std::vector<std::string> tokens;
+  for (const auto& f : findings) {
+    if (check != f.check || f.suppressed) continue;
+    EXPECT_GE(f.line, 1u);
+    EXPECT_LE(f.line, lines.size());
+    EXPECT_GE(f.col, 1u);
+    tokens.push_back(lines[f.line - 1].substr(f.col - 1));
+  }
+  return tokens;
+}
+
+// suspension-lifetime anchors on the dangling name's first post-suspension
+// use, not on the co_await.
+TEST(LintFixtures, SuspensionLifetimeColumnsPointAtDanglingName) {
+  const auto tokens = active_tokens_at_columns("suspension_lifetime.cc",
+                                               "suspension-lifetime");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].rfind("cfg", 0), 0u) << tokens[0];
+  EXPECT_EQ(tokens[1].rfind("stop", 0), 0u) << tokens[1];
+}
+
+// lock-across-suspension anchors on the suspension point reached while the
+// lock is (or may be) held.
+TEST(LintFixtures, LockAcrossSuspensionColumnsPointAtSuspension) {
+  const auto tokens = active_tokens_at_columns("lock_suspension.cc",
+                                               "lock-across-suspension");
+  ASSERT_EQ(tokens.size(), 2u);
+  for (const auto& at : tokens) {
+    EXPECT_EQ(at.rfind("co_await", 0), 0u) << at;
+  }
+}
+
+// determinism-taint anchors on the sink call that observes the tainted
+// value.
+TEST(LintFixtures, DeterminismTaintColumnsPointAtSink) {
+  const auto tokens = active_tokens_at_columns("determinism_taint.cc",
+                                               "determinism-taint");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].rfind("emit", 0), 0u) << tokens[0];
+  EXPECT_EQ(tokens[1].rfind("add", 0), 0u) << tokens[1];
 }
 
 // Findings carry precise 1-based columns pointing at the offending token,
@@ -410,13 +487,122 @@ TEST(LintStrip, CommentsAndStringsBecomeSpaces) {
   EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'), 2);
 }
 
-TEST(LintCatalog, EveryCheckHasIdAndSummary) {
+TEST(LintCatalog, EveryCheckHasIdSummaryAndDetail) {
   const auto& catalog = paraio::lint::checks();
-  EXPECT_GE(catalog.size(), 11u);
+  EXPECT_GE(catalog.size(), 15u);
   for (const auto& check : catalog) {
     EXPECT_NE(std::string(check.id), "");
     EXPECT_NE(std::string(check.summary), "");
+    // --explain would print an empty rationale otherwise.
+    EXPECT_NE(std::string(check.detail), "") << check.id;
   }
+}
+
+TEST(LintCatalog, FindCheckResolvesKnownAndRejectsUnknown) {
+  const auto* known = paraio::lint::find_check("determinism-taint");
+  ASSERT_NE(known, nullptr);
+  EXPECT_EQ(std::string(known->id), "determinism-taint");
+  EXPECT_EQ(paraio::lint::find_check("no-such-check"), nullptr);
+  EXPECT_EQ(paraio::lint::find_check(""), nullptr);
+}
+
+// Baseline round trip: findings exported as SARIF, parsed back, and applied
+// to the same findings mark every non-inline-suppressed one as baselined.
+TEST(LintBaseline, RoundTripBaselinesEveryActiveFinding) {
+  const SourceFile file = load_fixture("unordered_iter.cc");
+  const std::vector<SourceFile> files = {file};
+  const ProjectIndex index = paraio::lint::index_project(files);
+  auto findings = paraio::lint::lint_file(file, index, Options{});
+  ASSERT_FALSE(findings.empty());
+
+  const std::string sarif = paraio::lint::to_sarif(findings);
+  const auto entries = paraio::lint::parse_baseline(sarif);
+  // Inline-suppressed findings are in the SARIF too, so entry count matches
+  // the full finding list.
+  ASSERT_EQ(entries.size(), findings.size());
+  EXPECT_EQ(entries.front().rule, std::string(findings.front().check));
+  EXPECT_EQ(entries.front().uri, findings.front().file);
+
+  const auto stale = paraio::lint::apply_baseline(entries, &findings);
+  for (const auto& f : findings) {
+    if (f.suppressed) {
+      EXPECT_FALSE(f.baselined);  // inline allow() wins over the baseline
+    } else {
+      EXPECT_TRUE(f.baselined) << f.message;
+    }
+  }
+  // All entries here are the same (rule, file) pair, so the first soaks up
+  // every hit and the duplicates come back stale.
+  EXPECT_EQ(stale.size(), entries.size() - 1);
+}
+
+// An entry for a rule/file pair with no current finding is stale and must
+// be reported (the caller fails the run until it is deleted).
+TEST(LintBaseline, UnmatchedEntryIsStale) {
+  const SourceFile file = load_fixture("unordered_iter.cc");
+  const std::vector<SourceFile> files = {file};
+  const ProjectIndex index = paraio::lint::index_project(files);
+  auto findings = paraio::lint::lint_file(file, index, Options{});
+  ASSERT_FALSE(findings.empty());
+
+  std::vector<paraio::lint::BaselineEntry> entries = {
+      {"wall-clock", "tests/lint/fixtures/unordered_iter.cc"}};
+  const auto stale = paraio::lint::apply_baseline(entries, &findings);
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].rule, "wall-clock");
+  for (const auto& f : findings) EXPECT_FALSE(f.baselined);
+}
+
+// Path matching allows a `/`-aligned suffix so a baseline recorded from the
+// repo root still matches when the linter is invoked with absolute paths.
+TEST(LintBaseline, PathSuffixSlackMatchesAbsoluteInvocation) {
+  const SourceFile file = load_fixture("unordered_iter.cc");
+  const std::vector<SourceFile> files = {file};
+  const ProjectIndex index = paraio::lint::index_project(files);
+  auto findings = paraio::lint::lint_file(file, index, Options{});
+  ASSERT_FALSE(findings.empty());
+
+  std::vector<paraio::lint::BaselineEntry> entries = {
+      {findings.front().check, "fixtures/unordered_iter.cc"}};
+  const auto stale = paraio::lint::apply_baseline(entries, &findings);
+  EXPECT_TRUE(stale.empty());
+  EXPECT_TRUE(findings.front().baselined);
+  // But a non-`/`-aligned suffix ("_iter.cc") must not match.
+  auto refreshed = paraio::lint::lint_file(file, index, Options{});
+  std::vector<paraio::lint::BaselineEntry> partial = {
+      {refreshed.front().check, "_iter.cc"}};
+  const auto stale2 = paraio::lint::apply_baseline(partial, &refreshed);
+  ASSERT_EQ(stale2.size(), 1u);
+  EXPECT_FALSE(refreshed.front().baselined);
+}
+
+// The shipped baseline is intentionally empty: the tree lints clean, and
+// the file exists only so `--baseline=` wiring stays exercised in CI.
+TEST(LintBaseline, ShippedBaselineIsEmpty) {
+  std::ifstream in(std::string(PARAIO_LINT_FIXTURE_DIR) +
+                   "/../../../tools/paraio_lint/baseline.sarif");
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_TRUE(paraio::lint::parse_baseline(buffer.str()).empty());
+}
+
+// SARIF results matched by a baseline carry an "external" suppression kind,
+// distinct from the inline "inSource" kind.
+TEST(LintBaseline, BaselinedFindingsExportExternalSuppression) {
+  const SourceFile file = load_fixture("unordered_iter.cc");
+  const std::vector<SourceFile> files = {file};
+  const ProjectIndex index = paraio::lint::index_project(files);
+  auto findings = paraio::lint::lint_file(file, index, Options{});
+  ASSERT_FALSE(findings.empty());
+  (void)paraio::lint::apply_baseline(
+      paraio::lint::parse_baseline(paraio::lint::to_sarif(findings)),
+      &findings);
+  const std::string sarif = paraio::lint::to_sarif(findings);
+  EXPECT_NE(sarif.find("\"suppressions\":[{\"kind\":\"external\"}]"),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"suppressions\":[{\"kind\":\"inSource\"}]"),
+            std::string::npos);
 }
 
 }  // namespace

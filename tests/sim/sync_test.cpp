@@ -120,7 +120,8 @@ TEST(Mutex, MutualExclusion) {
     co_await m.lock();
     ++inside;
     max_inside = std::max(max_inside, inside);
-    co_await eng.delay(1.0);
+    // held across the delay on purpose: the test measures FIFO handoff
+    co_await eng.delay(1.0);  // paraio-lint: allow(lock-across-suspension)
     --inside;
     m.unlock();
   };

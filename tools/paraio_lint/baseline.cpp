@@ -1,0 +1,87 @@
+#include "paraio_lint/baseline.hpp"
+
+#include <cstddef>
+
+namespace paraio::lint {
+
+namespace {
+
+/// Value of the string literal that follows `"key":` at or after `from`,
+/// or "" when absent before `until`.  Assumes to_sarif()'s output shape:
+/// no whitespace around ':' and no escaped quotes inside the values we
+/// care about (rule ids and repo-relative paths contain neither).
+std::string string_value_after(const std::string& text, std::string_view key,
+                               std::size_t from, std::size_t until,
+                               std::size_t* value_pos = nullptr) {
+  const std::string needle = "\"" + std::string(key) + "\":\"";
+  const std::size_t at = text.find(needle, from);
+  if (at == std::string::npos || at >= until) return "";
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = text.find('"', begin);
+  if (end == std::string::npos) return "";
+  if (value_pos) *value_pos = at;
+  return text.substr(begin, end - begin);
+}
+
+/// Same file modulo leading-directory slack: exact match, or one path is a
+/// `/`-aligned suffix of the other (the linter may be invoked from the repo
+/// root or from a subdirectory).
+bool same_file(const std::string& a, const std::string& b) {
+  if (a == b) return true;
+  const auto suffix_of = [](const std::string& shorter,
+                            const std::string& longer) {
+    if (shorter.size() >= longer.size()) return false;
+    return longer.size() - shorter.size() >= 1 &&
+           longer.compare(longer.size() - shorter.size(), shorter.size(),
+                          shorter) == 0 &&
+           longer[longer.size() - shorter.size() - 1] == '/';
+  };
+  return suffix_of(a, b) || suffix_of(b, a);
+}
+
+}  // namespace
+
+std::vector<BaselineEntry> parse_baseline(const std::string& sarif) {
+  std::vector<BaselineEntry> entries;
+  const std::size_t results = sarif.find("\"results\":[");
+  if (results == std::string::npos) return entries;
+  std::size_t pos = results;
+  while (true) {
+    std::size_t rule_at = 0;
+    const std::string rule =
+        string_value_after(sarif, "ruleId", pos, sarif.size(), &rule_at);
+    if (rule.empty()) break;
+    // The matching uri is the first one after this ruleId and before the
+    // next result's ruleId.
+    std::size_t next_rule = sarif.find("\"ruleId\":\"", rule_at + 1);
+    if (next_rule == std::string::npos) next_rule = sarif.size();
+    const std::string uri =
+        string_value_after(sarif, "uri", rule_at, next_rule);
+    if (!uri.empty()) entries.push_back(BaselineEntry{rule, uri});
+    pos = next_rule;
+  }
+  return entries;
+}
+
+std::vector<BaselineEntry> apply_baseline(
+    const std::vector<BaselineEntry>& entries,
+    std::vector<Finding>* findings) {
+  std::vector<std::size_t> hits(entries.size(), 0);
+  for (Finding& f : *findings) {
+    if (f.suppressed) continue;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].rule == f.check && same_file(entries[i].uri, f.file)) {
+        f.baselined = true;
+        ++hits[i];
+        break;
+      }
+    }
+  }
+  std::vector<BaselineEntry> stale;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (hits[i] == 0) stale.push_back(entries[i]);
+  }
+  return stale;
+}
+
+}  // namespace paraio::lint

@@ -1,0 +1,38 @@
+// SARIF baseline support (`--baseline=path`).
+//
+// A baseline is a previously emitted SARIF log (`--sarif=`) checked into the
+// tree.  Findings that match a baseline entry on (ruleId, file) are accepted
+// — reported as externally suppressed rather than failing the run — so a
+// new check can land before every pre-existing hit is fixed.  Matching is
+// deliberately coarse (no line numbers): lines shift on every edit, and a
+// baseline that rots with each refactor is worse than none.
+//
+// Stale entries cut the other way: a baseline entry that no current finding
+// matches means the debt was paid off, and the run fails until the entry is
+// deleted.  That keeps the file shrink-only.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "paraio_lint/lint.hpp"
+
+namespace paraio::lint {
+
+struct BaselineEntry {
+  std::string rule;  // SARIF ruleId
+  std::string uri;   // SARIF artifactLocation.uri
+};
+
+/// Extracts (ruleId, uri) pairs from a SARIF log produced by to_sarif().
+/// Tolerant token scan, not a full JSON parse: entries live in the
+/// "results" array, each with "ruleId" preceding its "uri".
+std::vector<BaselineEntry> parse_baseline(const std::string& sarif);
+
+/// Marks every finding that matches a baseline entry (same rule, same file
+/// modulo path-suffix slack, not already inline-suppressed) as `baselined`.
+/// Returns the stale entries — those that matched nothing.
+std::vector<BaselineEntry> apply_baseline(
+    const std::vector<BaselineEntry>& entries, std::vector<Finding>* findings);
+
+}  // namespace paraio::lint

@@ -1,0 +1,685 @@
+#include "paraio_lint/cfg.hpp"
+
+#include <algorithm>
+#include <string_view>
+#include <utility>
+
+#include "paraio_lint/text.hpp"
+
+namespace paraio::lint {
+
+namespace {
+
+using namespace paraio::lint::text;
+
+constexpr std::size_t npos = std::string::npos;
+
+bool is_specifier(std::string_view w) {
+  return w == "const" || w == "noexcept" || w == "override" || w == "final" ||
+         w == "mutable";
+}
+
+bool is_control_head(std::string_view w) {
+  return w == "if" || w == "while" || w == "for" || w == "switch" ||
+         w == "catch" || w == "constexpr";
+}
+
+/// Words that can precede '{' but never open a function body.
+bool is_block_keyword(std::string_view w) {
+  return w == "else" || w == "do" || w == "try" || w == "struct" ||
+         w == "class" || w == "union" || w == "enum" || w == "namespace" ||
+         w == "return" || w == "co_return" || w == "co_yield" ||
+         w == "co_await" || w == "new" || w == "delete" || w == "extern" ||
+         w == "public" || w == "private" || w == "protected" ||
+         w == "default" || w == "case" || w == "throw" || w == "operator" ||
+         w == "requires" || w == "export";
+}
+
+struct Shape {
+  std::string name;
+  bool is_lambda = false;
+  std::string captures;
+  std::size_t header_lo = 0;
+  std::size_t params_lo = 0;  // '(' of the parameter list (== params_hi when
+  std::size_t params_hi = 0;  // the lambda has no parameter list)
+  std::size_t body_lo = 0;
+  std::size_t body_hi = 0;
+};
+
+/// Walk backward from a type token at [q_begin, ...) through a trailing
+/// return type (`-> sim::Task<io::IoOutcome>&`), looking for the "->".
+/// Returns the position just before the '-' on success, npos on failure.
+std::size_t consume_trailing_return(const std::string& s,
+                                    std::size_t q_begin) {
+  std::size_t q = q_begin;  // first char of the rightmost consumed token
+  for (int guard = 0; guard < 64; ++guard) {
+    const std::size_t r = prev_nonspace(s, q);
+    if (r == npos) return npos;
+    const char c = s[r];
+    if (c == '>' && r > 0 && s[r - 1] == '-') {
+      return r - 1;  // found the arrow
+    }
+    if (c == ':' && r > 0 && s[r - 1] == ':') {
+      const std::size_t r2 = prev_nonspace(s, r - 1);
+      if (r2 == npos || !is_ident(s[r2])) return npos;
+      std::size_t b = 0;
+      read_ident_backward(s, r2, &b);
+      q = b;
+      continue;
+    }
+    if (c == '>') {  // template argument list, backward
+      const std::size_t open = rskip_balanced(s, r, '<', '>');
+      if (open == npos) return npos;
+      q = open;
+      continue;
+    }
+    if (c == '&' || c == '*') {
+      q = r;
+      continue;
+    }
+    if (is_ident(c)) {
+      std::size_t b = 0;
+      const std::string w = read_ident_backward(s, r, &b);
+      if (is_block_keyword(w) || is_control_head(w)) return npos;
+      q = b;
+      continue;
+    }
+    return npos;  // ';', '{', '(' ... — not inside a trailing return type
+  }
+  return npos;
+}
+
+/// Classifies the '{' at `brace`.  Walks backward through specifiers,
+/// trailing return types, and constructor member-initializer lists to the
+/// parameter list (or lambda introducer).
+bool classify_brace(const std::string& s, std::size_t brace, Shape* out) {
+  std::size_t p = prev_nonspace(s, brace);
+  for (int guard = 0; guard < 256; ++guard) {
+    if (p == npos) return false;
+    const char c = s[p];
+    if (is_ident(c)) {
+      std::size_t b = 0;
+      const std::string w = read_ident_backward(s, p, &b);
+      if (is_specifier(w)) {
+        p = prev_nonspace(s, b);
+        continue;
+      }
+      if (is_block_keyword(w) || is_control_head(w)) return false;
+      // Possibly the tail of a trailing return type.
+      const std::size_t before_arrow = consume_trailing_return(s, b);
+      if (before_arrow == npos) return false;
+      p = before_arrow == 0 ? npos : prev_nonspace(s, before_arrow);
+      continue;
+    }
+    if (c == '>') {
+      // `-> T` where T's last char is '>': part of a trailing return.
+      const std::size_t open = rskip_balanced(s, p, '<', '>');
+      if (open == npos) return false;
+      const std::size_t before_arrow = consume_trailing_return(s, open);
+      if (before_arrow == npos) return false;
+      p = before_arrow == 0 ? npos : prev_nonspace(s, before_arrow);
+      continue;
+    }
+    if (c == '}') {
+      // Braced member initializer `m_{x}` in a ctor init list.
+      const std::size_t open = rskip_balanced(s, p, '{', '}');
+      if (open == npos) return false;
+      const std::size_t name_end = prev_nonspace(s, open);
+      if (name_end == npos || !is_ident(s[name_end])) return false;
+      std::size_t b = 0;
+      read_ident_backward(s, name_end, &b);
+      const std::size_t prior = prev_nonspace(s, b);
+      if (prior == npos) return false;
+      if (s[prior] == ',' ||
+          (s[prior] == ':' && !(prior > 0 && s[prior - 1] == ':'))) {
+        p = prev_nonspace(s, prior);
+        continue;
+      }
+      return false;
+    }
+    if (c == ')') {
+      const std::size_t open = rskip_balanced(s, p, '(', ')');
+      if (open == npos) return false;
+      const std::size_t before = prev_nonspace(s, open);
+      if (before == npos) return false;
+      if (s[before] == ']') {
+        // Lambda: `[caps](params) ... {`.
+        const std::size_t lb = rskip_balanced(s, before, '[', ']');
+        if (lb == npos) return false;
+        const std::size_t intro = prev_nonspace(s, lb);
+        if (intro != npos &&
+            (is_ident(s[intro]) || s[intro] == ')' || s[intro] == ']')) {
+          return false;  // subscript, not a lambda introducer
+        }
+        out->is_lambda = true;
+        out->captures = trim(s.substr(lb + 1, before - lb - 1));
+        out->header_lo = lb;
+        out->params_lo = open;
+        out->params_hi = p;
+        return true;
+      }
+      if (!is_ident(s[before])) return false;
+      std::size_t b = 0;
+      const std::string w = read_ident_backward(s, before, &b);
+      if (is_control_head(w) || is_block_keyword(w)) return false;
+      const std::size_t prior = prev_nonspace(s, b);
+      // Member-initializer segment `name(args)` preceded by ',' or ':'.
+      if (prior != npos &&
+          (s[prior] == ',' ||
+           (s[prior] == ':' && !(prior > 0 && s[prior - 1] == ':')))) {
+        p = prev_nonspace(s, prior);
+        continue;
+      }
+      out->name = w;
+      out->header_lo = b;
+      out->params_lo = open;
+      out->params_hi = p;
+      return true;
+    }
+    if (c == ']') {
+      // Lambda without a parameter list: `[caps] {`.
+      const std::size_t lb = rskip_balanced(s, p, '[', ']');
+      if (lb == npos) return false;
+      const std::size_t intro = prev_nonspace(s, lb);
+      if (intro != npos &&
+          (is_ident(s[intro]) || s[intro] == ')' || s[intro] == ']')) {
+        return false;
+      }
+      out->is_lambda = true;
+      out->captures = trim(s.substr(lb + 1, p - lb - 1));
+      out->header_lo = lb;
+      out->params_lo = out->params_hi = p;  // empty parameter list
+      return true;
+    }
+    return false;
+  }
+  return false;
+}
+
+void parse_params(const std::string& s, std::size_t lo, std::size_t hi,
+                  std::vector<CfgParam>* out) {
+  if (lo >= hi) return;
+  // Split [lo, hi) (inside the parens) on depth-0 commas.
+  std::vector<std::pair<std::size_t, std::size_t>> parts;
+  std::size_t begin = lo;
+  int depth = 0;
+  for (std::size_t i = lo; i < hi; ++i) {
+    const char c = s[i];
+    if (c == '<' || c == '(' || c == '[' || c == '{') ++depth;
+    if (c == '>' || c == ')' || c == ']' || c == '}') --depth;
+    if (c == ',' && depth == 0) {
+      parts.emplace_back(begin, i);
+      begin = i + 1;
+    }
+  }
+  parts.emplace_back(begin, hi);
+  for (const auto& [plo, phi] : parts) {
+    CfgParam param;
+    int d = 0;
+    std::size_t name_begin = npos, name_end = npos;
+    std::size_t tokens = 0;
+    for (std::size_t i = plo; i < phi; ++i) {
+      const char c = s[i];
+      if (c == '<' || c == '(' || c == '[' || c == '{') ++d;
+      if (c == '>' || c == ')' || c == ']' || c == '}') --d;
+      if (d != 0) continue;
+      if (c == '=') break;  // default argument
+      if (c == '&') param.is_reference = true;
+      if (c == '*') param.is_pointer = true;
+      if (is_ident_start(c) && (i == plo || !is_ident(s[i - 1]))) {
+        std::size_t e = i;
+        read_ident(s, i, &e);
+        name_begin = i;
+        name_end = e;
+        ++tokens;
+        i = e - 1;
+      }
+    }
+    // A single token is a type-only (unnamed) parameter.
+    if (tokens < 2 || name_begin == npos) continue;
+    param.name = s.substr(name_begin, name_end - name_begin);
+    if (param.name.empty() || !is_ident_start(param.name[0])) continue;
+    out->push_back(std::move(param));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Statement parser
+
+class Builder {
+ public:
+  Builder(const std::string& s, FunctionCfg* cfg) : s_(s), cfg_(cfg) {}
+
+  bool build(std::size_t body_lo, std::size_t body_hi) {
+    cfg_->nodes.clear();
+    cfg_->nodes.push_back(CfgNode{CfgNode::Kind::kEntry, 0, 0, false, {}});
+    cfg_->nodes.push_back(CfgNode{CfgNode::Kind::kExit, 0, 0, false, {}});
+    std::vector<int> exits =
+        parse_stmts(body_lo + 1, body_hi - 1, {FunctionCfg::kEntry},
+                    /*switch_head=*/-1);
+    link(exits, FunctionCfg::kExit);
+    return ok_;
+  }
+
+ private:
+  struct LoopCtx {
+    int continue_target;
+    std::vector<int>* breaks;
+  };
+
+  int new_node(CfgNode::Kind kind, std::size_t lo, std::size_t hi) {
+    CfgNode node;
+    node.kind = kind;
+    node.lo = lo;
+    node.hi = hi;
+    node.suspends = has_word_in(s_, lo, hi, "co_await") ||
+                    has_word_in(s_, lo, hi, "co_yield");
+    cfg_->nodes.push_back(std::move(node));
+    return static_cast<int>(cfg_->nodes.size()) - 1;
+  }
+
+  void link(const std::vector<int>& preds, int to) {
+    for (int p : preds) {
+      auto& succs = cfg_->nodes[static_cast<std::size_t>(p)].succs;
+      bool dup = false;
+      for (int existing : succs) dup = dup || existing == to;
+      if (!dup) succs.push_back(to);
+    }
+  }
+
+  /// End (one past ';') of the plain statement starting at `pos`, balancing
+  /// parens/brackets/braces so lambda bodies and initializer lists are
+  /// swallowed whole.
+  std::size_t stmt_end(std::size_t pos, std::size_t hi) {
+    int depth = 0;
+    for (std::size_t i = pos; i < hi; ++i) {
+      const char c = s_[i];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') --depth;
+      if (c == ';' && depth <= 0) return i + 1;
+    }
+    return hi;
+  }
+
+  /// One statement (or block) starting at `*pos`; advances `*pos` past it
+  /// and returns the fallthrough predecessors for whatever comes next.
+  std::vector<int> parse_one(std::size_t* pos, std::size_t hi,
+                             std::vector<int> preds, int switch_head) {
+    *pos = skip_spaces(s_, *pos);
+    if (*pos >= hi) return preds;
+    const char c = s_[*pos];
+    if (c == ';') {
+      ++*pos;
+      return preds;
+    }
+    if (c == '{') {
+      const std::size_t past = skip_balanced(s_, *pos, '{', '}');
+      if (past == npos || past > hi + 1) {
+        ok_ = false;
+        *pos = hi;
+        return preds;
+      }
+      auto exits = parse_stmts(*pos + 1, past - 1, std::move(preds), -1);
+      *pos = past;
+      return exits;
+    }
+    if (is_ident_start(c)) {
+      std::size_t end = *pos;
+      const std::string word = read_ident(s_, *pos, &end);
+      if (word == "if") return parse_if(pos, end, hi, std::move(preds));
+      if (word == "while") return parse_while(pos, end, hi, std::move(preds));
+      if (word == "for") return parse_while(pos, end, hi, std::move(preds));
+      if (word == "do") return parse_do(pos, end, hi, std::move(preds));
+      if (word == "switch") {
+        return parse_switch(pos, end, hi, std::move(preds));
+      }
+      if (word == "try") return parse_try(pos, end, hi, std::move(preds));
+      if (word == "case" || word == "default") {
+        // Label: fall through from the previous statement plus a dispatch
+        // edge from the enclosing switch head.
+        std::size_t colon = end;
+        int depth = 0;
+        while (colon < hi) {
+          const char ch = s_[colon];
+          if (ch == '(' || ch == '[' || ch == '<') ++depth;
+          if (ch == ')' || ch == ']' || ch == '>') --depth;
+          if (ch == ':' && depth == 0 &&
+              !(colon + 1 < hi && s_[colon + 1] == ':')) {
+            break;
+          }
+          ++colon;
+        }
+        *pos = colon < hi ? colon + 1 : hi;
+        if (switch_head >= 0) preds.push_back(switch_head);
+        return preds;
+      }
+      if (word == "break") {
+        const int node = new_node(CfgNode::Kind::kStatement, *pos,
+                                  stmt_end(*pos, hi));
+        link(preds, node);
+        if (!break_targets_.empty()) break_targets_.back()->push_back(node);
+        *pos = cfg_->nodes[static_cast<std::size_t>(node)].hi;
+        return {};
+      }
+      if (word == "continue") {
+        const int node = new_node(CfgNode::Kind::kStatement, *pos,
+                                  stmt_end(*pos, hi));
+        link(preds, node);
+        if (!loops_.empty()) link({node}, loops_.back().continue_target);
+        *pos = cfg_->nodes[static_cast<std::size_t>(node)].hi;
+        return {};
+      }
+      if (word == "return" || word == "co_return" || word == "throw" ||
+          word == "goto") {
+        const int node = new_node(CfgNode::Kind::kStatement, *pos,
+                                  stmt_end(*pos, hi));
+        link(preds, node);
+        if (word != "goto") link({node}, FunctionCfg::kExit);
+        *pos = cfg_->nodes[static_cast<std::size_t>(node)].hi;
+        return {};
+      }
+      if (word == "else") {
+        // Dangling else without a preceding if at this level: treat the
+        // branch as an ordinary statement.
+        *pos = end;
+        return parse_one(pos, hi, std::move(preds), switch_head);
+      }
+    }
+    const std::size_t send = stmt_end(*pos, hi);
+    const int node = new_node(CfgNode::Kind::kStatement, *pos, send);
+    link(preds, node);
+    *pos = send;
+    return {node};
+  }
+
+  std::vector<int> parse_stmts(std::size_t lo, std::size_t hi,
+                               std::vector<int> preds, int switch_head) {
+    std::size_t pos = lo;
+    while (ok_) {
+      pos = skip_spaces(s_, pos);
+      if (pos >= hi) break;
+      const std::size_t before = pos;
+      preds = parse_one(&pos, hi, std::move(preds), switch_head);
+      if (pos <= before) {  // no forward progress: bail out
+        ok_ = false;
+        break;
+      }
+    }
+    return preds;
+  }
+
+  /// `(...)` condition header starting at or after `after_kw`; returns the
+  /// condition node and advances `*pos` past the closing paren.
+  int parse_cond_head(std::size_t stmt_lo, std::size_t after_kw,
+                      std::size_t hi, std::size_t* pos) {
+    std::size_t p = skip_spaces(s_, after_kw);
+    // `if constexpr (...)`
+    if (p < hi && is_ident_start(s_[p])) {
+      std::size_t e = p;
+      const std::string w = read_ident(s_, p, &e);
+      if (w == "constexpr") p = skip_spaces(s_, e);
+    }
+    if (p >= hi || s_[p] != '(') {
+      ok_ = false;
+      *pos = hi;
+      return -1;
+    }
+    const std::size_t past = skip_balanced(s_, p, '(', ')');
+    if (past == npos || past > hi) {
+      ok_ = false;
+      *pos = hi;
+      return -1;
+    }
+    *pos = past;
+    return new_node(CfgNode::Kind::kCondition, stmt_lo, past);
+  }
+
+  std::vector<int> parse_if(std::size_t* pos, std::size_t kw_end,
+                            std::size_t hi, std::vector<int> preds) {
+    const std::size_t stmt_lo = *pos;
+    const int cond = parse_cond_head(stmt_lo, kw_end, hi, pos);
+    if (cond < 0) return preds;
+    link(preds, cond);
+    auto then_exits = parse_one(pos, hi, {cond}, -1);
+    std::size_t q = skip_spaces(s_, *pos);
+    if (q < hi && is_ident_start(s_[q])) {
+      std::size_t e = q;
+      const std::string w = read_ident(s_, q, &e);
+      if (w == "else") {
+        *pos = e;
+        auto else_exits = parse_one(pos, hi, {cond}, -1);
+        then_exits.insert(then_exits.end(), else_exits.begin(),
+                          else_exits.end());
+        return then_exits;
+      }
+    }
+    then_exits.push_back(cond);  // no else: condition can fall through
+    return then_exits;
+  }
+
+  std::vector<int> parse_while(std::size_t* pos, std::size_t kw_end,
+                               std::size_t hi, std::vector<int> preds) {
+    const std::size_t stmt_lo = *pos;
+    const int cond = parse_cond_head(stmt_lo, kw_end, hi, pos);
+    if (cond < 0) return preds;
+    link(preds, cond);
+    std::vector<int> breaks;
+    loops_.push_back(LoopCtx{cond, &breaks});
+    break_targets_.push_back(&breaks);
+    auto body_exits = parse_one(pos, hi, {cond}, -1);
+    break_targets_.pop_back();
+    loops_.pop_back();
+    link(body_exits, cond);  // back edge
+    std::vector<int> after{cond};
+    after.insert(after.end(), breaks.begin(), breaks.end());
+    return after;
+  }
+
+  std::vector<int> parse_do(std::size_t* pos, std::size_t kw_end,
+                            std::size_t hi, std::vector<int> preds) {
+    const std::size_t stmt_lo = *pos;
+    // Head marker so the back edge has a target known before the body is
+    // parsed; the while-condition node is fixed up afterwards.
+    const int head = new_node(CfgNode::Kind::kStatement, stmt_lo, kw_end);
+    link(preds, head);
+    const int cond = new_node(CfgNode::Kind::kCondition, kw_end, kw_end);
+    std::vector<int> breaks;
+    loops_.push_back(LoopCtx{cond, &breaks});
+    break_targets_.push_back(&breaks);
+    *pos = kw_end;
+    auto body_exits = parse_one(pos, hi, {head}, -1);
+    break_targets_.pop_back();
+    loops_.pop_back();
+    // `while (...) ;`
+    std::size_t p = skip_spaces(s_, *pos);
+    std::size_t cond_lo = p, cond_hi = p;
+    if (p < hi && is_ident_start(s_[p])) {
+      std::size_t e = p;
+      const std::string w = read_ident(s_, p, &e);
+      if (w == "while") {
+        const std::size_t open = skip_spaces(s_, e);
+        if (open < hi && s_[open] == '(') {
+          const std::size_t past = skip_balanced(s_, open, '(', ')');
+          if (past != npos && past <= hi) {
+            cond_lo = p;
+            cond_hi = past;
+            std::size_t semi = skip_spaces(s_, past);
+            *pos = (semi < hi && s_[semi] == ';') ? semi + 1 : past;
+          }
+        }
+      }
+    }
+    if (cond_hi == cond_lo) ok_ = false;
+    cfg_->nodes[static_cast<std::size_t>(cond)].lo = cond_lo;
+    cfg_->nodes[static_cast<std::size_t>(cond)].hi = cond_hi;
+    cfg_->nodes[static_cast<std::size_t>(cond)].suspends =
+        has_word_in(s_, cond_lo, cond_hi, "co_await") ||
+        has_word_in(s_, cond_lo, cond_hi, "co_yield");
+    link(body_exits, cond);
+    link({cond}, head);  // back edge
+    std::vector<int> after{cond};
+    after.insert(after.end(), breaks.begin(), breaks.end());
+    return after;
+  }
+
+  std::vector<int> parse_switch(std::size_t* pos, std::size_t kw_end,
+                                std::size_t hi, std::vector<int> preds) {
+    const std::size_t stmt_lo = *pos;
+    const int head = parse_cond_head(stmt_lo, kw_end, hi, pos);
+    if (head < 0) return preds;
+    link(preds, head);
+    std::size_t p = skip_spaces(s_, *pos);
+    if (p >= hi || s_[p] != '{') {
+      ok_ = false;
+      *pos = hi;
+      return {head};
+    }
+    const std::size_t past = skip_balanced(s_, p, '{', '}');
+    if (past == npos || past > hi + 1) {
+      ok_ = false;
+      *pos = hi;
+      return {head};
+    }
+    std::vector<int> breaks;
+    break_targets_.push_back(&breaks);
+    auto body_exits = parse_stmts(p + 1, past - 1, {}, head);
+    break_targets_.pop_back();
+    *pos = past;
+    std::vector<int> after{head};  // no matching case / no default
+    after.insert(after.end(), body_exits.begin(), body_exits.end());
+    after.insert(after.end(), breaks.begin(), breaks.end());
+    return after;
+  }
+
+  std::vector<int> parse_try(std::size_t* pos, std::size_t kw_end,
+                             std::size_t hi, std::vector<int> preds) {
+    const std::vector<int> before = preds;
+    *pos = kw_end;
+    auto try_exits = parse_one(pos, hi, std::move(preds), -1);
+    std::vector<int> all = try_exits;
+    for (;;) {
+      const std::size_t q = skip_spaces(s_, *pos);
+      if (q >= hi || !is_ident_start(s_[q])) break;
+      std::size_t e = q;
+      const std::string w = read_ident(s_, q, &e);
+      if (w != "catch") break;
+      const int handler = parse_cond_head(q, e, hi, pos);
+      if (handler < 0) break;
+      // The exception can be thrown anywhere in the try block, so the
+      // handler is reachable from before it and from every exit of it.
+      link(before, handler);
+      link(try_exits, handler);
+      auto h_exits = parse_one(pos, hi, {handler}, -1);
+      all.insert(all.end(), h_exits.begin(), h_exits.end());
+    }
+    return all;
+  }
+
+  const std::string& s_;
+  FunctionCfg* cfg_;
+  bool ok_ = true;
+  std::vector<LoopCtx> loops_;
+  std::vector<std::vector<int>*> break_targets_;
+};
+
+}  // namespace
+
+std::vector<FunctionCfg> build_cfgs(const std::string& stripped) {
+  std::vector<FunctionCfg> out;
+  std::size_t pos = 0;
+  while ((pos = stripped.find('{', pos)) != npos) {
+    Shape shape;
+    if (!classify_brace(stripped, pos, &shape)) {
+      ++pos;
+      continue;
+    }
+    const std::size_t past = skip_balanced(stripped, pos, '{', '}');
+    if (past == npos) {
+      ++pos;
+      continue;
+    }
+    FunctionCfg cfg;
+    cfg.name = shape.name;
+    cfg.is_lambda = shape.is_lambda;
+    cfg.captures = shape.captures;
+    cfg.header_lo = shape.header_lo;
+    cfg.body_lo = pos;
+    cfg.body_hi = past;
+    if (shape.params_hi > shape.params_lo) {
+      parse_params(stripped, shape.params_lo + 1, shape.params_hi,
+                   &cfg.params);
+    }
+    Builder builder(stripped, &cfg);
+    if (!builder.build(pos, past)) {
+      // Parse failure: keep the function with entry/exit only so callers
+      // know it exists but has no analyzable flow.
+      cfg.nodes.resize(2);
+      cfg.nodes[0].succs.clear();
+      cfg.nodes[1].succs.clear();
+    }
+    out.push_back(std::move(cfg));
+    ++pos;  // nested lambdas inside this body are discovered too
+  }
+
+  // Fix up suspension flags and coroutine-ness so that a nested function's
+  // body does not leak `co_await` into its enclosing statement node.
+  for (FunctionCfg& fn : out) {
+    std::vector<std::pair<std::size_t, std::size_t>> inner;
+    for (const FunctionCfg& other : out) {
+      if (&other == &fn) continue;
+      if (other.body_lo > fn.body_lo && other.body_hi <= fn.body_hi) {
+        inner.emplace_back(other.body_lo, other.body_hi);
+      }
+    }
+    auto masked_has = [&](std::size_t lo, std::size_t hi,
+                          std::string_view word) {
+      std::size_t cursor = lo;
+      bool found = false;
+      // Scan the gaps between inner bodies (inner ranges are disjoint or
+      // nested; nested sub-ranges are covered by their outermost parent).
+      std::vector<std::pair<std::size_t, std::size_t>> holes = inner;
+      std::sort(holes.begin(), holes.end());
+      for (const auto& [ilo, ihi] : holes) {
+        if (ihi <= cursor || ilo >= hi) continue;
+        if (ilo > cursor) {
+          found = found || has_word_in(stripped, cursor, std::min(ilo, hi),
+                                       word);
+        }
+        cursor = std::max(cursor, ihi);
+      }
+      if (cursor < hi) found = found || has_word_in(stripped, cursor, hi, word);
+      return found;
+    };
+    if (!inner.empty()) {
+      for (CfgNode& node : fn.nodes) {
+        if (!node.suspends) continue;
+        node.suspends = masked_has(node.lo, node.hi, "co_await") ||
+                        masked_has(node.lo, node.hi, "co_yield");
+      }
+    }
+    fn.is_coroutine = masked_has(fn.body_lo, fn.body_hi, "co_await") ||
+                      masked_has(fn.body_lo, fn.body_hi, "co_yield") ||
+                      masked_has(fn.body_lo, fn.body_hi, "co_return");
+  }
+  return out;
+}
+
+std::string masked_node_text(const std::string& stripped,
+                             const std::vector<FunctionCfg>& all,
+                             const FunctionCfg& fn, const CfgNode& node) {
+  std::string out = stripped.substr(node.lo, node.hi - node.lo);
+  for (const FunctionCfg& other : all) {
+    if (&other == &fn) continue;
+    if (!(other.body_lo > fn.body_lo && other.body_hi <= fn.body_hi)) {
+      continue;  // not nested inside this function
+    }
+    const std::size_t lo = std::max(other.body_lo, node.lo);
+    const std::size_t hi = std::min(other.body_hi, node.hi);
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (out[i - node.lo] != '\n') out[i - node.lo] = ' ';
+    }
+  }
+  return out;
+}
+
+}  // namespace paraio::lint

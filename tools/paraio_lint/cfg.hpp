@@ -1,0 +1,76 @@
+// Pass 2 of the linter: a lightweight per-function statement-level control
+// flow graph built over the stripped token stream, for the flow-sensitive
+// checks (suspension-lifetime, lock-across-suspension, determinism-taint).
+//
+// This is deliberately not a C++ parser.  Function bodies are discovered by
+// walking backward from each `{` through trailing-return types, cv/ref
+// specifiers, and constructor member-initializer lists to the parameter
+// list; the body is then parsed into statements with explicit handling for
+// `if`/`else`, `while`, `for`, `do`, `switch`/`case`, `try`/`catch`,
+// `break`/`continue`, `return`/`co_return`, and nested blocks.  Every node
+// records its byte range in the stripped text, its successor set, and
+// whether it contains a suspension point (`co_await`/`co_yield`).
+//
+// Nested lambdas get their own FunctionCfg; their body bytes still appear
+// inside the enclosing statement's range, so checks that scan node text use
+// masked_node_text() to blank out inner function bodies first.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace paraio::lint {
+
+struct CfgNode {
+  enum class Kind {
+    kEntry,      // synthetic: one per function, no text
+    kExit,       // synthetic: target of return/co_return and fall-off
+    kStatement,  // simple statement or declaration, range ends at ';'
+    kCondition,  // if/while/for/switch/do-while header (two+ successors)
+  };
+
+  Kind kind = Kind::kStatement;
+  std::size_t lo = 0;  // byte range in the stripped text, [lo, hi)
+  std::size_t hi = 0;
+  bool suspends = false;  // contains co_await / co_yield at this node
+  std::vector<int> succs;
+};
+
+struct CfgParam {
+  std::string name;
+  bool is_reference = false;  // T& / T&&
+  bool is_pointer = false;    // T*
+};
+
+struct FunctionCfg {
+  std::string name;       // unqualified; empty for lambdas
+  bool is_lambda = false;
+  bool is_coroutine = false;  // body contains co_await/co_yield/co_return
+  std::string captures;       // lambda capture list text, no brackets
+  std::vector<CfgParam> params;
+  std::size_t header_lo = 0;  // name / capture-list start (for reporting)
+  std::size_t body_lo = 0;    // '{' of the body
+  std::size_t body_hi = 0;    // one past the matching '}'
+  // nodes[0] is the entry, nodes[1] the exit; statements follow in source
+  // order (which makes plain index order a usable iteration order for the
+  // forward solver).
+  std::vector<CfgNode> nodes;
+  static constexpr int kEntry = 0;
+  static constexpr int kExit = 1;
+};
+
+/// All function/lambda bodies in `stripped` (comment/string-stripped
+/// source), each with its statement-level CFG.  Functions whose body fails
+/// to parse (unbalanced constructs) are returned with only entry/exit nodes
+/// so callers can skip them without special-casing.
+std::vector<FunctionCfg> build_cfgs(const std::string& stripped);
+
+/// Text of `node` with the bodies of other functions (nested lambdas, or
+/// the enclosing function when `fn` is the lambda) blanked to spaces, so a
+/// word scan attributes uses to the function that actually executes them.
+std::string masked_node_text(const std::string& stripped,
+                             const std::vector<FunctionCfg>& all,
+                             const FunctionCfg& fn, const CfgNode& node);
+
+}  // namespace paraio::lint

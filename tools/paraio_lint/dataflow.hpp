@@ -1,0 +1,56 @@
+// Forward dataflow over a FunctionCfg: a small worklist solver on a
+// powerset lattice of interned facts, to fixpoint.
+//
+// Two layers:
+//
+//  * solve_forward(cfg, transfer)   — generic: `transfer` maps (node index,
+//    IN set) to the node's OUT set and must be monotone in IN (adding facts
+//    to IN may only add facts to OUT); with a finite fact universe the
+//    worklist then terminates.  The iteration cap is a belt-and-braces
+//    guard against a non-monotone transfer — a capped solve is reported in
+//    DataflowStats and surfaced as an internal error by the driver, never
+//    silently truncated.
+//
+//  * GenKill                        — the common special case: per-node
+//    constant gen/kill sets (OUT = (IN \ kill) ∪ gen).
+//
+// Fact meaning is up to the check: suspension-lifetime interns suspension
+// sites, lock-across-suspension interns (lock, acquisition-site) pairs,
+// determinism-taint interns tainted variable names.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "paraio_lint/cfg.hpp"
+
+namespace paraio::lint {
+
+using FactSet = std::set<int>;
+
+struct DataflowStats {
+  std::size_t node_visits = 0;  // total worklist pops
+  bool capped = false;          // iteration cap hit before fixpoint
+};
+
+/// IN set per node (indexed like cfg.nodes) at fixpoint.  The entry node's
+/// IN is empty.  `transfer(node_index, in)` returns the node's OUT set.
+std::vector<FactSet> solve_forward(
+    const FunctionCfg& cfg,
+    const std::function<FactSet(int, const FactSet&)>& transfer,
+    DataflowStats* stats = nullptr);
+
+/// Per-node constant gen/kill sets: OUT = (IN \ kill) ∪ gen.
+struct GenKill {
+  std::vector<FactSet> gen;   // indexed like cfg.nodes
+  std::vector<FactSet> kill;
+
+  explicit GenKill(std::size_t nodes) : gen(nodes), kill(nodes) {}
+
+  std::vector<FactSet> solve(const FunctionCfg& cfg,
+                             DataflowStats* stats = nullptr) const;
+};
+
+}  // namespace paraio::lint

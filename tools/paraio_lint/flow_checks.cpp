@@ -1,0 +1,690 @@
+#include "paraio_lint/flow_checks.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string_view>
+
+#include "paraio_lint/dataflow.hpp"
+#include "paraio_lint/text.hpp"
+
+namespace paraio::lint {
+
+namespace {
+
+using namespace paraio::lint::text;
+
+constexpr std::size_t npos = std::string::npos;
+
+void add_at(std::vector<Finding>* out, const char* id,
+            const std::vector<std::size_t>& starts, std::size_t pos,
+            std::string message) {
+  const CheckInfo* info = find_check(id);
+  out->push_back(Finding{"", line_of(starts, pos), col_of(starts, pos),
+                         info->id, info->severity, std::move(message), false,
+                         false});
+}
+
+std::vector<FactSet> solve(const FlowContext& ctx, const FunctionCfg& fn,
+                           const GenKill& gk) {
+  DataflowStats stats;
+  auto in = gk.solve(fn, &stats);
+  if (ctx.stats) {
+    ctx.stats->dataflow_solves += 1;
+    ctx.stats->dataflow_bailouts += stats.capped ? 1 : 0;
+  }
+  return in;
+}
+
+// ---------------------------------------------------------------------------
+// suspension-lifetime
+
+struct DangerName {
+  std::string name;
+  std::string why;  // "reference parameter", "by-reference capture", ...
+};
+
+/// Splits a lambda capture list into items at top-level commas.
+std::vector<std::string> capture_items(const std::string& captures) {
+  std::vector<std::string> items;
+  std::size_t begin = 0;
+  int depth = 0;
+  for (std::size_t i = 0; i <= captures.size(); ++i) {
+    const char c = i < captures.size() ? captures[i] : ',';
+    if (c == '(' || c == '[' || c == '{' || c == '<') ++depth;
+    if (c == ')' || c == ']' || c == '}' || c == '>') --depth;
+    if (c == ',' && depth == 0) {
+      const std::string item = trim(captures.substr(begin, i - begin));
+      if (!item.empty()) items.push_back(item);
+      begin = i + 1;
+    }
+  }
+  return items;
+}
+
+/// Whether a coroutine lambda's closure can die before the frame resumes:
+/// the lambda is written inline inside an escaping spawn's argument list,
+/// or it is bound to a name (`auto name = [...]`) that is invoked inside
+/// one.  Lambdas awaited in place or spawned through a joined TaskGroup
+/// keep their closure alive and are skipped.
+bool lambda_escapes(const FlowContext& ctx, const FunctionCfg& fn) {
+  for (const auto& [lo, hi] : ctx.escaping_spawns) {
+    if (fn.header_lo >= lo && fn.header_lo < hi) return true;
+  }
+  std::size_t p = prev_nonspace(ctx.stripped, fn.header_lo);
+  if (p == npos || ctx.stripped[p] != '=') return false;
+  p = prev_nonspace(ctx.stripped, p);
+  if (p == npos || !is_ident(ctx.stripped[p])) return false;
+  const std::string name = read_ident_backward(ctx.stripped, p);
+  if (name.empty()) return false;
+  for (const auto& [lo, hi] : ctx.escaping_spawns) {
+    std::size_t at = lo;
+    while (at < hi &&
+           (at = ctx.stripped.find(name, at)) != npos && at < hi) {
+      const bool left_ok = at == 0 || !is_ident(ctx.stripped[at - 1]);
+      const std::size_t after = at + name.size();
+      if (left_ok && after < hi && !is_ident(ctx.stripped[after]) &&
+          ctx.stripped[skip_spaces(ctx.stripped, after)] == '(') {
+        return true;
+      }
+      at = after;
+    }
+  }
+  return false;
+}
+
+void check_one_suspension_lifetime(const FlowContext& ctx,
+                                   const FunctionCfg& fn,
+                                   std::vector<Finding>* out) {
+  if (!fn.is_coroutine || fn.nodes.size() <= 2) return;
+
+  std::vector<DangerName> danger;
+  bool implicit_members = false;  // `this` in scope: members (`name_`) too
+  if (fn.is_lambda) {
+    if (!lambda_escapes(ctx, fn)) return;
+    for (const std::string& item : capture_items(fn.captures)) {
+      if (item == "&" || item == "=") {
+        implicit_members = true;  // default capture reaches `this`
+        continue;
+      }
+      if (item == "this") {
+        implicit_members = true;
+        continue;
+      }
+      if (item.rfind("*this", 0) == 0) continue;  // by-value copy: safe
+      if (item[0] == '&') {
+        // `&name` or `&name = expr` (init capture by reference).
+        const std::string name =
+            read_ident(item, skip_spaces(item, 1));
+        if (!name.empty()) {
+          danger.push_back({name, "by-reference capture '&" + name + "'"});
+        }
+      }
+      // By-value captures die with the closure; the temporary-closure case
+      // is coro-lambda-capture's territory.
+    }
+  } else if (!fn.name.empty() && ctx.index.detached_fns.contains(fn.name)) {
+    for (const CfgParam& p : fn.params) {
+      if (!p.is_reference && !p.is_pointer) continue;
+      danger.push_back(
+          {p.name, std::string(p.is_reference ? "reference" : "pointer") +
+                       " parameter '" + p.name + "' of detached coroutine '" +
+                       fn.name + "'"});
+    }
+  }
+  if (danger.empty() && !implicit_members) return;
+
+  // Facts: the node ids of suspension points.
+  GenKill gk(fn.nodes.size());
+  bool any_suspension = false;
+  for (std::size_t i = 0; i < fn.nodes.size(); ++i) {
+    if (fn.nodes[i].suspends) {
+      gk.gen[i].insert(static_cast<int>(i));
+      any_suspension = true;
+    }
+  }
+  if (!any_suspension) return;
+  const auto in = solve(ctx, fn, gk);
+
+  for (std::size_t i = 0; i < fn.nodes.size(); ++i) {
+    const CfgNode& node = fn.nodes[i];
+    if (in[i].empty() || node.hi <= node.lo) continue;
+    const int first_susp = *in[i].begin();
+    const std::size_t susp_line = line_of(
+        ctx.line_starts,
+        fn.nodes[static_cast<std::size_t>(first_susp)].lo);
+    const std::string body = masked_node_text(ctx.stripped, ctx.cfgs, fn,
+                                              node);
+
+    auto report = [&](std::size_t at, const std::string& what) {
+      add_at(out, "suspension-lifetime", ctx.line_starts, node.lo + at,
+             what + " read after the suspension point at line " +
+                 std::to_string(susp_line) +
+                 ": the coroutine frame can outlive what the name refers "
+                 "to; pass by value or move ownership into the frame");
+    };
+
+    for (const DangerName& d : danger) {
+      const auto uses = find_word(body, d.name);
+      if (!uses.empty()) report(uses.front(), d.why);
+    }
+    if (implicit_members) {
+      // `this` escapes into the frame: flag explicit `this` and the first
+      // member access (trailing-underscore naming convention).
+      const auto this_uses = find_word(body, "this");
+      std::size_t member_use = npos;
+      std::string member;
+      for (std::size_t p = 0; p < body.size(); ++p) {
+        if (!is_ident_start(body[p]) || (p > 0 && is_ident(body[p - 1]))) {
+          continue;
+        }
+        std::size_t e = p;
+        const std::string w = read_ident(body, p, &e);
+        if (w.size() > 1 && w.back() == '_') {
+          member_use = p;
+          member = w;
+          break;
+        }
+        p = e;
+      }
+      if (!this_uses.empty() &&
+          (member_use == npos || this_uses.front() < member_use)) {
+        report(this_uses.front(), "captured 'this'");
+      } else if (member_use != npos) {
+        report(member_use, "member '" + member + "' (through captured 'this')");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// lock-across-suspension
+
+struct LockSite {
+  std::size_t pos = 0;     // absolute offset of the receiver expression
+  std::string name;        // receiver's trailing identifier
+  bool acquire = false;
+};
+
+/// co_await-ed `.lock(` and plain `.unlock(` sites within one node's masked
+/// text (positions absolute).  Deliberately sim::Mutex-only: holding a
+/// Semaphore capacity token across a delay is how the hardware layer models
+/// device service time (disk gates, NIC slots, ION service semaphores), so
+/// `.acquire()`/`.release()` regions are exempt.
+std::vector<LockSite> node_lock_sites(const std::string& body,
+                                      std::size_t base) {
+  struct Pattern {
+    const char* text;
+    bool acquire;
+  };
+  static constexpr Pattern kPatterns[] = {
+      {".lock(", true},
+      {"->lock(", true},
+      {".unlock(", false},
+      {"->unlock(", false},
+  };
+  std::vector<LockSite> sites;
+  for (const Pattern& p : kPatterns) {
+    const std::string needle(p.text);
+    std::size_t pos = 0;
+    while ((pos = body.find(needle, pos)) != npos) {
+      const std::size_t at = pos;
+      pos += needle.size();
+      // Receiver: trailing identifier, subscripts stripped.
+      std::size_t i = at;
+      if (i > 0 && body[i - 1] == ']') {
+        int depth = 0;
+        while (i > 0) {
+          --i;
+          if (body[i] == ']') ++depth;
+          if (body[i] == '[' && --depth == 0) break;
+        }
+      }
+      if (i == 0 || !is_ident(body[i - 1])) continue;
+      LockSite site;
+      site.name = read_ident_backward(body, i - 1);
+      site.pos = base + at;
+      site.acquire = p.acquire;
+      if (!site.name.empty()) sites.push_back(site);
+    }
+  }
+  std::sort(sites.begin(), sites.end(),
+            [](const LockSite& a, const LockSite& b) { return a.pos < b.pos; });
+  return sites;
+}
+
+void check_one_lock_across_suspension(const FlowContext& ctx,
+                                      const FunctionCfg& fn,
+                                      std::vector<Finding>* out) {
+  if (!fn.is_coroutine || fn.nodes.size() <= 2) return;
+
+  // Collect acquisition/release sites per node; facts are acquisition-site
+  // indices so the report can name the exact acquisition line.
+  struct Acq {
+    std::size_t node;
+    LockSite site;
+  };
+  std::vector<Acq> acqs;
+  std::vector<std::vector<LockSite>> releases(fn.nodes.size());
+  std::vector<std::string> bodies(fn.nodes.size());
+  for (std::size_t i = 0; i < fn.nodes.size(); ++i) {
+    const CfgNode& node = fn.nodes[i];
+    if (node.hi <= node.lo) continue;
+    bodies[i] = masked_node_text(ctx.stripped, ctx.cfgs, fn, node);
+    for (LockSite& site : node_lock_sites(bodies[i], node.lo)) {
+      if (site.acquire) {
+        // Only a co_awaited acquisition takes the lock (a bare one is
+        // missing-co-await's finding, not a held region).
+        if (!node.suspends) continue;
+        acqs.push_back(Acq{i, std::move(site)});
+      } else {
+        releases[i].push_back(std::move(site));
+      }
+    }
+  }
+  if (acqs.empty()) return;
+
+  GenKill gk(fn.nodes.size());
+  for (std::size_t a = 0; a < acqs.size(); ++a) {
+    gk.gen[acqs[a].node].insert(static_cast<int>(a));
+  }
+  for (std::size_t i = 0; i < fn.nodes.size(); ++i) {
+    for (const LockSite& rel : releases[i]) {
+      for (std::size_t a = 0; a < acqs.size(); ++a) {
+        if (acqs[a].site.name == rel.name) {
+          gk.kill[i].insert(static_cast<int>(a));
+        }
+      }
+    }
+  }
+  const auto in = solve(ctx, fn, gk);
+
+  for (std::size_t i = 0; i < fn.nodes.size(); ++i) {
+    const CfgNode& node = fn.nodes[i];
+    if (!node.suspends || in[i].empty()) continue;
+    const std::size_t susp =
+        node.lo + std::min(bodies[i].find("co_await"),
+                           bodies[i].find("co_yield"));
+    // One report per lock name held here, at the suspension site.
+    std::set<std::string> reported;
+    for (int a : in[i]) {
+      const Acq& acq = acqs[static_cast<std::size_t>(a)];
+      if (!reported.insert(acq.site.name).second) continue;
+      add_at(out, "lock-across-suspension", ctx.line_starts, susp,
+             "'" + acq.site.name + "' (acquired at line " +
+                 std::to_string(line_of(ctx.line_starts, acq.site.pos)) +
+                 ") is held across this suspension point: while the task is "
+                 "parked, any task that needs the lock deadlocks behind it; "
+                 "release before suspending or keep the critical section "
+                 "synchronous");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// determinism-taint
+
+bool range_has_source(const std::string& body, std::size_t lo,
+                      std::size_t hi) {
+  static constexpr std::string_view kSources[] = {
+      "system_clock",  "steady_clock", "high_resolution_clock",
+      "gettimeofday",  "clock_gettime", "random_device",
+      "drand48",       "lrand48",       "mrand48",
+      "uintptr_t",     "intptr_t",
+  };
+  for (std::string_view w : kSources) {
+    if (has_word_in(body, lo, hi, w)) return true;
+  }
+  // `rand(` / `srand(` as calls.
+  for (std::string_view w : {"rand", "srand"}) {
+    std::size_t pos = lo;
+    while (pos < hi && (pos = body.find(w, pos)) != npos && pos < hi) {
+      const bool left_ok = pos == 0 || !is_ident(body[pos - 1]);
+      const std::size_t after = pos + w.size();
+      if (left_ok && after < hi && skip_spaces(body, after) < hi &&
+          body[skip_spaces(body, after)] == '(' &&
+          (after >= body.size() || !is_ident(body[after]))) {
+        return true;
+      }
+      pos = after;
+    }
+  }
+  return false;
+}
+
+const char* source_label(const std::string& body, std::size_t lo,
+                         std::size_t hi) {
+  static constexpr std::string_view kClock[] = {
+      "system_clock", "steady_clock", "high_resolution_clock",
+      "gettimeofday", "clock_gettime"};
+  for (std::string_view w : kClock) {
+    if (has_word_in(body, lo, hi, w)) return "wall-clock";
+  }
+  for (std::string_view w :
+       {"random_device", "drand48", "lrand48", "mrand48", "rand", "srand"}) {
+    if (has_word_in(body, lo, hi, w)) return "libc randomness";
+  }
+  if (has_word_in(body, lo, hi, "uintptr_t") ||
+      has_word_in(body, lo, hi, "intptr_t")) {
+    return "pointer identity";
+  }
+  return "a nondeterministic source";
+}
+
+/// Sink call names: scheduling and every trace/metrics publication path.
+bool is_sink_name(std::string_view w) {
+  return w == "schedule" || w == "schedule_at" || w == "add" ||
+         w == "observe" || w == "record" || w == "emit" || w == "trace" ||
+         w == "publish" || w == "log";
+}
+
+struct TaintEvent {
+  enum class Kind { kAssign, kSink };
+  Kind kind = Kind::kAssign;
+  std::size_t pos = 0;      // in node-local text
+  int lhs = -1;             // kAssign
+  bool compound = false;    // kAssign: `+=` etc. never un-taints
+  std::size_t rhs_lo = 0, rhs_hi = 0;  // kAssign rhs / kSink args
+  std::string sink_name;    // kSink
+};
+
+struct NodePlan {
+  std::string body;
+  std::vector<TaintEvent> events;   // sorted by pos
+  std::vector<int> loop_taints;     // range-for over unordered container
+};
+
+class TaintAnalysis {
+ public:
+  TaintAnalysis(const FlowContext& ctx, const FunctionCfg& fn)
+      : ctx_(ctx), fn_(fn) {}
+
+  void run(std::vector<Finding>* out) {
+    plans_.resize(fn_.nodes.size());
+    bool interesting = false;
+    for (std::size_t i = 0; i < fn_.nodes.size(); ++i) {
+      build_plan(i);
+      interesting = interesting || !plans_[i].events.empty() ||
+                    !plans_[i].loop_taints.empty();
+    }
+    if (!interesting) return;
+
+    DataflowStats stats;
+    const auto in = solve_forward(
+        fn_,
+        [this](int idx, const FactSet& in_set) {
+          return transfer(static_cast<std::size_t>(idx), in_set);
+        },
+        &stats);
+    if (ctx_.stats) {
+      ctx_.stats->dataflow_solves += 1;
+      ctx_.stats->dataflow_bailouts += stats.capped ? 1 : 0;
+    }
+
+    for (std::size_t i = 0; i < fn_.nodes.size(); ++i) {
+      report_node(i, in[i], out);
+    }
+  }
+
+ private:
+  int id_of(const std::string& name) {
+    auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+    const int id = static_cast<int>(names_.size());
+    ids_.emplace(name, id);
+    names_.push_back(name);
+    return id;
+  }
+
+  bool rhs_tainted(const NodePlan& plan, const TaintEvent& ev,
+                   const FactSet& cur) const {
+    if (range_has_source(plan.body, ev.rhs_lo, ev.rhs_hi)) return true;
+    for (int v : cur) {
+      if (has_word_in(plan.body, ev.rhs_lo, ev.rhs_hi,
+                      names_[static_cast<std::size_t>(v)])) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  FactSet transfer(std::size_t idx, const FactSet& in_set) {
+    const NodePlan& plan = plans_[idx];
+    FactSet cur = in_set;
+    for (int v : plan.loop_taints) cur.insert(v);
+    for (const TaintEvent& ev : plan.events) {
+      if (ev.kind != TaintEvent::Kind::kAssign) continue;
+      if (rhs_tainted(plan, ev, cur)) {
+        cur.insert(ev.lhs);
+      } else if (!ev.compound) {
+        cur.erase(ev.lhs);  // overwritten with a clean value
+      }
+    }
+    return cur;
+  }
+
+  void build_plan(std::size_t idx) {
+    const CfgNode& node = fn_.nodes[idx];
+    NodePlan& plan = plans_[idx];
+    if (node.hi <= node.lo) return;
+    plan.body = masked_node_text(ctx_.stripped, ctx_.cfgs, fn_, node);
+    collect_loop_taints(node, &plan);
+    collect_assigns(&plan);
+    collect_sinks(&plan);
+    std::sort(plan.events.begin(), plan.events.end(),
+              [](const TaintEvent& a, const TaintEvent& b) {
+                return a.pos < b.pos;
+              });
+  }
+
+  /// `for (decl : container)` headers over an unordered container taint
+  /// the loop variable(s): their values are stable, but the *order* they
+  /// arrive in is not, and anything accumulated from them inherits it.
+  void collect_loop_taints(const CfgNode& node, NodePlan* plan) {
+    if (node.kind != CfgNode::Kind::kCondition) return;
+    const std::string& body = plan->body;
+    const std::size_t kw = skip_spaces(body, 0);
+    if (read_ident(body, kw) != "for") return;
+    const std::size_t open = body.find('(', kw);
+    if (open == npos) return;
+    int depth = 0;
+    std::size_t colon = npos;
+    for (std::size_t i = open; i < body.size(); ++i) {
+      const char c = body[i];
+      if (c == '(' || c == '<' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == '>' || c == ']' || c == '}') --depth;
+      if (c == ';') return;  // classic for loop
+      if (c == ':' && depth == 1 &&
+          !(i + 1 < body.size() && body[i + 1] == ':') &&
+          !(i > 0 && body[i - 1] == ':')) {
+        colon = i;
+        break;
+      }
+    }
+    if (colon == npos) return;
+    const std::string container = trailing_ident(
+        body.substr(colon + 1, body.rfind(')') - colon - 1));
+    if (container.empty() || !ctx_.index.unordered_names.contains(container)) {
+      return;
+    }
+    // Loop variable(s): structured binding `[a, b]` or a single declarator.
+    const std::string decl = body.substr(open + 1, colon - open - 1);
+    const std::size_t bracket = decl.find('[');
+    if (bracket != npos) {
+      const std::size_t close = decl.find(']', bracket);
+      std::size_t p = bracket + 1;
+      while (p < close) {
+        p = skip_spaces(decl, p);
+        if (p >= close) break;
+        if (is_ident_start(decl[p])) {
+          std::size_t e = p;
+          const std::string name = read_ident(decl, p, &e);
+          plan->loop_taints.push_back(id_of(name));
+          p = e;
+        } else {
+          ++p;
+        }
+      }
+    } else {
+      const std::string name = trailing_ident(decl);
+      if (!name.empty()) plan->loop_taints.push_back(id_of(name));
+    }
+  }
+
+  void collect_assigns(NodePlan* plan) {
+    const std::string& body = plan->body;
+    // Segment on top-level ';' so `a = f(x); b = a;` updates in order.
+    std::size_t begin = 0;
+    int depth = 0;
+    for (std::size_t i = 0; i <= body.size(); ++i) {
+      const char c = i < body.size() ? body[i] : ';';
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') --depth;
+      if (!(c == ';' && depth <= 0)) continue;
+      parse_assign(body, begin, i, plan);
+      begin = i + 1;
+    }
+  }
+
+  void parse_assign(const std::string& body, std::size_t lo, std::size_t hi,
+                    NodePlan* plan) {
+    int depth = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const char c = body[i];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') --depth;
+      if (c != '=' || depth != 0) continue;
+      const char prev = i > lo ? body[i - 1] : '\0';
+      const char next = i + 1 < hi ? body[i + 1] : '\0';
+      if (next == '=' || prev == '=' || prev == '!' || prev == '<' ||
+          prev == '>') {
+        if (prev == '=' || next == '=') ++i;  // comparison, skip both chars
+        continue;
+      }
+      const bool compound = prev == '+' || prev == '-' || prev == '*' ||
+                            prev == '/' || prev == '%' || prev == '&' ||
+                            prev == '|' || prev == '^';
+      std::size_t lhs_end = i - (compound ? 1 : 0);
+      const std::string lhs =
+          trailing_ident(body.substr(lo, lhs_end - lo));
+      if (lhs.empty() || !is_ident_start(lhs[0])) return;
+      TaintEvent ev;
+      ev.kind = TaintEvent::Kind::kAssign;
+      ev.pos = i;
+      ev.lhs = id_of(lhs);
+      ev.compound = compound;
+      ev.rhs_lo = i + 1;
+      ev.rhs_hi = hi;
+      plan->events.push_back(std::move(ev));
+      return;  // one assignment per sub-statement
+    }
+  }
+
+  void collect_sinks(NodePlan* plan) {
+    const std::string& body = plan->body;
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      if (!is_ident_start(body[i]) || (i > 0 && is_ident(body[i - 1]))) {
+        continue;
+      }
+      std::size_t e = i;
+      const std::string w = read_ident(body, i, &e);
+      if (is_sink_name(w)) {
+        const std::size_t open = skip_spaces(body, e);
+        if (open < body.size() && body[open] == '(') {
+          const std::size_t past = skip_balanced(body, open, '(', ')');
+          if (past != npos) {
+            TaintEvent ev;
+            ev.kind = TaintEvent::Kind::kSink;
+            ev.pos = i;
+            ev.sink_name = w;
+            ev.rhs_lo = open + 1;
+            ev.rhs_hi = past - 1;
+            plan->events.push_back(std::move(ev));
+          }
+        }
+      }
+      i = e;
+    }
+  }
+
+  void report_node(std::size_t idx, const FactSet& in_set,
+                   std::vector<Finding>* out) {
+    const NodePlan& plan = plans_[idx];
+    if (plan.events.empty()) return;
+    FactSet cur = in_set;
+    for (int v : plan.loop_taints) cur.insert(v);
+    for (const TaintEvent& ev : plan.events) {
+      if (ev.kind == TaintEvent::Kind::kAssign) {
+        if (rhs_tainted(plan, ev, cur)) {
+          cur.insert(ev.lhs);
+        } else if (!ev.compound) {
+          cur.erase(ev.lhs);
+        }
+        continue;
+      }
+      // Sink: flag a tainted variable argument or a direct source use.
+      std::string carrier;
+      for (int v : cur) {
+        if (has_word_in(plan.body, ev.rhs_lo, ev.rhs_hi,
+                        names_[static_cast<std::size_t>(v)])) {
+          carrier = names_[static_cast<std::size_t>(v)];
+          break;
+        }
+      }
+      const bool direct =
+          carrier.empty() && range_has_source(plan.body, ev.rhs_lo, ev.rhs_hi);
+      if (carrier.empty() && !direct) continue;
+      const char* source = source_label(plan.body, ev.rhs_lo, ev.rhs_hi);
+      std::string message;
+      if (!carrier.empty()) {
+        message = "'" + carrier +
+                  "' carries a value derived from a nondeterministic source "
+                  "into '" +
+                  ev.sink_name +
+                  "()': the result can differ run to run and break "
+                  "trace/schedule reproducibility; derive it from "
+                  "sim::Engine::now() or sim::Rng instead";
+      } else {
+        message = std::string("argument of '") + ev.sink_name +
+                  "()' comes straight from " + source +
+                  ": the result can differ run to run and break "
+                  "trace/schedule reproducibility; derive it from "
+                  "sim::Engine::now() or sim::Rng instead";
+      }
+      add_at(out, "determinism-taint", ctx_.line_starts,
+             fn_.nodes[idx].lo + ev.pos, std::move(message));
+    }
+  }
+
+  const FlowContext& ctx_;
+  const FunctionCfg& fn_;
+  std::map<std::string, int> ids_;
+  std::vector<std::string> names_;
+  std::vector<NodePlan> plans_;
+};
+
+}  // namespace
+
+void check_suspension_lifetime(const FlowContext& ctx,
+                               std::vector<Finding>* out) {
+  for (const FunctionCfg& fn : ctx.cfgs) {
+    check_one_suspension_lifetime(ctx, fn, out);
+  }
+}
+
+void check_lock_across_suspension(const FlowContext& ctx,
+                                  std::vector<Finding>* out) {
+  for (const FunctionCfg& fn : ctx.cfgs) {
+    check_one_lock_across_suspension(ctx, fn, out);
+  }
+}
+
+void check_determinism_taint(const FlowContext& ctx,
+                             std::vector<Finding>* out) {
+  for (const FunctionCfg& fn : ctx.cfgs) {
+    if (fn.nodes.size() <= 2) continue;
+    TaintAnalysis analysis(ctx, fn);
+    analysis.run(out);
+  }
+}
+
+}  // namespace paraio::lint

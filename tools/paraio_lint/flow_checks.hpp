@@ -1,0 +1,47 @@
+// Pass 3's flow-sensitive checks, built on the statement-level CFG
+// (cfg.hpp) and the forward dataflow solver (dataflow.hpp):
+//
+//   * suspension-lifetime      — a reference/pointer parameter of a
+//     detached coroutine, or a by-reference capture (or `this` via a
+//     default capture) of a coroutine lambda, read on a path after a
+//     suspension point: the frame may outlive what the name refers to.
+//   * lock-across-suspension   — a sim::Mutex held region that contains a
+//     further co_await: while this task is parked, any task that needs the
+//     lock deadlocks behind it.  Static counterpart of the runtime
+//     DeadlockDetector.  (Semaphore tokens are exempt: holding one across
+//     a delay is how the hw layer models device service time.)
+//   * determinism-taint        — a value derived from wall-clock, libc
+//     randomness, pointer identity, or unordered-container iteration order
+//     propagated through assignments into a trace/schedule/metrics sink.
+//     Static counterpart of golden traces and perturbation testing.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "paraio_lint/cfg.hpp"
+#include "paraio_lint/lint.hpp"
+
+namespace paraio::lint {
+
+struct FlowContext {
+  const std::string& stripped;
+  const std::vector<std::size_t>& line_starts;
+  const ProjectIndex& index;
+  const std::vector<FunctionCfg>& cfgs;
+  /// Argument regions of detached spawns with no same-block `.run()` after
+  /// them — the spawned frame outlives the spawning stack.
+  const std::vector<std::pair<std::size_t, std::size_t>>& escaping_spawns;
+  LintRunStats* stats;  // may be nullptr
+};
+
+void check_suspension_lifetime(const FlowContext& ctx,
+                               std::vector<Finding>* out);
+void check_lock_across_suspension(const FlowContext& ctx,
+                                  std::vector<Finding>* out);
+void check_determinism_taint(const FlowContext& ctx,
+                             std::vector<Finding>* out);
+
+}  // namespace paraio::lint

@@ -4,9 +4,15 @@
 #include <array>
 #include <cctype>
 
+#include "paraio_lint/cfg.hpp"
+#include "paraio_lint/flow_checks.hpp"
+#include "paraio_lint/text.hpp"
+
 namespace paraio::lint {
 
 namespace {
+
+using namespace paraio::lint::text;
 
 // ---------------------------------------------------------------------------
 // Check catalog
@@ -14,158 +20,138 @@ namespace {
 constexpr CheckInfo kChecks[] = {
     {"unordered-iter", Severity::kError,
      "range-for over an unordered container: iteration order is "
-     "implementation-defined and can reach the trace"},
+     "implementation-defined and can reach the trace",
+     "The golden-trace tests compare event sequences byte for byte, so any "
+     "value whose order depends on hashing or insertion history breaks "
+     "reproducibility across standard libraries and ASLR runs.  Iterate a "
+     "std::map, or copy keys into a vector and sort before iterating.  The "
+     "index resolves `using` aliases, so renaming the container type does "
+     "not hide it."},
     {"wall-clock", Severity::kError,
      "wall-clock read inside the simulator: all time must come from "
-     "sim::Engine::now()"},
+     "sim::Engine::now()",
+     "Simulated time is a logical clock advanced by the event loop; mixing "
+     "in std::chrono::system_clock or friends makes results depend on host "
+     "load and wall time.  Use sim::Engine::now() for simulated timestamps. "
+     "Host-side timing of the simulator itself (bench harness) carries an "
+     "explicit allow() suppression."},
     {"raw-random", Severity::kError,
      "libc/raw randomness: all randomness must flow through sim::Rng so "
-     "runs reproduce from a seed"},
+     "runs reproduce from a seed",
+     "rand(), the *rand48 family, and std::random_device are unseeded or "
+     "globally seeded, so two runs with the same --seed diverge.  sim::Rng "
+     "is a splittable counter-based generator owned by the engine; every "
+     "stochastic decision must draw from it (or a stream split from it)."},
     {"ptr-key-order", Severity::kWarning,
      "ordered container keyed by pointer: iteration order depends on "
-     "allocation addresses"},
+     "allocation addresses",
+     "std::map<T*, ...> iterates in address order, and addresses change "
+     "run to run under ASLR.  If the iteration feeds a trace or a scheduling "
+     "decision the run is no longer reproducible.  Key by a stable id "
+     "(node index, request id) instead."},
     {"coro-lambda-capture", Severity::kError,
      "coroutine lambda with captures: the closure dies before the first "
-     "resume; pass state as parameters instead"},
+     "resume; pass state as parameters instead",
+     "A lambda's captures live in the closure object, not the coroutine "
+     "frame.  When a temporary closure's coroutine suspends, the closure is "
+     "destroyed at the end of the full-expression and every capture "
+     "dangles.  Pass state as coroutine parameters (they are copied into "
+     "the frame) or use a named function."},
     {"missing-co-await", Severity::kError,
      "awaitable constructed and dropped without co_await: the operation "
-     "never runs"},
+     "never runs",
+     "Awaitables in this tree (Mutex::lock, Semaphore::acquire, "
+     "Event::wait, Channel::send/recv, ...) are lazy: constructing one "
+     "does nothing until it is co_awaited.  A bare `m.lock();` statement "
+     "compiles, silently does not take the lock, and the critical section "
+     "runs unprotected."},
     {"discarded-task", Severity::kError,
      "Task<T>-returning call used as a plain statement: the coroutine is "
-     "destroyed without ever starting"},
+     "destroyed without ever starting",
+     "sim::Task is lazily started: the callee body runs only when the task "
+     "is co_awaited or handed to spawn()/spawn_daemon().  A discarded call "
+     "result destroys the suspended frame, so the work silently never "
+     "happens.  The index knows every Task-returning name in the tree, so "
+     "this fires across translation units."},
     {"swallowed-io-error", Severity::kError,
      "typed I/O outcome discarded: the *Outcome return value is the only "
-     "failure channel; bind and inspect it"},
+     "failure channel; bind and inspect it",
+     "I/O paths report failure through *Outcome return values, not "
+     "exceptions.  co_awaiting such a call as a statement drops the only "
+     "record that the operation failed, and the fault-injection tests rely "
+     "on callers observing those failures.  Bind the result and branch on "
+     "it."},
     {"lock-order", Severity::kWarning,
      "lock acquired in conflicting orders across the tree: some "
-     "interleaving can deadlock; establish one global acquisition order"},
+     "interleaving can deadlock; establish one global acquisition order",
+     "The index records every `acquired B while holding A` site across all "
+     "files and searches the resulting graph for cycles.  A cycle means "
+     "some interleaving of tasks deadlocks even though each file looks "
+     "fine locally.  Fix by choosing one global acquisition order.  The "
+     "runtime DeadlockDetector catches the schedules that actually hang; "
+     "this catches the ones that merely could."},
     {"channel-self-deadlock", Severity::kError,
      "bounded channel sent and received by the same coroutine: once the "
-     "buffer fills the send blocks forever (nobody else drains it)"},
+     "buffer fills the send blocks forever (nobody else drains it)",
+     "A bounded channel's send suspends when the buffer is full.  If the "
+     "same coroutine is also the only receiver, nothing can drain the "
+     "buffer while the sender is parked, so the task deadlocks with "
+     "itself.  Split producer and consumer into separate tasks or use an "
+     "unbounded channel."},
     {"capture-escape", Severity::kError,
      "stack-local address escapes into a detached coroutine: the frame "
-     "outlives the caller's locals; pass by value or heap-own the state"},
+     "outlives the caller's locals; pass by value or heap-own the state",
+     "engine.spawn()/spawn_daemon() detach the coroutine from the caller's "
+     "scope: the frame keeps running after the caller returns.  Passing "
+     "&local or a reference to a stack variable into the spawned call "
+     "leaves the frame holding a dangling pointer.  Pass by value, or move "
+     "ownership (unique_ptr/shared_ptr) into the frame."},
     {"layering", Severity::kError,
      "include crosses the layer order (sim < hw < io < pfs/pablo < ppfs < "
      "analysis < apps < core < testkit), or apps bypass the hw::Machine "
-     "facade"},
+     "facade",
+     "The simulator is layered so each subsystem can be tested in "
+     "isolation and replaced (three PFS write policies, two app layers). "
+     "An upward include from a lower layer, or an app reaching past the "
+     "hw::Machine facade into device internals, couples layers that the "
+     "experiments need to vary independently."},
+    {"suspension-lifetime", Severity::kError,
+     "reference parameter or by-reference capture of a coroutine read "
+     "after a suspension point: the frame can outlive what it refers to",
+     "Flow-sensitive (CFG + dataflow).  A detached coroutine's frame "
+     "outlives its caller, so a reference/pointer parameter, a "
+     "by-reference lambda capture, or `this` via a default capture is only "
+     "safe to read before the first co_await: after a suspension the "
+     "caller's stack may be gone.  Only reads actually reachable from a "
+     "suspension point are flagged — a reference fully consumed before the "
+     "first co_await is fine, which a line-based scan cannot express."},
+    {"lock-across-suspension", Severity::kWarning,
+     "sim::Mutex held across a co_await: tasks queueing on the lock stall "
+     "until this task resumes, or deadlock",
+     "Flow-sensitive (CFG + dataflow).  Mutex acquisition sites "
+     "(`co_await m.lock()`) are propagated forward; `m.unlock()` kills "
+     "them.  Any suspension point whose IN set still holds an acquisition "
+     "is flagged with both sites.  Holding a sim::Mutex across an await "
+     "serializes every waiter behind an arbitrary I/O latency, and two "
+     "such regions in opposite order are the classic AB/BA deadlock the "
+     "runtime DeadlockDetector reports — this check catches it before a "
+     "schedule ever runs.  Semaphore capacity tokens are exempt: holding "
+     "one across a delay is how the hardware layer models device service "
+     "time."},
+    {"determinism-taint", Severity::kError,
+     "value derived from wall-clock/raw-random/pointer-identity/unordered "
+     "iteration flows into a trace, schedule, or metrics sink",
+     "Flow-sensitive (CFG + dataflow).  Taint starts at nondeterministic "
+     "sources (wall-clock reads, libc randomness, uintptr_t pointer casts, "
+     "range-for over unordered containers), propagates through "
+     "assignments, and is killed by reassignment from a clean value.  A "
+     "sink call (schedule/record/observe/emit/trace/...) whose argument is "
+     "tainted makes the trace differ run to run even though the source "
+     "and sink look innocent in isolation."},
 };
 
-const CheckInfo* find_check(const char* id) {
-  for (const CheckInfo& c : kChecks) {
-    if (std::string_view(c.id) == id) return &c;
-  }
-  return nullptr;
-}
-
-bool is_ident(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-bool is_ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-std::string trim(std::string s) {
-  const auto b = s.find_first_not_of(" \t");
-  const auto e = s.find_last_not_of(" \t");
-  if (b == std::string::npos) return "";
-  return s.substr(b, e - b + 1);
-}
-
-/// 0-based offsets of each line start, for offset -> line translation.
-std::vector<std::size_t> line_starts(const std::string& text) {
-  std::vector<std::size_t> starts{0};
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    if (text[i] == '\n') starts.push_back(i + 1);
-  }
-  return starts;
-}
-
-std::size_t line_of(const std::vector<std::size_t>& starts, std::size_t pos) {
-  auto it = std::upper_bound(starts.begin(), starts.end(), pos);
-  return static_cast<std::size_t>(it - starts.begin());  // 1-based
-}
-
-std::size_t col_of(const std::vector<std::size_t>& starts, std::size_t pos) {
-  const std::size_t line = line_of(starts, pos);
-  return pos - starts[line - 1] + 1;  // 1-based
-}
-
-/// Position just past the matching closer for the opener at `open`.
-/// Returns npos when unbalanced (we then give up on that site).
-std::size_t skip_balanced(const std::string& text, std::size_t open,
-                          char open_ch, char close_ch) {
-  int depth = 0;
-  for (std::size_t i = open; i < text.size(); ++i) {
-    if (text[i] == open_ch) ++depth;
-    if (text[i] == close_ch && --depth == 0) return i + 1;
-  }
-  return std::string::npos;
-}
-
-std::size_t skip_spaces(const std::string& text, std::size_t pos) {
-  while (pos < text.size() &&
-         (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n')) {
-    ++pos;
-  }
-  return pos;
-}
-
-/// Last non-whitespace position strictly before `pos`, or npos.
-std::size_t prev_nonspace(const std::string& text, std::size_t pos) {
-  while (pos > 0) {
-    --pos;
-    const char c = text[pos];
-    if (c != ' ' && c != '\t' && c != '\n') return pos;
-  }
-  return std::string::npos;
-}
-
-std::string read_ident(const std::string& text, std::size_t pos,
-                       std::size_t* end = nullptr) {
-  std::size_t i = pos;
-  while (i < text.size() && is_ident(text[i])) ++i;
-  if (end) *end = i;
-  return text.substr(pos, i - pos);
-}
-
-/// Identifier ending at (inclusive) `last`, reading backward.  Returns the
-/// identifier and sets `*begin` to its first character.
-std::string read_ident_backward(const std::string& text, std::size_t last,
-                                std::size_t* begin = nullptr) {
-  std::size_t b = last + 1;
-  while (b > 0 && is_ident(text[b - 1])) --b;
-  if (begin) *begin = b;
-  return text.substr(b, last + 1 - b);
-}
-
-/// Occurrences of `word` as a whole identifier.
-std::vector<std::size_t> find_word(const std::string& text,
-                                   std::string_view word) {
-  std::vector<std::size_t> out;
-  std::size_t pos = 0;
-  while ((pos = text.find(word, pos)) != std::string::npos) {
-    const bool left_ok = pos == 0 || !is_ident(text[pos - 1]);
-    const std::size_t after = pos + word.size();
-    const bool right_ok = after >= text.size() || !is_ident(text[after]);
-    if (left_ok && right_ok) out.push_back(pos);
-    pos = after;
-  }
-  return out;
-}
-
-/// Final identifier of an expression like `fs_.inflight_`, `this->buffers_`,
-/// or `*handles` — the name the range-for actually iterates.
-std::string trailing_ident(const std::string& expr) {
-  std::string e = trim(expr);
-  if (e.empty()) return "";
-  if (e.back() == ')') return "";  // call result; resolved via declared names
-  std::size_t end = e.size();
-  std::size_t begin = end;
-  while (begin > 0 && is_ident(e[begin - 1])) --begin;
-  return e.substr(begin, end - begin);
-}
+// Token helpers (is_ident, line_of, skip_balanced, find_word, ...) live in
+// paraio_lint/text.hpp, shared with the CFG builder and the flow checks.
 
 // ---------------------------------------------------------------------------
 // Per-line suppressions: `// paraio-lint: allow(id[,id...])`
@@ -766,6 +752,80 @@ std::vector<SpawnRegion> spawn_arg_regions(const std::string& stripped) {
   return regions;
 }
 
+/// Whether a `.run()`/`->run()` call follows `from` within the same brace
+/// block.  `engine.spawn(task()); engine.run();` is the structured driver
+/// idiom: the spawner blocks in run() until every task finishes, so the
+/// caller's stack outlives the spawned frames and references passed into
+/// them stay valid.
+bool followed_by_engine_run(const std::string& stripped, std::size_t from) {
+  int depth = 0;
+  const std::size_t limit = std::min(stripped.size(), from + 8192);
+  for (std::size_t i = from; i < limit; ++i) {
+    const char c = stripped[i];
+    if (c == '{') ++depth;
+    if (c == '}' && --depth < 0) return false;
+    if (c == 'r' && stripped.compare(i, 3, "run") == 0 && i > 0 &&
+        (stripped[i - 1] == '.' ||
+         (stripped[i - 1] == '>' && i > 1 && stripped[i - 2] == '-')) &&
+        (i + 3 >= stripped.size() || !is_ident(stripped[i + 3]))) {
+      const std::size_t after = skip_spaces(stripped, i + 3);
+      if (after < stripped.size() && stripped[after] == '(') return true;
+    }
+  }
+  return false;
+}
+
+/// Argument regions of detached spawns whose frames genuinely escape the
+/// spawning stack: `engine.spawn(...)`/`spawn_daemon(...)` with no
+/// same-block `.run()` afterwards (see followed_by_engine_run).
+std::vector<std::pair<std::size_t, std::size_t>> escaping_spawn_regions(
+    const std::string& stripped) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (const SpawnRegion& r : spawn_arg_regions(stripped)) {
+    if (r.detached && !followed_by_engine_run(stripped, r.hi)) {
+      out.emplace_back(r.lo, r.hi);
+    }
+  }
+  return out;
+}
+
+/// Names of coroutines invoked directly inside an *escaping* spawn's
+/// argument list (`engine.spawn(serve(...))` records "serve").  Their
+/// frames outlive the spawning stack, which is what makes reference
+/// parameters dangerous for the suspension-lifetime check.
+void collect_detached_fns(const std::string& stripped,
+                          std::set<std::string>* out) {
+  // A spawned *local lambda* (`auto serve = [&]...; engine.spawn(serve())`)
+  // is excluded: its hazard is the captures, which the suspension-lifetime
+  // lambda branch analyzes in the defining file, and the set is global, so
+  // a common lambda name here must not taint an unrelated named function
+  // in another file.
+  auto is_local_lambda = [&](const std::string& name) {
+    for (std::size_t at : find_word(stripped, name)) {
+      std::size_t p = skip_spaces(stripped, at + name.size());
+      if (p < stripped.size() && stripped[p] == '=' && p + 1 < stripped.size()
+          && stripped[p + 1] != '=') {
+        p = skip_spaces(stripped, p + 1);
+        if (p < stripped.size() && stripped[p] == '[') return true;
+      }
+    }
+    return false;
+  };
+  for (const auto& [lo, hi] : escaping_spawn_regions(stripped)) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (stripped[i] != '(') continue;
+      if (i > lo && is_ident(stripped[i - 1])) {
+        const std::string name = read_ident_backward(stripped, i - 1);
+        if (!name.empty() && is_ident_start(name[0]) &&
+            !is_local_lambda(name)) {
+          out->insert(name);
+        }
+      }
+      break;  // only the outermost call in the argument expression
+    }
+  }
+}
+
 void check_coro_lambda_capture(const std::string& stripped,
                                const std::vector<std::size_t>& starts,
                                Sink* out) {
@@ -1010,41 +1070,8 @@ void check_swallowed_io_error(const std::vector<std::string>& stripped_lines,
 }
 
 // ---------------------------------------------------------------------------
-// Channel self-deadlock (pass 2, against the pass-1 channel tables)
-
-/// Maximal balanced `{...}` regions whose opener follows a `)` — function
-/// (and top-level lambda) bodies.  Nested blocks are inside one of these.
-std::vector<std::pair<std::size_t, std::size_t>> function_bodies(
-    const std::string& stripped) {
-  std::vector<std::pair<std::size_t, std::size_t>> out;
-  std::size_t pos = 0;
-  while ((pos = stripped.find('{', pos)) != std::string::npos) {
-    std::size_t prev = prev_nonspace(stripped, pos);
-    // Skip over trailing specifiers between ')' and '{'.
-    while (prev != std::string::npos && is_ident(stripped[prev])) {
-      const std::string word = read_ident_backward(stripped, prev);
-      if (word != "const" && word != "noexcept" && word != "override" &&
-          word != "final" && word != "mutable") {
-        break;
-      }
-      std::size_t b = 0;
-      read_ident_backward(stripped, prev, &b);
-      prev = prev_nonspace(stripped, b);
-    }
-    if (prev == std::string::npos || stripped[prev] != ')') {
-      ++pos;
-      continue;
-    }
-    const std::size_t past = skip_balanced(stripped, pos, '{', '}');
-    if (past == std::string::npos) {
-      ++pos;
-      continue;
-    }
-    out.emplace_back(pos, past);
-    pos = past;  // maximal: skip everything nested inside
-  }
-  return out;
-}
+// Channel self-deadlock (pass 2, against the pass-1 channel tables and the
+// pass-2 CFGs, which attribute each site to its innermost enclosing body)
 
 /// co_awaited `name.send(` / `name.recv(` sites for `name` in `stripped`.
 std::vector<std::size_t> channel_op_sites(const std::string& stripped,
@@ -1072,14 +1099,24 @@ std::vector<std::size_t> channel_op_sites(const std::string& stripped,
 void check_channel_self_deadlock(const std::string& stripped,
                                  const std::vector<std::size_t>& starts,
                                  const std::set<std::string>& bounded,
+                                 const std::vector<FunctionCfg>& cfgs,
                                  Sink* out) {
   if (bounded.empty()) return;
-  const auto bodies = function_bodies(stripped);
+  // Innermost enclosing function body (the CFG builder knows lambda
+  // boundaries, so a producer lambda and a consumer lambda in the same
+  // test function are distinct coroutines, not one self-deadlocking task).
   auto body_of = [&](std::size_t pos) -> std::size_t {
-    for (std::size_t i = 0; i < bodies.size(); ++i) {
-      if (pos > bodies[i].first && pos < bodies[i].second) return i;
+    std::size_t best = static_cast<std::size_t>(-1);
+    std::size_t best_size = static_cast<std::size_t>(-1);
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+      const FunctionCfg& fn = cfgs[i];
+      if (pos <= fn.body_lo || pos >= fn.body_hi) continue;
+      if (fn.body_hi - fn.body_lo < best_size) {
+        best = i;
+        best_size = fn.body_hi - fn.body_lo;
+      }
     }
-    return static_cast<std::size_t>(-1);
+    return best;
   };
   for (const std::string& name : bounded) {
     const auto sends = channel_op_sites(stripped, name, "send");
@@ -1302,6 +1339,13 @@ const std::vector<CheckInfo>& checks() {
   return kAll;
 }
 
+const CheckInfo* find_check(std::string_view id) {
+  for (const CheckInfo& c : kChecks) {
+    if (std::string_view(c.id) == id) return &c;
+  }
+  return nullptr;
+}
+
 std::string strip_comments_and_strings(const std::string& source) {
   std::string out = source;
   enum class State { kCode, kLine, kBlock, kString, kChar } state = State::kCode;
@@ -1386,6 +1430,7 @@ ProjectIndex index_project(const std::vector<SourceFile>& files) {
     collect_type_aliases(stripped, &aliases);
     collect_channel_decls(stripped, &channels);
     collect_outcome_fns(stripped, &index.outcome_fns);
+    collect_detached_fns(stripped, &index.detached_fns);
 
     std::map<std::string, std::pair<bool, bool>> file_decls;
     collect_fn_decls(stripped, &file_decls);
@@ -1456,7 +1501,8 @@ std::set<std::string> visible_task_fns(const std::string& path,
 
 std::vector<Finding> lint_file(const SourceFile& file,
                                const ProjectIndex& index,
-                               const Options& options) {
+                               const Options& options,
+                               LintRunStats* stats) {
   const std::string stripped = strip_comments_and_strings(file.content);
   const std::vector<std::size_t> starts = line_starts(file.content);
   const auto suppressions = parse_suppressions(file.content, starts);
@@ -1484,10 +1530,23 @@ std::vector<Finding> lint_file(const SourceFile& file,
                        visible_task_fns(file.path, index), &findings);
   check_swallowed_io_error(stripped_lines, starts, index.outcome_fns,
                            &findings);
-  check_channel_self_deadlock(stripped, starts, index.bounded_channels,
+  // Pass 2 artifacts, shared by the scope-sensitive token checks below and
+  // the flow-sensitive checks.
+  const std::vector<FunctionCfg> cfgs = build_cfgs(stripped);
+  if (stats) stats->functions += cfgs.size();
+
+  check_channel_self_deadlock(stripped, starts, index.bounded_channels, cfgs,
                               &findings);
   check_capture_escape(stripped, starts, &findings);
   check_layering(file.path, file.content, starts, &findings);
+
+  const auto escaping_spawns = escaping_spawn_regions(stripped);
+  const FlowContext flow{stripped, starts, index, cfgs, escaping_spawns,
+                         stats};
+  check_suspension_lifetime(flow, &findings);
+  check_lock_across_suspension(flow, &findings);
+  check_determinism_taint(flow, &findings);
+
   for (const Finding& f : index.global_findings) {
     if (f.file == file.path) findings.push_back(f);
   }

@@ -16,14 +16,18 @@
 //   * layering violations — a lower simulator layer including a higher one,
 //     or apps reaching past the hw::Machine facade into device internals.
 //
-// The linter runs in two passes.  Pass 1 (index_project) builds a
+// The linter runs in three passes.  Pass 1 (index_project) builds a
 // whole-program symbol table: container variables declared unordered
 // anywhere (including through `using`/`typedef` aliases), every function
 // returning sim::Task<...> in any translation unit, channel declarations
-// with their boundedness, and the cross-file lock-acquisition graph.  Pass 2
-// (lint_file) applies the per-file checks against that global knowledge, so
-// a Task<> coroutine declared in one file and discarded in another is still
-// caught.
+// with their boundedness, the cross-file lock-acquisition graph, and the
+// names of coroutines handed to detached spawns.  Pass 2 builds a
+// per-function statement-level control-flow graph (cfg.hpp) and runs
+// forward dataflow over it (dataflow.hpp).  Pass 3 (lint_file) applies the
+// per-file checks — token-level and flow-sensitive — against that global
+// knowledge, so a Task<> coroutine declared in one file and discarded in
+// another is still caught, and a reference read after a co_await is only
+// flagged when a suspension actually dominates it.
 //
 // Findings print in compiler format (`file:line:col: error: [id] message`)
 // and can be suppressed per line with `// paraio-lint: allow(<id>[,<id>...])`.
@@ -33,21 +37,27 @@
 #include <map>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace paraio::lint {
 
 enum class Severity { kWarning, kError };
 
-/// One registered check.  Ids are stable and documented in docs/LINTING.md.
+/// One registered check.  Ids are stable and documented in docs/LINTING.md
+/// (the `--check-docs` gate keeps the two in sync).
 struct CheckInfo {
   const char* id;
   Severity severity;
   const char* summary;
+  const char* detail;  // multi-sentence rationale, shown by `--explain <id>`
 };
 
 /// Catalog of every check the linter knows, in reporting order.
 const std::vector<CheckInfo>& checks();
+
+/// Catalog entry for `id`, or nullptr for an unknown id.
+const CheckInfo* find_check(std::string_view id);
 
 struct Finding {
   std::string file;
@@ -56,7 +66,8 @@ struct Finding {
   const char* check = "";
   Severity severity = Severity::kError;
   std::string message;
-  bool suppressed = false;
+  bool suppressed = false;  // inline `// paraio-lint: allow(...)`
+  bool baselined = false;   // matched a `--baseline=` SARIF entry
 };
 
 /// One source file loaded into memory.
@@ -104,20 +115,39 @@ struct ProjectIndex {
   /// Whole-program findings (currently lock-order cycles), computed once at
   /// index time and emitted by lint_file for the file they name.
   std::vector<Finding> global_findings;
+
+  /// Names of coroutines handed to a *detached* spawn
+  /// (`engine.spawn(name(...))` / `spawn_daemon(name(...))`) anywhere in
+  /// the tree.  Their frames outlive the caller's stack, so the
+  /// suspension-lifetime check treats their reference/pointer parameters
+  /// as dangling once a suspension point has passed.
+  std::set<std::string> detached_fns;
 };
 
 struct Options {
   std::set<std::string> disabled;  // check ids turned off globally
 };
 
+/// Aggregate statistics for one lint run, accumulated across files by the
+/// driver.  `dataflow_bailouts` must stay zero: a capped solve means a
+/// non-monotone transfer function (a linter bug), and the driver reports it
+/// as an internal error rather than shipping a silently-truncated analysis.
+struct LintRunStats {
+  std::size_t functions = 0;         // function CFGs built
+  std::size_t dataflow_solves = 0;   // fixpoint solves run
+  std::size_t dataflow_bailouts = 0; // solves stopped by the iteration cap
+};
+
 /// Pass 1: build the cross-file index.
 ProjectIndex index_project(const std::vector<SourceFile>& files);
 
-/// Pass 2: lint one file.  Returns every finding, including suppressed ones
-/// (callers count them separately).
+/// Passes 2+3: lint one file (CFG construction, dataflow, checks).
+/// Returns every finding, including suppressed ones (callers count them
+/// separately).  `stats`, when given, accumulates across calls.
 std::vector<Finding> lint_file(const SourceFile& file,
                                const ProjectIndex& index,
-                               const Options& options);
+                               const Options& options,
+                               LintRunStats* stats = nullptr);
 
 /// Replaces comments, string literals, and char literals with spaces while
 /// preserving line structure.  Exposed for tests.

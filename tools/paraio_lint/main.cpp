@@ -1,14 +1,20 @@
 // paraio_lint command-line driver.
 //
-//   paraio_lint [--werror] [--disable=id[,id...]] [--sarif=path]
-//               [--list-checks] paths...
+//   paraio_lint [--werror] [--disable=id[,id...]] [--exclude=sub[,sub...]]
+//               [--sarif=path] [--baseline=path] [--check-docs=path]
+//               [--list-checks] [--explain <id>] paths...
 //
 // Paths may be files or directories (searched recursively for
-// .hpp/.h/.cpp/.cc).  Findings print to stdout in compiler format
-// (`file:line:col:`); with --sarif= the run is also written as a SARIF
-// 2.1.0 log (self-validated before writing).  The exit code is 1 when any
-// unsuppressed error (or, with --werror, warning) was found, 2 on
-// usage/IO errors, 0 otherwise.
+// .hpp/.h/.cpp/.cc); `--exclude=` drops any collected path containing one
+// of the given substrings (e.g. `--exclude=fixtures` when linting tests/).
+// Findings print to stdout in compiler format (`file:line:col:`); with
+// --sarif= the run is also written as a SARIF 2.1.0 log (self-validated
+// before writing).  `--baseline=` accepts a previous SARIF log: findings
+// matching it on (rule, file) are demoted to externally-suppressed, and
+// baseline entries matching nothing fail the run as stale.  The exit code
+// is 1 when any unsuppressed error (or, with --werror, warning) was found
+// or the baseline has stale entries, 2 on usage/IO/internal errors, 0
+// otherwise.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -18,6 +24,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "paraio_lint/baseline.hpp"
 #include "paraio_lint/lint.hpp"
 #include "paraio_lint/sarif.hpp"
 
@@ -34,8 +41,82 @@ bool lintable(const fs::path& p) {
 
 int usage() {
   std::cerr << "usage: paraio_lint [--werror] [--disable=id[,id...]] "
-               "[--sarif=path] [--list-checks] <file-or-dir>...\n";
+               "[--exclude=sub[,sub...]] [--sarif=path] [--baseline=path] "
+               "[--check-docs=path] [--list-checks] [--explain <id>] "
+               "<file-or-dir>...\n";
   return 2;
+}
+
+void split_commas(const std::string& list, std::vector<std::string>* out) {
+  std::stringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out->push_back(item);
+  }
+}
+
+int explain(const std::string& id) {
+  const paraio::lint::CheckInfo* c = paraio::lint::find_check(id);
+  if (c == nullptr) {
+    std::cerr << "paraio_lint: unknown check '" << id
+              << "' (see --list-checks)\n";
+    return 2;
+  }
+  std::cout << c->id << " ("
+            << (c->severity == Severity::kError ? "error" : "warning")
+            << ")\n  " << c->summary << "\n\n  " << c->detail << "\n";
+  return 0;
+}
+
+/// Verifies docs/LINTING.md against the catalog: every check id must appear
+/// as a backticked `id` somewhere in the doc, and every backticked id in a
+/// catalog-table row (`| `id` | ...`) must name a known check.  Keeps the
+/// doc and the code from drifting apart without hand-maintained lists.
+int check_docs(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "paraio_lint: cannot read " << path << "\n";
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string doc = buf.str();
+
+  int drift = 0;
+  for (const auto& c : paraio::lint::checks()) {
+    const std::string needle = "`" + std::string(c.id) + "`";
+    if (doc.find(needle) == std::string::npos) {
+      std::cerr << "paraio_lint: doc drift: check '" << c.id
+                << "' is not documented in " << path << "\n";
+      drift = 1;
+    }
+  }
+  // Table rows whose FIRST cell is a backticked id: a line starting
+  // `| `some-id` ...`.  Later cells legitimately backtick non-check tokens
+  // (`system_clock`, `std::map`, ...), so only the line-initial cell is
+  // held to the catalog.
+  std::size_t pos = 0;
+  while ((pos = doc.find("| `", pos)) != std::string::npos) {
+    const bool at_line_start = pos == 0 || doc[pos - 1] == '\n';
+    const std::size_t begin = pos + 3;
+    const std::size_t end = doc.find('`', begin);
+    pos = begin;
+    if (end == std::string::npos) break;
+    if (!at_line_start) continue;
+    const std::string id = doc.substr(begin, end - begin);
+    const bool id_like =
+        !id.empty() && id.find(' ') == std::string::npos && id.size() < 40;
+    if (id_like && paraio::lint::find_check(id) == nullptr) {
+      std::cerr << "paraio_lint: doc drift: " << path
+                << " documents unknown check '" << id << "'\n";
+      drift = 1;
+    }
+  }
+  if (drift == 0) {
+    std::cerr << "paraio_lint: " << path << " is in sync with the catalog ("
+              << paraio::lint::checks().size() << " checks)\n";
+  }
+  return drift;
 }
 
 }  // namespace
@@ -44,7 +125,9 @@ int main(int argc, char** argv) {
   bool werror = false;
   paraio::lint::Options options;
   std::vector<std::string> roots;
+  std::vector<std::string> excludes;
   std::string sarif_path;
+  std::string baseline_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -53,6 +136,11 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--sarif=", 0) == 0) {
       sarif_path = arg.substr(8);
       if (sarif_path.empty()) return usage();
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+      if (baseline_path.empty()) return usage();
+    } else if (arg.rfind("--check-docs=", 0) == 0) {
+      return check_docs(arg.substr(13));
     } else if (arg == "--list-checks") {
       for (const auto& c : paraio::lint::checks()) {
         std::cout << c.id << " ("
@@ -60,12 +148,17 @@ int main(int argc, char** argv) {
                   << "): " << c.summary << "\n";
       }
       return 0;
+    } else if (arg.rfind("--explain=", 0) == 0) {
+      return explain(arg.substr(10));
+    } else if (arg == "--explain") {
+      if (i + 1 >= argc) return usage();
+      return explain(argv[i + 1]);
     } else if (arg.rfind("--disable=", 0) == 0) {
-      std::stringstream ids(arg.substr(10));
-      std::string id;
-      while (std::getline(ids, id, ',')) {
-        if (!id.empty()) options.disabled.insert(id);
-      }
+      std::vector<std::string> ids;
+      split_commas(arg.substr(10), &ids);
+      options.disabled.insert(ids.begin(), ids.end());
+    } else if (arg.rfind("--exclude=", 0) == 0) {
+      split_commas(arg.substr(10), &excludes);
     } else if (arg.rfind("--", 0) == 0) {
       return usage();
     } else {
@@ -90,6 +183,12 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  std::erase_if(paths, [&](const std::string& p) {
+    return std::any_of(excludes.begin(), excludes.end(),
+                       [&](const std::string& sub) {
+                         return p.find(sub) != std::string::npos;
+                       });
+  });
   std::sort(paths.begin(), paths.end());
   paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
 
@@ -106,30 +205,69 @@ int main(int argc, char** argv) {
     files.push_back({p, buf.str()});
   }
 
+  std::vector<paraio::lint::BaselineEntry> baseline;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "paraio_lint: cannot read baseline " << baseline_path
+                << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    baseline = paraio::lint::parse_baseline(buf.str());
+  }
+
   const auto index = paraio::lint::index_project(files);
-  std::size_t errors = 0;
-  std::size_t warnings = 0;
-  std::size_t suppressed = 0;
+  paraio::lint::LintRunStats stats;
   std::vector<Finding> all;
   for (const auto& file : files) {
-    for (Finding& f : paraio::lint::lint_file(file, index, options)) {
-      if (f.suppressed) {
-        ++suppressed;
-        all.push_back(std::move(f));
-        continue;
-      }
-      const bool is_error = f.severity == Severity::kError;
-      (is_error ? errors : warnings) += 1;
-      std::cout << f.file << ":" << f.line << ":"
-                << (f.col == 0 ? 1 : f.col) << ": "
-                << (is_error ? "error" : "warning") << ": [" << f.check
-                << "] " << f.message << "\n";
+    for (Finding& f :
+         paraio::lint::lint_file(file, index, options, &stats)) {
       all.push_back(std::move(f));
     }
   }
-  std::cerr << "paraio_lint: " << files.size() << " file(s), " << errors
-            << " error(s), " << warnings << " warning(s), " << suppressed
-            << " suppressed\n";
+
+  std::vector<paraio::lint::BaselineEntry> stale;
+  if (!baseline_path.empty()) {
+    stale = paraio::lint::apply_baseline(baseline, &all);
+  }
+
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t suppressed = 0;
+  std::size_t baselined = 0;
+  for (const Finding& f : all) {
+    if (f.suppressed) {
+      ++suppressed;
+      continue;
+    }
+    if (f.baselined) {
+      ++baselined;
+      continue;
+    }
+    const bool is_error = f.severity == Severity::kError;
+    (is_error ? errors : warnings) += 1;
+    std::cout << f.file << ":" << f.line << ":" << (f.col == 0 ? 1 : f.col)
+              << ": " << (is_error ? "error" : "warning") << ": [" << f.check
+              << "] " << f.message << "\n";
+  }
+  for (const auto& entry : stale) {
+    std::cerr << "paraio_lint: stale baseline entry: " << entry.rule << " @ "
+              << entry.uri << " matches no current finding; delete it from "
+              << baseline_path << "\n";
+  }
+  std::cerr << "paraio_lint: " << files.size() << " file(s), "
+            << stats.functions << " function(s), " << stats.dataflow_solves
+            << " dataflow solve(s), " << errors << " error(s), " << warnings
+            << " warning(s), " << suppressed << " suppressed, " << baselined
+            << " baselined\n";
+  if (stats.dataflow_bailouts > 0) {
+    std::cerr << "paraio_lint: internal error: " << stats.dataflow_bailouts
+              << " dataflow solve(s) hit the iteration cap before fixpoint "
+                 "(non-monotone transfer?)\n";
+    return 2;
+  }
   if (!sarif_path.empty()) {
     const std::string sarif = paraio::lint::to_sarif(all);
     std::string why;
@@ -146,6 +284,6 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (errors > 0 || (werror && warnings > 0)) return 1;
+  if (errors > 0 || (werror && warnings > 0) || !stale.empty()) return 1;
   return 0;
 }

@@ -60,6 +60,8 @@ std::string to_sarif(const std::vector<Finding>& findings) {
     out << "{\"id\":\"" << json_escape(c.id) << "\","
         << "\"shortDescription\":{\"text\":\"" << json_escape(c.summary)
         << "\"},"
+        << "\"fullDescription\":{\"text\":\"" << json_escape(c.detail)
+        << "\"},"
         << "\"defaultConfiguration\":{\"level\":\"" << level_of(c.severity)
         << "\"}}";
   }
@@ -77,6 +79,10 @@ std::string to_sarif(const std::vector<Finding>& findings) {
         << ",\"startColumn\":" << (f.col == 0 ? 1 : f.col) << "}}}]";
     if (f.suppressed) {
       out << ",\"suppressions\":[{\"kind\":\"inSource\"}]";
+    } else if (f.baselined) {
+      // Accepted via the checked-in baseline file (--baseline=), i.e. a
+      // suppression recorded outside the source text.
+      out << ",\"suppressions\":[{\"kind\":\"external\"}]";
     }
     out << "}";
   }
