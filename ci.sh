@@ -55,11 +55,16 @@ lint_dir=build-lint
 mkdir -p "${lint_dir}"
 "${CXX:-c++}" -std=c++20 -O1 -o "${lint_dir}/paraio_lint" \
   tools/paraio_lint/lint.cpp tools/paraio_lint/cfg.cpp \
-  tools/paraio_lint/dataflow.cpp tools/paraio_lint/flow_checks.cpp \
+  tools/paraio_lint/dataflow.cpp tools/paraio_lint/callgraph.cpp \
+  tools/paraio_lint/summaries.cpp tools/paraio_lint/flow_checks.cpp \
   tools/paraio_lint/baseline.cpp tools/paraio_lint/sarif.cpp \
   tools/paraio_lint/main.cpp src/obs/json.cpp -I tools -I src
 "${lint_dir}/paraio_lint" --check-docs=docs/LINTING.md
-"${lint_dir}/paraio_lint" --werror \
+# The tree-wide run is time-budgeted: the interprocedural passes (call
+# graph + summary fixpoint) are linear-ish in practice (~0.2 s for the
+# whole tree today), so a 120 s ceiling only trips on a real blowup
+# (e.g. a non-converging fixpoint).  --stats records the per-pass cost.
+timeout 120 "${lint_dir}/paraio_lint" --werror --stats \
   --baseline=tools/paraio_lint/baseline.sarif --exclude=fixtures \
   src bench examples tools tests
 
@@ -74,12 +79,18 @@ echo "== verify: schedule perturbation + deadlock detection =="
 ctest --test-dir build --output-on-failure -j "${jobs}" \
   -R 'Perturb|DeadlockDetector|TieBreak'
 
-echo "== verify: tree-wide lint with SARIF artifact =="
-"${lint_dir}/paraio_lint" --werror --sarif=build/paraio_lint.sarif \
+echo "== verify: tree-wide lint with SARIF + cross-LP report artifacts =="
+timeout 120 "${lint_dir}/paraio_lint" --werror --stats \
+  --sarif=build/paraio_lint.sarif \
+  --lp-report=build/paraio_lint_cross_lp.txt \
   --baseline=tools/paraio_lint/baseline.sarif --exclude=fixtures \
   src bench examples tools tests
 test -s build/paraio_lint.sarif
 grep -q '"version":"2.1.0"' build/paraio_lint.sarif
+# The ranked shared-state audit ships alongside the SARIF log so a reviewer
+# can see the parallel-DES-readiness picture even when nothing fires.
+test -s build/paraio_lint_cross_lp.txt
+grep -q 'cross-LP shared-state audit' build/paraio_lint_cross_lp.txt
 
 # --- fault stage -----------------------------------------------------------
 # Fault injection & recovery (docs/FAULTS.md): mid-run disk failure with the

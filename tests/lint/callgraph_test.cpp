@@ -1,0 +1,142 @@
+// Unit tests for the interprocedural layer: the whole-program call graph
+// (callgraph.hpp) and the bottom-up function summaries (summaries.hpp),
+// driven through index_project so the tests exercise the same pipeline the
+// linter runs.  Corner cases: mutual recursion (the SCC fixpoint must
+// converge), overload sets (conservative union), calls through
+// lambda-bound names, and unresolved externals (havoc).
+#include "paraio_lint/lint.hpp"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using paraio::lint::AnalysisStats;
+using paraio::lint::FunctionSummary;
+using paraio::lint::ProjectIndex;
+using paraio::lint::SourceFile;
+
+const char* kSimPreamble =
+    "namespace sim { template <typename T = void> struct Task {}; }\n";
+
+/// The single summary for a uniquely-named function, asserted to exist.
+const FunctionSummary& summary_of(const ProjectIndex& index,
+                                  const std::string& name) {
+  const std::vector<int>* targets = index.call_graph.resolve(name);
+  EXPECT_NE(targets, nullptr) << name;
+  EXPECT_EQ(targets->size(), 1u) << name;
+  return index.summaries[static_cast<std::size_t>(targets->front())];
+}
+
+// Mutual recursion forms one SCC; the fixpoint must converge below the
+// iteration cap, and with no parking suspension anywhere in the cycle both
+// functions are proven never-suspending.
+TEST(LintCallGraph, MutualRecursionConvergesToNeverSuspending) {
+  const SourceFile file{
+      "fake/mutual.cc",
+      std::string(kSimPreamble) +
+          "sim::Task<> pong(int n);\n"
+          "sim::Task<> ping(int n) { co_await pong(n); }\n"
+          "sim::Task<> pong(int n) { co_await ping(n); }\n"};
+  AnalysisStats stats;
+  const ProjectIndex index =
+      paraio::lint::index_project({file}, &stats);
+  EXPECT_FALSE(summary_of(index, "ping").may_suspend);
+  EXPECT_FALSE(summary_of(index, "pong").may_suspend);
+  EXPECT_LT(stats.max_fixpoint_iterations, 16u);
+  EXPECT_GE(stats.scc_count, 1u);
+}
+
+// An unresolved external awaited anywhere in the cycle makes the whole SCC
+// may-suspend: the fact propagates through the recursion.
+TEST(LintCallGraph, MaySuspendPropagatesThroughRecursiveScc) {
+  const SourceFile file{
+      "fake/mutual_ext.cc",
+      std::string(kSimPreamble) +
+          "sim::Task<> ext();\n"  // declared only: havoc, assumed to park
+          "sim::Task<> pong(int n);\n"
+          "sim::Task<> ping(int n) { co_await pong(n); }\n"
+          "sim::Task<> pong(int n) { co_await ext(); co_await ping(n); }\n"};
+  AnalysisStats stats;
+  const ProjectIndex index =
+      paraio::lint::index_project({file}, &stats);
+  EXPECT_TRUE(summary_of(index, "pong").may_suspend);
+  EXPECT_TRUE(summary_of(index, "ping").may_suspend);
+  EXPECT_LT(stats.max_fixpoint_iterations, 16u);
+}
+
+// An overload set resolves to every definition; summary_for_call unions
+// them, so one parking overload taints the merged answer (conservative).
+TEST(LintCallGraph, OverloadSetMergesConservatively) {
+  const SourceFile file{
+      "fake/overloads.cc",
+      std::string(kSimPreamble) +
+          "sim::Task<> ext();\n"
+          "sim::Task<> step(int n) { co_return; }\n"
+          "sim::Task<> step(double d) { co_await ext(); }\n"};
+  const ProjectIndex index = paraio::lint::index_project({file});
+  const std::vector<int>* targets = index.call_graph.resolve("step");
+  ASSERT_NE(targets, nullptr);
+  EXPECT_EQ(targets->size(), 2u);
+  const FunctionSummary merged = paraio::lint::summary_for_call(
+      index.call_graph, index.summaries, "step");
+  EXPECT_FALSE(merged.havoc);
+  EXPECT_TRUE(merged.coroutine);
+  EXPECT_TRUE(merged.may_suspend);  // the double overload can park
+}
+
+// A coroutine lambda bound to a name joins the graph under that name, so
+// call sites through the binding resolve like a named function.
+TEST(LintCallGraph, LambdaBoundNameResolves) {
+  const SourceFile file{
+      "fake/lambda.cc",
+      std::string(kSimPreamble) +
+          "sim::Task<> ext();\n"
+          "void host() {\n"
+          "  auto relay = []() -> sim::Task<> { co_await ext(); };\n"
+          "  (void)relay;\n"
+          "}\n"};
+  const ProjectIndex index = paraio::lint::index_project({file});
+  const FunctionSummary& relay = summary_of(index, "relay");
+  EXPECT_TRUE(relay.coroutine);
+  EXPECT_TRUE(relay.may_suspend);
+}
+
+// Unresolved callees get the havoc summary: may-suspend pessimistically
+// true, and no invented lock/taint/escape facts.
+TEST(LintCallGraph, UnresolvedExternalGetsHavoc) {
+  const SourceFile file{
+      "fake/ext.cc",
+      std::string(kSimPreamble) +
+          "sim::Task<> ext();\n"
+          "sim::Task<> use() { co_await ext(); }\n"};
+  const ProjectIndex index = paraio::lint::index_project({file});
+  EXPECT_EQ(index.call_graph.resolve("ext"), nullptr);
+  const FunctionSummary havoc = paraio::lint::summary_for_call(
+      index.call_graph, index.summaries, "ext");
+  EXPECT_TRUE(havoc.havoc);
+  EXPECT_TRUE(havoc.may_suspend);
+  EXPECT_FALSE(havoc.returns_tainted);
+  EXPECT_TRUE(havoc.escaping_params.empty());
+  EXPECT_TRUE(havoc.lock_acquire_params.empty());
+  EXPECT_GE(index.call_graph.unresolved_calls, 1u);
+}
+
+// The --stats plumbing: index_project fills the call-graph shape counters.
+TEST(LintCallGraph, AnalysisStatsReportGraphShape) {
+  const SourceFile file{
+      "fake/shape.cc",
+      std::string(kSimPreamble) +
+          "sim::Task<> leaf() { co_return; }\n"
+          "sim::Task<> root() { co_await leaf(); }\n"};
+  AnalysisStats stats;
+  (void)paraio::lint::index_project({file}, &stats);
+  EXPECT_GE(stats.call_graph_fns, 2u);
+  EXPECT_GE(stats.call_graph_edges, 1u);
+  EXPECT_GE(stats.scc_count, 2u);
+  EXPECT_GE(stats.max_fixpoint_iterations, 1u);
+}
+
+}  // namespace

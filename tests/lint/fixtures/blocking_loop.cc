@@ -1,0 +1,79 @@
+// Lint fixture: `blocking-loop-in-coroutine` (2 active, 1 suppressed).
+// The simulator's event loop is cooperative: a coroutine that spins in an
+// unbounded loop with no parking suspension never yields control, starving
+// every other task and freezing simulated time.  The summary pass decides
+// whether an awaited callee can actually park: `tick()` is opaque (assumed
+// to park), while `noop()` is a proven never-suspending coroutine, so
+// awaiting it inside the loop does not help.
+namespace sim {
+template <typename T = void>
+struct Task {};
+}  // namespace sim
+
+namespace fixture {
+
+sim::Task<> tick();  // declared only: assumed to park
+
+// A coroutine that provably never suspends.
+sim::Task<> noop() {
+  co_return;
+}
+
+void advance();
+
+// Awaits on every iteration — but the awaitee completes synchronously.
+sim::Task<> hot_wait() {
+  while (true) {  // violation: co_await noop() never parks
+    co_await noop();
+  }
+}
+
+// No suspension point at all on any path through the loop.
+sim::Task<> scan() {
+  for (;;) {  // violation: plain calls only, the loop never yields
+    advance();
+  }
+  co_return;
+}
+
+// Awaiting an opaque callee: assumed to park, so the loop is fine.
+sim::Task<> pump() {
+  while (true) {
+    co_await tick();  // clean: tick() may park
+  }
+}
+
+// Bounded loop: the condition is data-dependent, not unbounded-shaped.
+sim::Task<> drain(int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await noop();
+  }
+  co_return;
+}
+
+// The body can leave the loop on its own.
+sim::Task<> until_signal() {
+  while (true) {
+    advance();
+    if (sizeof(int) == 4) {
+      break;  // clean: explicit exit
+    }
+  }
+  co_return;
+}
+
+// Not a coroutine: blocking the caller is the caller's business.
+void busy() {
+  while (true) {
+    advance();
+  }
+}
+
+// Deliberate spin (e.g. a scheduler stress fixture) gets a same-line allow.
+sim::Task<> pinned_spin() {
+  while (true) {  // paraio-lint: allow(blocking-loop-in-coroutine)
+    co_await noop();
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,74 @@
+// Lint fixture: `cross-lp-shared-state` (2 active, 1 suppressed).  The
+// parallel-DES-readiness audit: `backlog` is namespace-scope mutable state
+// written by helpers reachable from two distinct detached entry coroutines
+// (`producer` and `consumer`), i.e. two prospective logical processes.
+// Unmediated writes to it are ordered only by the global event queue of the
+// sequential simulator — under conservative parallel DES the LPs race.
+// Writes routed through the event queue (`schedule(...)`) are mediated and
+// only counted, not flagged.
+namespace sim {
+template <typename T = void>
+struct Task {};
+}  // namespace sim
+
+namespace fixture {
+
+struct Engine {
+  void spawn(sim::Task<>);
+  void spawn_daemon(sim::Task<>);
+  void run();
+};
+
+struct Bus {
+  void schedule(int);
+};
+
+int backlog = 0;  // shared between the producer and consumer LPs
+
+sim::Task<> tick();
+
+// Reachable from the `producer` entry point.
+void enqueue_one() {
+  backlog += 1;  // violation: unmediated write to cross-LP state
+}
+
+// Reachable from the `consumer` entry point.
+void drain_one() {
+  backlog -= 1;  // violation: unmediated write to cross-LP state
+}
+
+// Event-queue-mediated update: counted as mediated, not flagged.
+void requeue(Bus& bus) {
+  bus.schedule(backlog = 0);
+}
+
+// Deliberate direct reset (e.g. test scaffolding) gets a same-line allow.
+void reset_stats() {
+  backlog = 0;  // paraio-lint: allow(cross-lp-shared-state)
+}
+
+sim::Task<> producer() {
+  for (int i = 0; i < 4; ++i) {
+    enqueue_one();
+    co_await tick();
+  }
+}
+
+sim::Task<> consumer() {
+  while (backlog > 0) {
+    drain_one();
+    co_await tick();
+  }
+}
+
+struct Pipeline {
+  Engine engine_;
+
+  // No same-block run(): both frames outlive start() — two detached LPs.
+  void start() {
+    engine_.spawn(producer());
+    engine_.spawn_daemon(consumer());
+  }
+};
+
+}  // namespace fixture

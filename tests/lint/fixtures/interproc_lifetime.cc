@@ -1,0 +1,93 @@
+// Lint fixture: interprocedural `suspension-lifetime` (2 active, 1
+// suppressed).  The detached coroutines below never read their reference
+// parameter after a suspension point of their *own* — every use is inside
+// a callee.  Only the function-summary pass sees the hazard: `stage()`
+// reads its parameter after its own co_await, so the reference escapes
+// into stage's frame, and handing a detached coroutine's reference
+// parameter to it (directly or through the `stage2` forwarder) dangles
+// all the same.
+namespace sim {
+template <typename T = void>
+struct Task {};
+}  // namespace sim
+
+namespace fixture {
+
+struct Engine {
+  void spawn(sim::Task<>);
+  void spawn_daemon(sim::Task<>);
+  void run();
+};
+
+struct Config {
+  int budget = 0;
+};
+
+sim::Task<> tick();
+
+// Reads `c` after its own suspension: parameter 0 escapes into the frame.
+sim::Task<> stage(const Config& c) {
+  co_await tick();
+  if (c.budget > 0) {
+    co_return;
+  }
+}
+
+// Pure forwarder: the escape is transitive through the summary chain.
+sim::Task<> stage2(const Config& c) {
+  co_await stage(c);
+}
+
+// No post-suspension use of cfg in *this* body — the read happens inside
+// stage's frame, after stage's own co_await.
+sim::Task<> relay(const Config& cfg) {
+  co_await stage(cfg);  // violation: cfg escapes into stage's frame
+  co_return;
+}
+
+// Same hazard, two calls deep.
+sim::Task<> feed(const Config& cfg) {
+  co_await stage2(cfg);  // violation: escape propagates through stage2
+  co_return;
+}
+
+// Intentional (caller guarantees cfg outlives the run) with an allow.
+sim::Task<> keeper(const Config& cfg) {
+  co_await stage(cfg);  // paraio-lint: allow(suspension-lifetime)
+  co_return;
+}
+
+// By-value parameter: the copy lives in this frame, nothing dangles.
+sim::Task<> copied(Config cfg) {
+  co_await stage(cfg);  // clean: cfg is owned by this frame
+  co_return;
+}
+
+// The callee reads its parameter only *before* suspending, so nothing
+// escapes and the caller stays clean.
+sim::Task<> prefix(const Config& c) {
+  int warm = c.budget;
+  co_await tick();
+  (void)warm;
+}
+
+sim::Task<> early(const Config& cfg) {
+  co_await prefix(cfg);  // clean: prefix reads cfg before it suspends
+  co_return;
+}
+
+struct Daemon {
+  Engine engine_;
+  Config cfg_;
+
+  // No same-block run(): every spawned frame outlives kick()'s stack.
+  void kick() {
+    engine_.spawn(relay(cfg_));
+    engine_.spawn(feed(cfg_));
+    engine_.spawn_daemon(keeper(cfg_));
+    engine_.spawn(copied(cfg_));
+    engine_.spawn(early(cfg_));
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,77 @@
+// Lint fixture: interprocedural `lock-across-suspension` (2 active, 1
+// suppressed).  No function below touches `.lock()` at its own suspension
+// sites — acquisition and release are hidden inside `grab()` and `drop()`,
+// so only the net-lock function summaries connect the held region to the
+// later co_await.  The parks gate is exercised too: awaiting `noop()`, a
+// coroutine the summary pass proves never suspends, completes
+// synchronously and is exempt even while the lock is held.
+namespace sim {
+template <typename T = void>
+struct Task {};
+struct Mutex {
+  Task<> lock();
+  void unlock();
+};
+}  // namespace sim
+
+namespace fixture {
+
+sim::Task<> nap();  // declared only: assumed to park
+
+// Net-acquires its parameter: callers inherit the held lock.
+sim::Task<> grab(sim::Mutex& m) {
+  co_await m.lock();
+  co_return;
+}
+
+// Net-releases its parameter.
+void drop(sim::Mutex& m) {
+  m.unlock();
+}
+
+// A coroutine that provably never suspends: awaiting it is synchronous.
+sim::Task<> noop() {
+  co_return;
+}
+
+// The lock taken inside grab() is still held at the real wait.
+sim::Task<> bad_section(sim::Mutex& m) {
+  co_await grab(m);
+  co_await nap();  // violation: m (net-acquired by grab) held across the wait
+  drop(m);
+}
+
+// Released on the fast path only; the slow path reaches the wait holding m.
+sim::Task<> bad_handoff(sim::Mutex& m, bool fast) {
+  co_await grab(m);
+  if (fast) {
+    drop(m);
+  }
+  co_await nap();  // violation: m may still be held on the !fast path
+  if (!fast) {
+    drop(m);
+  }
+}
+
+// Summary-visible release before the wait: clean on every path.
+sim::Task<> good_section(sim::Mutex& m) {
+  co_await grab(m);
+  drop(m);
+  co_await nap();  // clean: drop released m before the suspension
+}
+
+// Held across an await that cannot park: noop() completes synchronously.
+sim::Task<> sync_hold(sim::Mutex& m) {
+  co_await grab(m);
+  co_await noop();  // clean: never-suspending awaitee, lock never parked on
+  drop(m);
+}
+
+// Intentional hold (e.g. a handoff-order test) gets a same-line allow.
+sim::Task<> pinned(sim::Mutex& m) {
+  co_await grab(m);
+  co_await nap();  // paraio-lint: allow(lock-across-suspension)
+  drop(m);
+}
+
+}  // namespace fixture

@@ -1,0 +1,56 @@
+// Lint fixture: interprocedural `determinism-taint` (2 active, 1
+// suppressed).  The sink calls below never touch a nondeterminism source
+// in their own bodies — the taint enters through callees: `ticket()`
+// returns a wall-clock-derived value, and `fill_seed()` writes libc
+// randomness through its by-reference out-parameter.  Both paths are
+// visible only to the function-summary pass.
+#include <chrono>
+#include <cstdlib>
+
+namespace fixture {
+
+struct Tracer {
+  void emit(long);
+  void record(long);
+};
+
+struct Queue {
+  void schedule(unsigned);
+};
+
+// Returns a wall-clock-derived value: callers inherit the taint.
+long ticket() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+// Writes libc randomness through the out-parameter.
+void fill_seed(unsigned& seed) {
+  seed = static_cast<unsigned>(lrand48());
+}
+
+// A summary-clean callee for contrast.
+long fixed() {
+  return 42;
+}
+
+inline void stamp(Tracer& tracer) {
+  tracer.emit(ticket());  // violation: emit's argument comes from ticket()
+}
+
+inline void plan_run(Queue& queue) {
+  unsigned seed;
+  fill_seed(seed);
+  queue.schedule(seed);  // violation: seed tainted via fill_seed's out-param
+}
+
+inline void steady(Tracer& tracer, long step) {
+  tracer.emit(fixed());  // clean: fixed() returns a deterministic value
+  tracer.emit(step);     // clean: plain parameter, no source in sight
+}
+
+// Deliberate wall-time probe (harness-side timing) gets a same-line allow.
+inline void wall_probe(Tracer& tracer) {
+  tracer.record(ticket());  // paraio-lint: allow(determinism-taint)
+}
+
+}  // namespace fixture

@@ -13,7 +13,11 @@ namespace {
 std::string string_value_after(const std::string& text, std::string_view key,
                                std::size_t from, std::size_t until,
                                std::size_t* value_pos = nullptr) {
-  const std::string needle = "\"" + std::string(key) + "\":\"";
+  // Built by append rather than operator+ chains: GCC 12's -Wrestrict
+  // false-positives on `const char* + std::string&&` under -O2.
+  std::string needle = "\"";
+  needle += key;
+  needle += "\":\"";
   const std::size_t at = text.find(needle, from);
   if (at == std::string::npos || at >= until) return "";
   const std::size_t begin = at + needle.size();

@@ -1,0 +1,238 @@
+#include "paraio_lint/callgraph.hpp"
+
+#include <algorithm>
+#include <array>
+#include <set>
+
+#include "paraio_lint/text.hpp"
+
+namespace paraio::lint {
+
+namespace {
+
+using namespace paraio::lint::text;
+
+constexpr std::size_t npos = std::string::npos;
+
+/// Keywords that look like `ident(` but are never calls.
+bool is_call_keyword(const std::string& word) {
+  static constexpr std::array<const char*, 18> kWords = {
+      "if",     "while",   "for",       "switch",   "catch",  "return",
+      "co_return", "co_await", "co_yield", "sizeof", "new",   "delete",
+      "throw",  "alignof", "decltype",  "typeid",   "assert", "defined"};
+  return std::any_of(kWords.begin(), kWords.end(),
+                     [&](const char* k) { return word == k; });
+}
+
+}  // namespace
+
+std::vector<NodeCall> find_calls(const std::string& text) {
+  std::vector<NodeCall> calls;
+  for (std::size_t pos = 0; pos < text.size(); ++pos) {
+    if (!is_ident_start(text[pos]) || (pos > 0 && is_ident(text[pos - 1]))) {
+      continue;
+    }
+    std::size_t end = pos;
+    const std::string name = read_ident(text, pos, &end);
+    const std::size_t at = pos;
+    pos = end - 1;
+    if (is_call_keyword(name)) continue;
+    // Only a direct `name(` shape is a call; `name <int>(` (template-id)
+    // and `name )` are not, and a following ident means `Type name(` — a
+    // declaration, not a call.
+    if (end >= text.size() || text[end] != '(') continue;
+    const std::size_t past = skip_balanced(text, end, '(', ')');
+    if (past == npos) continue;
+    // A declaration/definition (`Task<> pump(Config& cfg)`) has a type
+    // token immediately before the name; a call has an operator, keyword,
+    // or statement boundary.  Walking one token back separates the two
+    // well enough: declarations are preceded by an identifier or '>'/'&'/
+    // '*' (type tail), calls by '(', ',', '=', ';', '.', '->', 'co_await'.
+    NodeCall call;
+    call.name = name;
+    call.pos = at;
+    const std::size_t prev = prev_nonspace(text, at);
+    if (prev != npos) {
+      const char p = text[prev];
+      if (p == '.') {
+        call.has_receiver = true;
+      } else if (p == '>' && prev > 0 && text[prev - 1] == '-') {
+        call.has_receiver = true;
+      } else if (p == ':' && prev > 0 && text[prev - 1] == ':') {
+        // Qualified call `ns::f(` — fine, resolved by trailing name.
+      } else if (is_ident(p)) {
+        const std::string before = read_ident_backward(text, prev);
+        if (!is_call_keyword(before) && before != "co_await" &&
+            before != "co_yield" && before != "else" && before != "do" &&
+            before != "case" && before != "goto") {
+          continue;  // `Type name(` — a declaration
+        }
+      } else if (p == '>' || p == '&' || p == '*') {
+        // Could be a declaration (`Task<> pump(`) or an expression
+        // (`a > b(`, `x & mask(`).  Template-close followed by a name is
+        // overwhelmingly a declaration in this tree; skip it.
+        if (p == '>' && !(prev > 0 && text[prev - 1] == '-')) continue;
+        if (p == '&' || p == '*') continue;
+      }
+    }
+    // co_await earlier in the same sub-statement?
+    const std::size_t stmt = text.find_last_of(";{}", at);
+    const std::string prefix = text.substr(stmt == npos ? 0 : stmt + 1,
+                                           at - (stmt == npos ? 0 : stmt + 1));
+    call.awaited = prefix.find("co_await") != npos;
+    // Arguments: split [end+1, past-1) at top-level commas; record the
+    // trailing identifier of each (empty when the argument is not a name).
+    std::size_t arg_begin = end + 1;
+    int depth = 0;
+    for (std::size_t i = end + 1; i < past; ++i) {
+      const char c = text[i];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') --depth;
+      if ((c == ',' && depth == 0) || i + 1 == past) {
+        const std::size_t arg_end = (i + 1 == past) ? past - 1 : i;
+        const std::string arg =
+            text.substr(arg_begin, arg_end - arg_begin);
+        const std::string ident = trailing_ident(arg);
+        call.args.push_back(ident);
+        std::size_t ident_pos = 0;
+        if (!ident.empty()) {
+          const std::size_t in_arg = arg.rfind(ident);
+          ident_pos = arg_begin + (in_arg == npos ? 0 : in_arg);
+        }
+        call.arg_pos.push_back(ident_pos);
+        arg_begin = i + 1;
+      }
+    }
+    if (past >= 2 && trim(text.substr(end + 1, past - end - 2)).empty()) {
+      call.args.clear();
+      call.arg_pos.clear();
+    }
+    calls.push_back(std::move(call));
+  }
+  return calls;
+}
+
+namespace {
+
+/// Name a lambda is bound to (`auto relay = [&] ...`), or "" when the
+/// lambda is anonymous (inline in an argument list, immediately invoked).
+std::string lambda_bound_name(const std::string& stripped,
+                              const FunctionCfg& fn) {
+  std::size_t p = prev_nonspace(stripped, fn.header_lo);
+  if (p == npos || stripped[p] != '=') return "";
+  p = prev_nonspace(stripped, p);
+  if (p == npos || !is_ident(stripped[p])) return "";
+  return read_ident_backward(stripped, p);
+}
+
+/// Iterative Tarjan SCC over `callees`, emitting components bottom-up
+/// (an SCC is emitted only after every SCC it calls into).
+std::vector<std::vector<int>> tarjan_sccs(
+    const std::vector<std::vector<int>>& callees) {
+  const int n = static_cast<int>(callees.size());
+  std::vector<int> index(static_cast<std::size_t>(n), -1);
+  std::vector<int> lowlink(static_cast<std::size_t>(n), -1);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<int> stack;
+  std::vector<std::vector<int>> sccs;
+  int next_index = 0;
+
+  struct Frame {
+    int v;
+    std::size_t child = 0;
+  };
+  for (int root = 0; root < n; ++root) {
+    if (index[static_cast<std::size_t>(root)] != -1) continue;
+    std::vector<Frame> frames{{root, 0}};
+    index[static_cast<std::size_t>(root)] =
+        lowlink[static_cast<std::size_t>(root)] = next_index++;
+    stack.push_back(root);
+    on_stack[static_cast<std::size_t>(root)] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto v = static_cast<std::size_t>(f.v);
+      if (f.child < callees[v].size()) {
+        const int w = callees[v][f.child++];
+        const auto wi = static_cast<std::size_t>(w);
+        if (index[wi] == -1) {
+          index[wi] = lowlink[wi] = next_index++;
+          stack.push_back(w);
+          on_stack[wi] = true;
+          frames.push_back(Frame{w, 0});
+        } else if (on_stack[wi]) {
+          lowlink[v] = std::min(lowlink[v], index[wi]);
+        }
+        continue;
+      }
+      if (lowlink[v] == index[v]) {
+        std::vector<int> scc;
+        for (;;) {
+          const int w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = false;
+          scc.push_back(w);
+          if (w == f.v) break;
+        }
+        sccs.push_back(std::move(scc));
+      }
+      const int finished = f.v;
+      frames.pop_back();
+      if (!frames.empty()) {
+        const auto parent = static_cast<std::size_t>(frames.back().v);
+        lowlink[parent] =
+            std::min(lowlink[parent],
+                     lowlink[static_cast<std::size_t>(finished)]);
+      }
+    }
+  }
+  return sccs;
+}
+
+}  // namespace
+
+CallGraph build_call_graph(const std::vector<FileAnalysis>& files) {
+  CallGraph graph;
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    for (std::size_t ci = 0; ci < files[fi].cfgs.size(); ++ci) {
+      const FunctionCfg& cfg = files[fi].cfgs[ci];
+      CallGraph::Fn fn;
+      fn.file = fi;
+      fn.cfg = ci;
+      fn.name = cfg.is_lambda ? lambda_bound_name(files[fi].stripped, cfg)
+                              : cfg.name;
+      const int id = static_cast<int>(graph.fns.size());
+      if (!fn.name.empty()) graph.by_name[fn.name].push_back(id);
+      graph.fns.push_back(std::move(fn));
+    }
+  }
+
+  graph.callees.resize(graph.fns.size());
+  for (std::size_t id = 0; id < graph.fns.size(); ++id) {
+    const CallGraph::Fn& fn = graph.fns[id];
+    const FileAnalysis& file = files[fn.file];
+    const FunctionCfg& cfg = file.cfgs[fn.cfg];
+    std::set<int> resolved;
+    for (const CfgNode& node : cfg.nodes) {
+      if (node.hi <= node.lo) continue;
+      const std::string body =
+          masked_node_text(file.stripped, file.cfgs, cfg, node);
+      for (const NodeCall& call : find_calls(body)) {
+        const std::vector<int>* targets = graph.resolve(call.name);
+        if (targets == nullptr) {
+          ++graph.unresolved_calls;
+          continue;
+        }
+        // Self-edges are kept: direct recursion forms a one-node SCC whose
+        // fixpoint the summary pass iterates like any other.
+        resolved.insert(targets->begin(), targets->end());
+      }
+    }
+    graph.callees[id].assign(resolved.begin(), resolved.end());
+    graph.edge_count += resolved.size();
+  }
+
+  graph.sccs = tarjan_sccs(graph.callees);
+  return graph;
+}
+
+}  // namespace paraio::lint

@@ -1,0 +1,81 @@
+// Pass 3 of the linter, part one: a whole-program call graph over the
+// per-file CFGs (cfg.hpp).
+//
+// Calls are discovered by scanning each function's masked node text for
+// `ident(` shapes and resolved purely by name against every function body
+// in the input set, with overload-set conservatism: a name that matches
+// several definitions gets an edge to each of them, and the consumers merge
+// their summaries (union).  Method calls resolve by their unqualified name
+// (the CFG builder records `Foo::bar` definitions as "bar"), and a lambda
+// bound to a name (`auto relay = [&] ... ;`) is registered under that name
+// so `relay()` resolves to the lambda's body.  A call whose name matches no
+// body in the input set — std:: entry points, declared-but-undefined
+// externs — is *unresolved*; the summary pass hands those a havoc summary.
+//
+// The graph is condensed into strongly connected components (iterative
+// Tarjan) emitted bottom-up (callees before callers), which is the order
+// the summary fixpoint wants: each SCC sees final summaries for everything
+// it calls, and mutual recursion is handled by iterating inside the SCC.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "paraio_lint/cfg.hpp"
+
+namespace paraio::lint {
+
+/// Pass-2 artifacts for one file, the unit the whole-program passes
+/// consume: the stripped text plus every function CFG built over it.
+struct FileAnalysis {
+  std::string path;
+  std::string stripped;
+  std::vector<FunctionCfg> cfgs;
+};
+
+/// One syntactic call site within a node's masked text (offsets node-local).
+struct NodeCall {
+  std::string name;        // callee's trailing identifier
+  std::size_t pos = 0;     // offset of the callee identifier
+  bool awaited = false;    // `co_await` earlier in the same sub-statement
+  bool has_receiver = false;  // `expr.name(` / `expr->name(`
+  std::vector<std::string> args;           // trailing ident per argument
+  std::vector<std::size_t> arg_pos;        // offset of that ident ("" -> 0)
+};
+
+/// All call sites in `text` (a masked node or body excerpt), in order.
+std::vector<NodeCall> find_calls(const std::string& text);
+
+struct CallGraph {
+  struct Fn {
+    std::size_t file = 0;  // index into the FileAnalysis vector
+    std::size_t cfg = 0;   // index into files[file].cfgs
+    std::string name;      // unqualified; bound name for named lambdas
+  };
+
+  std::vector<Fn> fns;
+  /// Overload sets: every fn id sharing a name.  Names absent here are
+  /// unresolved externals.
+  std::map<std::string, std::vector<int>> by_name;
+  /// Resolved callee fn ids per caller, deduplicated.
+  std::vector<std::vector<int>> callees;
+  /// SCCs in bottom-up order: every SCC appears after the SCCs it calls
+  /// into (mutual recursion shares one component).
+  std::vector<std::vector<int>> sccs;
+
+  std::size_t edge_count = 0;        // resolved call edges (deduplicated)
+  std::size_t unresolved_calls = 0;  // call sites matching no known body
+
+  /// Overload set for `name`, or nullptr when the name resolves to no
+  /// function body in the input set.
+  const std::vector<int>* resolve(const std::string& name) const {
+    const auto it = by_name.find(name);
+    return it == by_name.end() ? nullptr : &it->second;
+  }
+};
+
+CallGraph build_call_graph(const std::vector<FileAnalysis>& files);
+
+}  // namespace paraio::lint

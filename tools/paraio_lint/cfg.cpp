@@ -682,4 +682,20 @@ std::string masked_node_text(const std::string& stripped,
   return out;
 }
 
+std::string masked_function_text(const std::string& stripped,
+                                 const std::vector<FunctionCfg>& all,
+                                 const FunctionCfg& fn) {
+  std::string out = stripped.substr(fn.body_lo, fn.body_hi - fn.body_lo);
+  for (const FunctionCfg& other : all) {
+    if (&other == &fn) continue;
+    if (!(other.body_lo > fn.body_lo && other.body_hi <= fn.body_hi)) {
+      continue;  // not nested inside this function
+    }
+    for (std::size_t i = other.body_lo; i < other.body_hi; ++i) {
+      if (out[i - fn.body_lo] != '\n') out[i - fn.body_lo] = ' ';
+    }
+  }
+  return out;
+}
+
 }  // namespace paraio::lint

@@ -73,4 +73,11 @@ std::string masked_node_text(const std::string& stripped,
                              const std::vector<FunctionCfg>& all,
                              const FunctionCfg& fn, const CfgNode& node);
 
+/// `fn`'s whole body text `[body_lo, body_hi)` with nested function bodies
+/// blanked the same way, offsets body-local.  For the lexical whole-body
+/// scans (function summaries, loop shapes) that don't go node by node.
+std::string masked_function_text(const std::string& stripped,
+                                 const std::vector<FunctionCfg>& all,
+                                 const FunctionCfg& fn);
+
 }  // namespace paraio::lint

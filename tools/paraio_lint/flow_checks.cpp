@@ -4,7 +4,10 @@
 #include <map>
 #include <string_view>
 
+#include "paraio_lint/callgraph.hpp"
 #include "paraio_lint/dataflow.hpp"
+#include "paraio_lint/summaries.hpp"
+#include "paraio_lint/taint_sources.hpp"
 #include "paraio_lint/text.hpp"
 
 namespace paraio::lint {
@@ -145,6 +148,10 @@ void check_one_suspension_lifetime(const FlowContext& ctx,
   if (!any_suspension) return;
   const auto in = solve(ctx, fn, gk);
 
+  // (node, name) pairs already reported, so the summary-driven call-site
+  // scan below never duplicates a textual finding in the same node.
+  std::set<std::pair<std::size_t, std::string>> reported;
+
   for (std::size_t i = 0; i < fn.nodes.size(); ++i) {
     const CfgNode& node = fn.nodes[i];
     if (in[i].empty() || node.hi <= node.lo) continue;
@@ -165,7 +172,10 @@ void check_one_suspension_lifetime(const FlowContext& ctx,
 
     for (const DangerName& d : danger) {
       const auto uses = find_word(body, d.name);
-      if (!uses.empty()) report(uses.front(), d.why);
+      if (!uses.empty()) {
+        report(uses.front(), d.why);
+        reported.emplace(i, d.name);
+      }
     }
     if (implicit_members) {
       // `this` escapes into the frame: flag explicit `this` and the first
@@ -191,6 +201,42 @@ void check_one_suspension_lifetime(const FlowContext& ctx,
         report(this_uses.front(), "captured 'this'");
       } else if (member_use != npos) {
         report(member_use, "member '" + member + "' (through captured 'this')");
+      }
+    }
+  }
+
+  // Interprocedural leg: a danger name handed to a callee whose summary
+  // says the matching parameter escapes — is read after a suspension point
+  // of the *callee* — dangles even when this function's own CFG shows no
+  // use after a suspension (e.g. `co_await stage(buf)` as the first
+  // statement: the read happens inside the await).
+  if (danger.empty()) return;
+  for (std::size_t i = 0; i < fn.nodes.size(); ++i) {
+    const CfgNode& node = fn.nodes[i];
+    if (node.hi <= node.lo) continue;
+    const std::string body = masked_node_text(ctx.stripped, ctx.cfgs, fn,
+                                              node);
+    for (const NodeCall& call : find_calls(body)) {
+      const FunctionSummary callee = summary_for_call(
+          ctx.index.call_graph, ctx.index.summaries, call.name);
+      if (callee.havoc || callee.escaping_params.empty()) continue;
+      // A coroutine callee only runs (and suspends) when awaited.
+      if (callee.coroutine && !call.awaited) continue;
+      for (const int k : callee.escaping_params) {
+        const auto uk = static_cast<std::size_t>(k);
+        if (uk >= call.args.size()) continue;
+        const std::string& arg = call.args[uk];
+        for (const DangerName& d : danger) {
+          if (d.name != arg) continue;
+          if (!reported.emplace(i, d.name).second) continue;
+          add_at(out, "suspension-lifetime", ctx.line_starts,
+                 node.lo + call.arg_pos[uk],
+                 d.why + " passed to '" + call.name +
+                     "()', which reads it after a suspension point of its "
+                     "own: the coroutine frame can outlive what the name "
+                     "refers to; pass by value or move ownership into the "
+                     "frame");
+        }
       }
     }
   }
@@ -280,6 +326,42 @@ void check_one_lock_across_suspension(const FlowContext& ctx,
         releases[i].push_back(std::move(site));
       }
     }
+    // Summary leg: a callee with a net lock effect extends or shrinks the
+    // held set here — `co_await grab(mu_)` acquires, `drop(mu_)` releases.
+    for (const NodeCall& call : find_calls(bodies[i])) {
+      const FunctionSummary callee = summary_for_call(
+          ctx.index.call_graph, ctx.index.summaries, call.name);
+      if (callee.havoc) continue;
+      if (callee.coroutine && !call.awaited) continue;  // task not run
+      const auto arg_name = [&](int k) -> std::string {
+        const auto uk = static_cast<std::size_t>(k);
+        return uk < call.args.size() ? call.args[uk] : std::string();
+      };
+      std::set<std::string> acq_names(callee.lock_acquire_names);
+      for (const int k : callee.lock_acquire_params) {
+        const std::string n = arg_name(k);
+        if (!n.empty()) acq_names.insert(n);
+      }
+      std::set<std::string> rel_names(callee.lock_release_names);
+      for (const int k : callee.lock_release_params) {
+        const std::string n = arg_name(k);
+        if (!n.empty()) rel_names.insert(n);
+      }
+      for (const std::string& n : acq_names) {
+        LockSite site;
+        site.pos = node.lo + call.pos;
+        site.name = n;
+        site.acquire = true;
+        acqs.push_back(Acq{i, std::move(site)});
+      }
+      for (const std::string& n : rel_names) {
+        LockSite site;
+        site.pos = node.lo + call.pos;
+        site.name = n;
+        site.acquire = false;
+        releases[i].push_back(std::move(site));
+      }
+    }
   }
   if (acqs.empty()) return;
 
@@ -301,6 +383,16 @@ void check_one_lock_across_suspension(const FlowContext& ctx,
   for (std::size_t i = 0; i < fn.nodes.size(); ++i) {
     const CfgNode& node = fn.nodes[i];
     if (!node.suspends || in[i].empty()) continue;
+    // Only a suspension that can actually park blocks other tasks behind
+    // the lock: awaiting a callee whose every overload is a
+    // never-suspending coroutine completes synchronously and is exempt.
+    bool parks = !find_word(bodies[i], "co_yield").empty();
+    for (const std::size_t at : find_word(bodies[i], "co_await")) {
+      if (parks) break;
+      parks = awaited_expr_may_suspend(bodies[i], at, ctx.index.call_graph,
+                                       ctx.index.summaries);
+    }
+    if (!parks) continue;
     const std::size_t susp =
         node.lo + std::min(bodies[i].find("co_await"),
                            bodies[i].find("co_yield"));
@@ -323,52 +415,9 @@ void check_one_lock_across_suspension(const FlowContext& ctx,
 // ---------------------------------------------------------------------------
 // determinism-taint
 
-bool range_has_source(const std::string& body, std::size_t lo,
-                      std::size_t hi) {
-  static constexpr std::string_view kSources[] = {
-      "system_clock",  "steady_clock", "high_resolution_clock",
-      "gettimeofday",  "clock_gettime", "random_device",
-      "drand48",       "lrand48",       "mrand48",
-      "uintptr_t",     "intptr_t",
-  };
-  for (std::string_view w : kSources) {
-    if (has_word_in(body, lo, hi, w)) return true;
-  }
-  // `rand(` / `srand(` as calls.
-  for (std::string_view w : {"rand", "srand"}) {
-    std::size_t pos = lo;
-    while (pos < hi && (pos = body.find(w, pos)) != npos && pos < hi) {
-      const bool left_ok = pos == 0 || !is_ident(body[pos - 1]);
-      const std::size_t after = pos + w.size();
-      if (left_ok && after < hi && skip_spaces(body, after) < hi &&
-          body[skip_spaces(body, after)] == '(' &&
-          (after >= body.size() || !is_ident(body[after]))) {
-        return true;
-      }
-      pos = after;
-    }
-  }
-  return false;
-}
-
-const char* source_label(const std::string& body, std::size_t lo,
-                         std::size_t hi) {
-  static constexpr std::string_view kClock[] = {
-      "system_clock", "steady_clock", "high_resolution_clock",
-      "gettimeofday", "clock_gettime"};
-  for (std::string_view w : kClock) {
-    if (has_word_in(body, lo, hi, w)) return "wall-clock";
-  }
-  for (std::string_view w :
-       {"random_device", "drand48", "lrand48", "mrand48", "rand", "srand"}) {
-    if (has_word_in(body, lo, hi, w)) return "libc randomness";
-  }
-  if (has_word_in(body, lo, hi, "uintptr_t") ||
-      has_word_in(body, lo, hi, "intptr_t")) {
-    return "pointer identity";
-  }
-  return "a nondeterministic source";
-}
+// The nondeterminism-source vocabulary (range_has_taint_source,
+// taint_source_label) lives in taint_sources.hpp, shared with the function
+// summary pass so caller-side checks and callee summaries agree.
 
 /// Sink call names: scheduling and every trace/metrics publication path.
 bool is_sink_name(std::string_view w) {
@@ -391,6 +440,8 @@ struct NodePlan {
   std::string body;
   std::vector<TaintEvent> events;   // sorted by pos
   std::vector<int> loop_taints;     // range-for over unordered container
+  std::vector<NodeCall> calls;      // call sites (for summary taint)
+  std::vector<int> force_taints;    // args matching callee tainted out-params
 };
 
 class TaintAnalysis {
@@ -435,22 +486,39 @@ class TaintAnalysis {
     return id;
   }
 
+  /// A call in [lo, hi) whose summary says the return value is tainted,
+  /// or nullptr.
+  const NodeCall* tainted_call_in(const NodePlan& plan, std::size_t lo,
+                                  std::size_t hi,
+                                  std::string* label) const {
+    for (const NodeCall& call : plan.calls) {
+      if (call.pos < lo || call.pos >= hi) continue;
+      const FunctionSummary callee = summary_for_call(
+          ctx_.index.call_graph, ctx_.index.summaries, call.name);
+      if (callee.havoc || !callee.returns_tainted) continue;
+      if (label) *label = callee.taint_label;
+      return &call;
+    }
+    return nullptr;
+  }
+
   bool rhs_tainted(const NodePlan& plan, const TaintEvent& ev,
                    const FactSet& cur) const {
-    if (range_has_source(plan.body, ev.rhs_lo, ev.rhs_hi)) return true;
+    if (range_has_taint_source(plan.body, ev.rhs_lo, ev.rhs_hi)) return true;
     for (int v : cur) {
       if (has_word_in(plan.body, ev.rhs_lo, ev.rhs_hi,
                       names_[static_cast<std::size_t>(v)])) {
         return true;
       }
     }
-    return false;
+    return tainted_call_in(plan, ev.rhs_lo, ev.rhs_hi, nullptr) != nullptr;
   }
 
   FactSet transfer(std::size_t idx, const FactSet& in_set) {
     const NodePlan& plan = plans_[idx];
     FactSet cur = in_set;
     for (int v : plan.loop_taints) cur.insert(v);
+    for (int v : plan.force_taints) cur.insert(v);
     for (const TaintEvent& ev : plan.events) {
       if (ev.kind != TaintEvent::Kind::kAssign) continue;
       if (rhs_tainted(plan, ev, cur)) {
@@ -467,6 +535,20 @@ class TaintAnalysis {
     NodePlan& plan = plans_[idx];
     if (node.hi <= node.lo) return;
     plan.body = masked_node_text(ctx_.stripped, ctx_.cfgs, fn_, node);
+    plan.calls = find_calls(plan.body);
+    // A callee writing taint through a by-reference out-parameter taints
+    // the matching argument name for the rest of the function.
+    for (const NodeCall& call : plan.calls) {
+      const FunctionSummary callee = summary_for_call(
+          ctx_.index.call_graph, ctx_.index.summaries, call.name);
+      if (callee.havoc || callee.tainted_out_params.empty()) continue;
+      for (const int k : callee.tainted_out_params) {
+        const auto uk = static_cast<std::size_t>(k);
+        if (uk < call.args.size() && !call.args[uk].empty()) {
+          plan.force_taints.push_back(id_of(call.args[uk]));
+        }
+      }
+    }
     collect_loop_taints(node, &plan);
     collect_assigns(&plan);
     collect_sinks(&plan);
@@ -612,6 +694,7 @@ class TaintAnalysis {
     if (plan.events.empty()) return;
     FactSet cur = in_set;
     for (int v : plan.loop_taints) cur.insert(v);
+    for (int v : plan.force_taints) cur.insert(v);
     for (const TaintEvent& ev : plan.events) {
       if (ev.kind == TaintEvent::Kind::kAssign) {
         if (rhs_tainted(plan, ev, cur)) {
@@ -621,7 +704,8 @@ class TaintAnalysis {
         }
         continue;
       }
-      // Sink: flag a tainted variable argument or a direct source use.
+      // Sink: flag a tainted variable argument, a direct source use, or a
+      // call whose summary says the return value is tainted.
       std::string carrier;
       for (int v : cur) {
         if (has_word_in(plan.body, ev.rhs_lo, ev.rhs_hi,
@@ -631,9 +715,14 @@ class TaintAnalysis {
         }
       }
       const bool direct =
-          carrier.empty() && range_has_source(plan.body, ev.rhs_lo, ev.rhs_hi);
-      if (carrier.empty() && !direct) continue;
-      const char* source = source_label(plan.body, ev.rhs_lo, ev.rhs_hi);
+          carrier.empty() &&
+          range_has_taint_source(plan.body, ev.rhs_lo, ev.rhs_hi);
+      std::string callee_label;
+      const NodeCall* tainted_call =
+          carrier.empty() && !direct
+              ? tainted_call_in(plan, ev.rhs_lo, ev.rhs_hi, &callee_label)
+              : nullptr;
+      if (carrier.empty() && !direct && tainted_call == nullptr) continue;
       std::string message;
       if (!carrier.empty()) {
         message = "'" + carrier +
@@ -643,9 +732,19 @@ class TaintAnalysis {
                   "()': the result can differ run to run and break "
                   "trace/schedule reproducibility; derive it from "
                   "sim::Engine::now() or sim::Rng instead";
+      } else if (direct) {
+        message = std::string("argument of '") + ev.sink_name +
+                  "()' comes straight from " +
+                  taint_source_label(plan.body, ev.rhs_lo, ev.rhs_hi) +
+                  ": the result can differ run to run and break "
+                  "trace/schedule reproducibility; derive it from "
+                  "sim::Engine::now() or sim::Rng instead";
       } else {
         message = std::string("argument of '") + ev.sink_name +
-                  "()' comes straight from " + source +
+                  "()' comes from '" + tainted_call->name +
+                  "()', whose result derives from " +
+                  (callee_label.empty() ? "a nondeterministic source"
+                                        : callee_label) +
                   ": the result can differ run to run and break "
                   "trace/schedule reproducibility; derive it from "
                   "sim::Engine::now() or sim::Rng instead";
@@ -661,6 +760,156 @@ class TaintAnalysis {
   std::vector<std::string> names_;
   std::vector<NodePlan> plans_;
 };
+
+// ---------------------------------------------------------------------------
+// blocking-loop-in-coroutine
+
+/// Condition text of an unbounded-shaped loop: `true`/`1`, or a bare flag
+/// (`running`, `!stop`) whose name is returned in `*flag` so the caller can
+/// check whether the body ever touches it.
+bool unbounded_condition(const std::string& cond, std::string* flag) {
+  std::string c = trim(cond);
+  if (c == "true" || c == "1") return true;
+  if (!c.empty() && c[0] == '!') c = trim(c.substr(1));
+  if (c.empty()) return false;
+  if (!is_ident_start(c[0])) return false;
+  if (!std::all_of(c.begin(), c.end(), [](char ch) { return is_ident(ch); })) {
+    return false;
+  }
+  *flag = c;
+  return true;
+}
+
+void check_one_blocking_loop(const FlowContext& ctx, const FunctionCfg& fn,
+                             std::vector<Finding>* out) {
+  if (!fn.is_coroutine || fn.body_hi <= fn.body_lo) return;
+  const std::string body = masked_function_text(ctx.stripped, ctx.cfgs, fn);
+
+  struct Loop {
+    std::size_t kw = 0;       // loop keyword position (body-local)
+    std::size_t lo = 0;       // body region
+    std::size_t hi = 0;
+    std::string flag;         // bare-flag condition, "" otherwise
+  };
+  std::vector<Loop> loops;
+
+  for (const std::size_t kw : find_word(body, "while")) {
+    const std::size_t open = skip_spaces(body, kw + 5);
+    if (open >= body.size() || body[open] != '(') continue;
+    const std::size_t past = skip_balanced(body, open, '(', ')');
+    if (past == npos) continue;
+    Loop loop;
+    loop.kw = kw;
+    if (!unbounded_condition(body.substr(open + 1, past - open - 2),
+                             &loop.flag)) {
+      continue;
+    }
+    const std::size_t prev = prev_nonspace(body, kw);
+    if (prev != npos && body[prev] == '}') {
+      // `do { ... } while (cond);` — the body precedes the keyword.
+      const std::size_t blo = rskip_balanced(body, prev, '{', '}');
+      if (blo == npos) continue;
+      loop.lo = blo + 1;
+      loop.hi = prev;
+    } else {
+      const std::size_t blo = skip_spaces(body, past);
+      if (blo >= body.size()) continue;
+      if (body[blo] == '{') {
+        const std::size_t bhi = skip_balanced(body, blo, '{', '}');
+        if (bhi == npos) continue;
+        loop.lo = blo + 1;
+        loop.hi = bhi - 1;
+      } else {
+        const std::size_t bhi = body.find(';', blo);
+        if (bhi == npos) continue;
+        loop.lo = blo;
+        loop.hi = bhi;
+      }
+    }
+    loops.push_back(std::move(loop));
+  }
+
+  for (const std::size_t kw : find_word(body, "for")) {
+    const std::size_t open = skip_spaces(body, kw + 3);
+    if (open >= body.size() || body[open] != '(') continue;
+    const std::size_t past = skip_balanced(body, open, '(', ')');
+    if (past == npos) continue;
+    // `for (init; cond; step)` with an empty condition never terminates on
+    // its own; a range-for or a conditioned for is bounded (or at least
+    // data-dependent) and skipped.
+    int depth = 0;
+    std::vector<std::size_t> semis;
+    for (std::size_t i = open; i < past - 1; ++i) {
+      const char c = body[i];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') --depth;
+      if (c == ';' && depth == 1) semis.push_back(i);
+    }
+    if (semis.size() != 2) continue;
+    if (!trim(body.substr(semis[0] + 1, semis[1] - semis[0] - 1)).empty()) {
+      continue;
+    }
+    Loop loop;
+    loop.kw = kw;
+    const std::size_t blo = skip_spaces(body, past);
+    if (blo >= body.size()) continue;
+    if (body[blo] == '{') {
+      const std::size_t bhi = skip_balanced(body, blo, '{', '}');
+      if (bhi == npos) continue;
+      loop.lo = blo + 1;
+      loop.hi = bhi - 1;
+    } else {
+      const std::size_t bhi = body.find(';', blo);
+      if (bhi == npos) continue;
+      loop.lo = blo;
+      loop.hi = bhi;
+    }
+    loops.push_back(std::move(loop));
+  }
+
+  for (const Loop& loop : loops) {
+    // An explicit exit makes the loop bounded-ish; a bare-flag condition
+    // whose flag the body touches can flip; both are skipped — this check
+    // is for loops that provably never leave on their own.
+    bool escapes = false;
+    for (const std::string_view w :
+         {"break", "return", "co_return", "goto", "throw"}) {
+      if (has_word_in(body, loop.lo, loop.hi, w)) {
+        escapes = true;
+        break;
+      }
+    }
+    if (escapes) continue;
+    if (!loop.flag.empty() && has_word_in(body, loop.lo, loop.hi, loop.flag)) {
+      continue;
+    }
+    if (has_word_in(body, loop.lo, loop.hi, "co_yield")) continue;
+    bool any_await = false;
+    bool parks = false;
+    for (const std::size_t at : find_word(body, "co_await")) {
+      if (at < loop.lo || at >= loop.hi) continue;
+      any_await = true;
+      if (awaited_expr_may_suspend(body, at, ctx.index.call_graph,
+                                   ctx.index.summaries)) {
+        parks = true;
+        break;
+      }
+    }
+    if (parks) continue;
+    const std::string reason =
+        any_await
+            ? "every co_await in this loop awaits a never-suspending "
+              "coroutine and completes synchronously"
+            : "no suspension point on any path through this loop";
+    add_at(out, "blocking-loop-in-coroutine", ctx.line_starts,
+           fn.body_lo + loop.kw,
+           reason +
+               ": the cooperative event loop never regains control while "
+               "this coroutine spins, starving every other task and "
+               "freezing simulated time; co_await a timer, channel, or "
+               "I/O op inside the loop");
+  }
+}
 
 }  // namespace
 
@@ -684,6 +933,12 @@ void check_determinism_taint(const FlowContext& ctx,
     if (fn.nodes.size() <= 2) continue;
     TaintAnalysis analysis(ctx, fn);
     analysis.run(out);
+  }
+}
+
+void check_blocking_loop(const FlowContext& ctx, std::vector<Finding>* out) {
+  for (const FunctionCfg& fn : ctx.cfgs) {
+    check_one_blocking_loop(ctx, fn, out);
   }
 }
 

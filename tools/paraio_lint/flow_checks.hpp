@@ -1,19 +1,33 @@
-// Pass 3's flow-sensitive checks, built on the statement-level CFG
-// (cfg.hpp) and the forward dataflow solver (dataflow.hpp):
+// Pass 4's flow-sensitive checks, built on the statement-level CFG
+// (cfg.hpp), the forward dataflow solver (dataflow.hpp), and — at call
+// sites — the interprocedural function summaries (summaries.hpp):
 //
 //   * suspension-lifetime      — a reference/pointer parameter of a
 //     detached coroutine, or a by-reference capture (or `this` via a
 //     default capture) of a coroutine lambda, read on a path after a
 //     suspension point: the frame may outlive what the name refers to.
+//     Summary-aware: a danger name handed to a callee whose summary says
+//     the matching parameter escapes (is read after the callee's own
+//     suspension) is flagged at the call site.
 //   * lock-across-suspension   — a sim::Mutex held region that contains a
 //     further co_await: while this task is parked, any task that needs the
 //     lock deadlocks behind it.  Static counterpart of the runtime
 //     DeadlockDetector.  (Semaphore tokens are exempt: holding one across
 //     a delay is how the hw layer models device service time.)
+//     Summary-aware: a callee net-acquiring a lock (`co_await grab(mu_)`)
+//     extends the held set, a net-releasing one (`drop(mu_)`) shrinks it,
+//     and a suspension only fires the check when its awaited expression
+//     can actually park.
 //   * determinism-taint        — a value derived from wall-clock, libc
 //     randomness, pointer identity, or unordered-container iteration order
 //     propagated through assignments into a trace/schedule/metrics sink.
 //     Static counterpart of golden traces and perturbation testing.
+//     Summary-aware: a call whose summary returns taint seeds the rhs, and
+//     callee-tainted out-parameters taint the matching argument names.
+//   * blocking-loop-in-coroutine — an unbounded-shaped loop in a coroutine
+//     with no parking suspension on any path: the cooperative event loop
+//     starves.  A co_await only counts if its awaited expression can
+//     actually park (summaries again).
 #pragma once
 
 #include <cstddef>
@@ -43,5 +57,6 @@ void check_lock_across_suspension(const FlowContext& ctx,
                                   std::vector<Finding>* out);
 void check_determinism_taint(const FlowContext& ctx,
                              std::vector<Finding>* out);
+void check_blocking_loop(const FlowContext& ctx, std::vector<Finding>* out);
 
 }  // namespace paraio::lint

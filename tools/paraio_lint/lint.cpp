@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <array>
 #include <cctype>
+#include <chrono>
+#include <map>
+#include <ostream>
+#include <tuple>
 
 #include "paraio_lint/cfg.hpp"
 #include "paraio_lint/flow_checks.hpp"
@@ -148,6 +152,31 @@ constexpr CheckInfo kChecks[] = {
      "sink call (schedule/record/observe/emit/trace/...) whose argument is "
      "tainted makes the trace differ run to run even though the source "
      "and sink look innocent in isolation."},
+    {"blocking-loop-in-coroutine", Severity::kError,
+     "loop in a coroutine with no suspending call on any path: the event "
+     "loop starves while this task spins",
+     "Summary-powered (call graph + may-suspend).  The engine is "
+     "cooperative: a coroutine that loops without reaching a suspension "
+     "point never yields the thread, so no other event runs and simulated "
+     "time stops — a livelock that looks like a hang.  A `co_await` inside "
+     "the loop only counts if it can actually park: awaiting a callee "
+     "whose every overload is a non-suspending coroutine (it only "
+     "co_returns) completes synchronously and does not yield.  Only "
+     "unbounded-shaped loops (while (true), for (;;), bare-flag "
+     "conditions) are flagged; bounded compute loops are fine."},
+    {"cross-lp-shared-state", Severity::kWarning,
+     "unmediated write to namespace-scope state reachable from more than "
+     "one logical-process entry point",
+     "Summary-powered (call graph + entry reachability) — the "
+     "parallel-DES-readiness audit.  Conservative parallel DES partitions "
+     "the simulation into logical processes (per-ION, per-compute-node) "
+     "that may only interact through timestamped events.  A namespace-"
+     "scope mutable variable written without event-queue mediation "
+     "(schedule/send) and reachable from two or more detached-coroutine "
+     "entry points is exactly the shared state that makes such a "
+     "partition unsound.  The full ranked audit is written by "
+     "`--lp-report=`; route the state through a channel or own it in one "
+     "LP."},
 };
 
 // Token helpers (is_ident, line_of, skip_balanced, find_word, ...) live in
@@ -1414,7 +1443,16 @@ std::string strip_comments_and_strings(const std::string& source) {
   return out;
 }
 
-ProjectIndex index_project(const std::vector<SourceFile>& files) {
+ProjectIndex index_project(const std::vector<SourceFile>& files,
+                           AnalysisStats* stats) {
+  // Host-side timing of the analyzer itself, never of simulated events.
+  using Clock = std::chrono::steady_clock;  // paraio-lint: allow(wall-clock)
+  const auto elapsed_ms = [](Clock::time_point from) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - from)
+        .count();
+  };
+  const auto t_index = Clock::now();
+
   ProjectIndex index;
   std::vector<std::string> stripped_files;
   stripped_files.reserve(files.size());
@@ -1474,6 +1512,52 @@ ProjectIndex index_project(const std::vector<SourceFile>& files) {
   index.unbounded_channels = std::move(channels.unbounded);
 
   detect_lock_cycles(&index);
+  if (stats) stats->index_ms = elapsed_ms(t_index);
+
+  // Pass 2 (whole-program leg): CFGs for every file, the unit the call
+  // graph and summaries consume.  lint_file rebuilds its own per-file CFGs
+  // later; this transient vector is not stored on the index.
+  const auto t_cfg = Clock::now();
+  std::vector<FileAnalysis> analyses;
+  analyses.reserve(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    FileAnalysis fa;
+    fa.path = files[i].path;
+    fa.stripped = std::move(stripped_files[i]);
+    fa.cfgs = build_cfgs(fa.stripped);
+    analyses.push_back(std::move(fa));
+  }
+  if (stats) stats->cfg_ms = elapsed_ms(t_cfg);
+
+  // Pass 3: call graph, bottom-up function summaries, cross-LP audit.
+  const auto t_summary = Clock::now();
+  index.call_graph = build_call_graph(analyses);
+  SummaryStats summary_stats;
+  index.summaries =
+      compute_summaries(index.call_graph, analyses, &summary_stats);
+
+  const LpAudit audit =
+      cross_lp_audit(index.call_graph, analyses, index.detached_fns);
+  index.lp_report = audit.report;
+  const CheckInfo* lp_info = find_check("cross-lp-shared-state");
+  for (const LpWrite& w : audit.findings) {
+    Finding f;
+    f.file = w.file;
+    f.line = w.line;
+    f.col = w.col;
+    f.check = lp_info->id;
+    f.severity = lp_info->severity;
+    f.message = w.message;
+    index.global_findings.push_back(std::move(f));
+  }
+  if (stats) {
+    stats->summary_ms = elapsed_ms(t_summary);
+    stats->call_graph_fns = index.call_graph.fns.size();
+    stats->call_graph_edges = index.call_graph.edge_count;
+    stats->unresolved_calls = index.call_graph.unresolved_calls;
+    stats->scc_count = summary_stats.sccs;
+    stats->max_fixpoint_iterations = summary_stats.max_fixpoint_iterations;
+  }
   return index;
 }
 
@@ -1546,6 +1630,7 @@ std::vector<Finding> lint_file(const SourceFile& file,
   check_suspension_lifetime(flow, &findings);
   check_lock_across_suspension(flow, &findings);
   check_determinism_taint(flow, &findings);
+  check_blocking_loop(flow, &findings);
 
   for (const Finding& f : index.global_findings) {
     if (f.file == file.path) findings.push_back(f);
@@ -1568,6 +1653,77 @@ std::vector<Finding> lint_file(const SourceFile& file,
               return std::string_view(a.check) < std::string_view(b.check);
             });
   return findings;
+}
+
+void dedupe_findings(std::vector<Finding>* findings) {
+  // (check, file, line, col) -> index of the kept finding.  An active
+  // finding wins over a suppressed/baselined duplicate so deduplication can
+  // never hide a real finding behind a suppressed copy of itself.  The key
+  // owns its strings: moving the Finding into `out` empties f.file, so a
+  // view into it would corrupt the map.
+  std::map<std::tuple<std::string, std::string, std::size_t, std::size_t>,
+           std::size_t>
+      kept;
+  std::vector<Finding> out;
+  out.reserve(findings->size());
+  for (Finding& f : *findings) {
+    auto key = std::make_tuple(std::string(f.check), f.file, f.line, f.col);
+    const auto it = kept.find(key);
+    if (it == kept.end()) {
+      kept.emplace(key, out.size());
+      out.push_back(std::move(f));
+      continue;
+    }
+    Finding& winner = out[it->second];
+    if ((winner.suppressed || winner.baselined) && !f.suppressed &&
+        !f.baselined) {
+      winner = std::move(f);
+    }
+  }
+  *findings = std::move(out);
+}
+
+int check_docs_text(const std::string& doc, const std::string& doc_name,
+                    std::ostream& err) {
+  int drift = kExitClean;
+  for (const auto& c : checks()) {
+    // Built by append rather than operator+ chains: GCC 12's -Wrestrict
+    // false-positives on `const char* + std::string&&` under -O2.
+    std::string needle = "`";
+    needle += c.id;
+    needle += '`';
+    if (doc.find(needle) == std::string::npos) {
+      err << "paraio_lint: doc drift: check '" << c.id
+          << "' is not documented in " << doc_name << "\n";
+      drift = kExitFindings;
+    }
+  }
+  // Table rows whose FIRST cell is a backticked id: a line starting
+  // `| `some-id` ...`.  Later cells legitimately backtick non-check tokens
+  // (`system_clock`, `std::map`, ...), so only the line-initial cell is
+  // held to the catalog.
+  std::size_t pos = 0;
+  while ((pos = doc.find("| `", pos)) != std::string::npos) {
+    const bool at_line_start = pos == 0 || doc[pos - 1] == '\n';
+    const std::size_t begin = pos + 3;
+    const std::size_t end = doc.find('`', begin);
+    pos = begin;
+    if (end == std::string::npos) break;
+    if (!at_line_start) continue;
+    const std::string id = doc.substr(begin, end - begin);
+    const bool id_like =
+        !id.empty() && id.find(' ') == std::string::npos && id.size() < 40;
+    if (id_like && find_check(id) == nullptr) {
+      err << "paraio_lint: doc drift: " << doc_name
+          << " documents unknown check '" << id << "'\n";
+      drift = kExitFindings;
+    }
+  }
+  if (drift == kExitClean) {
+    err << "paraio_lint: " << doc_name << " is in sync with the catalog ("
+        << checks().size() << " checks)\n";
+  }
+  return drift;
 }
 
 }  // namespace paraio::lint

@@ -16,33 +16,50 @@
 //   * layering violations — a lower simulator layer including a higher one,
 //     or apps reaching past the hw::Machine facade into device internals.
 //
-// The linter runs in three passes.  Pass 1 (index_project) builds a
+// The linter runs in four passes.  Pass 1 (index_project) builds a
 // whole-program symbol table: container variables declared unordered
 // anywhere (including through `using`/`typedef` aliases), every function
 // returning sim::Task<...> in any translation unit, channel declarations
 // with their boundedness, the cross-file lock-acquisition graph, and the
 // names of coroutines handed to detached spawns.  Pass 2 builds a
 // per-function statement-level control-flow graph (cfg.hpp) and runs
-// forward dataflow over it (dataflow.hpp).  Pass 3 (lint_file) applies the
-// per-file checks — token-level and flow-sensitive — against that global
-// knowledge, so a Task<> coroutine declared in one file and discarded in
-// another is still caught, and a reference read after a co_await is only
-// flagged when a suspension actually dominates it.
+// forward dataflow over it (dataflow.hpp).  Pass 3 builds a whole-program
+// call graph over those CFGs (callgraph.hpp) and computes bottom-up
+// function summaries over its SCC condensation (summaries.hpp) — may-
+// suspend, net lock effect, taint transfer, parameter escape — plus the
+// cross-LP shared-state audit.  Pass 4 (lint_file) applies the per-file
+// checks — token-level and flow-sensitive, now summary-aware at call
+// sites — against that global knowledge, so a Task<> coroutine declared
+// in one file and discarded in another is still caught, a reference read
+// after a co_await is only flagged when a suspension actually dominates
+// it, and a lock handed to a suspending callee is still seen.
 //
 // Findings print in compiler format (`file:line:col: error: [id] message`)
 // and can be suppressed per line with `// paraio-lint: allow(<id>[,<id>...])`.
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <map>
 #include <set>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "paraio_lint/callgraph.hpp"
+#include "paraio_lint/summaries.hpp"
+
 namespace paraio::lint {
 
 enum class Severity { kWarning, kError };
+
+/// Process exit codes, stable across releases (documented in LINTING.md):
+/// clean (0), findings/doc-drift (1), usage or internal error (2).
+enum ExitCode : int {
+  kExitClean = 0,
+  kExitFindings = 1,
+  kExitInternalError = 2,
+};
 
 /// One registered check.  Ids are stable and documented in docs/LINTING.md
 /// (the `--check-docs` gate keeps the two in sync).
@@ -122,6 +139,14 @@ struct ProjectIndex {
   /// suspension-lifetime check treats their reference/pointer parameters
   /// as dangling once a suspension point has passed.
   std::set<std::string> detached_fns;
+
+  /// Pass 3 artifacts: the whole-program call graph, one FunctionSummary
+  /// per call-graph function (indexed like `call_graph.fns`), and the
+  /// cross-LP shared-state audit report (findings are folded into
+  /// `global_findings`; the ranked text lives here for `--lp-report`).
+  CallGraph call_graph;
+  std::vector<FunctionSummary> summaries;
+  std::string lp_report;
 };
 
 struct Options {
@@ -138,16 +163,44 @@ struct LintRunStats {
   std::size_t dataflow_bailouts = 0; // solves stopped by the iteration cap
 };
 
-/// Pass 1: build the cross-file index.
-ProjectIndex index_project(const std::vector<SourceFile>& files);
+/// Whole-program analysis statistics for `--stats`: per-pass wall time and
+/// the call-graph/summary shape.
+struct AnalysisStats {
+  double index_ms = 0.0;    // pass 1: symbol index
+  double cfg_ms = 0.0;      // pass 2: CFG construction (all files)
+  double summary_ms = 0.0;  // pass 3: call graph + summaries + LP audit
+  std::size_t call_graph_fns = 0;
+  std::size_t call_graph_edges = 0;
+  std::size_t unresolved_calls = 0;
+  std::size_t scc_count = 0;
+  std::size_t max_fixpoint_iterations = 0;
+};
 
-/// Passes 2+3: lint one file (CFG construction, dataflow, checks).
+/// Passes 1–3: build the cross-file index, the per-file CFGs, the call
+/// graph, the function summaries, and the cross-LP audit.
+ProjectIndex index_project(const std::vector<SourceFile>& files,
+                           AnalysisStats* stats = nullptr);
+
+/// Pass 4: lint one file (CFG construction, dataflow, checks).
 /// Returns every finding, including suppressed ones (callers count them
 /// separately).  `stats`, when given, accumulates across calls.
 std::vector<Finding> lint_file(const SourceFile& file,
                                const ProjectIndex& index,
                                const Options& options,
                                LintRunStats* stats = nullptr);
+
+/// Collapses findings that share (check, file, line, col) — a header
+/// linted through several translation units reports once.  Keeps the
+/// first of each group (input order otherwise preserved); a suppressed or
+/// baselined duplicate never shadows an active finding.
+void dedupe_findings(std::vector<Finding>* findings);
+
+/// The `--check-docs` two-way gate against an already-loaded document:
+/// every catalog id must appear in `doc` as `` `id` `` and every
+/// backticked token that looks like a check id must be in the catalog.
+/// Returns kExitClean or kExitFindings; drift details go to `err`.
+int check_docs_text(const std::string& doc, const std::string& doc_name,
+                    std::ostream& err);
 
 /// Replaces comments, string literals, and char literals with spaces while
 /// preserving line structure.  Exposed for tests.

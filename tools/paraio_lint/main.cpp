@@ -1,8 +1,9 @@
 // paraio_lint command-line driver.
 //
 //   paraio_lint [--werror] [--disable=id[,id...]] [--exclude=sub[,sub...]]
-//               [--sarif=path] [--baseline=path] [--check-docs=path]
-//               [--list-checks] [--explain <id>] paths...
+//               [--sarif=path] [--baseline=path] [--lp-report=path]
+//               [--stats] [--check-docs=path] [--list-checks]
+//               [--explain <id>] paths...
 //
 // Paths may be files or directories (searched recursively for
 // .hpp/.h/.cpp/.cc); `--exclude=` drops any collected path containing one
@@ -11,10 +12,13 @@
 // --sarif= the run is also written as a SARIF 2.1.0 log (self-validated
 // before writing).  `--baseline=` accepts a previous SARIF log: findings
 // matching it on (rule, file) are demoted to externally-suppressed, and
-// baseline entries matching nothing fail the run as stale.  The exit code
-// is 1 when any unsuppressed error (or, with --werror, warning) was found
-// or the baseline has stale entries, 2 on usage/IO/internal errors, 0
-// otherwise.
+// baseline entries matching nothing fail the run as stale.  `--lp-report=`
+// writes the ranked cross-LP shared-state audit; `--stats` prints per-pass
+// wall time and the call-graph/summary shape to stderr.
+//
+// Exit codes are stable (ExitCode in lint.hpp): 0 clean, 1 findings /
+// stale baseline / doc drift, 2 usage, IO, or internal errors.
+// `--explain` and `--check-docs` follow the same contract.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -30,6 +34,9 @@
 
 namespace fs = std::filesystem;
 using paraio::lint::Finding;
+using paraio::lint::kExitClean;
+using paraio::lint::kExitFindings;
+using paraio::lint::kExitInternalError;
 using paraio::lint::Severity;
 
 namespace {
@@ -42,9 +49,9 @@ bool lintable(const fs::path& p) {
 int usage() {
   std::cerr << "usage: paraio_lint [--werror] [--disable=id[,id...]] "
                "[--exclude=sub[,sub...]] [--sarif=path] [--baseline=path] "
-               "[--check-docs=path] [--list-checks] [--explain <id>] "
-               "<file-or-dir>...\n";
-  return 2;
+               "[--lp-report=path] [--stats] [--check-docs=path] "
+               "[--list-checks] [--explain <id>] <file-or-dir>...\n";
+  return kExitInternalError;
 }
 
 void split_commas(const std::string& list, std::vector<std::string>* out) {
@@ -60,85 +67,54 @@ int explain(const std::string& id) {
   if (c == nullptr) {
     std::cerr << "paraio_lint: unknown check '" << id
               << "' (see --list-checks)\n";
-    return 2;
+    return kExitInternalError;
   }
   std::cout << c->id << " ("
             << (c->severity == Severity::kError ? "error" : "warning")
             << ")\n  " << c->summary << "\n\n  " << c->detail << "\n";
-  return 0;
+  return kExitClean;
 }
 
-/// Verifies docs/LINTING.md against the catalog: every check id must appear
-/// as a backticked `id` somewhere in the doc, and every backticked id in a
-/// catalog-table row (`| `id` | ...`) must name a known check.  Keeps the
-/// doc and the code from drifting apart without hand-maintained lists.
+/// Thin IO wrapper over check_docs_text (lint.cpp), which holds the
+/// two-way catalog <-> doc drift logic so tests can drive it directly.
 int check_docs(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::cerr << "paraio_lint: cannot read " << path << "\n";
-    return 2;
+    return kExitInternalError;
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  const std::string doc = buf.str();
-
-  int drift = 0;
-  for (const auto& c : paraio::lint::checks()) {
-    const std::string needle = "`" + std::string(c.id) + "`";
-    if (doc.find(needle) == std::string::npos) {
-      std::cerr << "paraio_lint: doc drift: check '" << c.id
-                << "' is not documented in " << path << "\n";
-      drift = 1;
-    }
-  }
-  // Table rows whose FIRST cell is a backticked id: a line starting
-  // `| `some-id` ...`.  Later cells legitimately backtick non-check tokens
-  // (`system_clock`, `std::map`, ...), so only the line-initial cell is
-  // held to the catalog.
-  std::size_t pos = 0;
-  while ((pos = doc.find("| `", pos)) != std::string::npos) {
-    const bool at_line_start = pos == 0 || doc[pos - 1] == '\n';
-    const std::size_t begin = pos + 3;
-    const std::size_t end = doc.find('`', begin);
-    pos = begin;
-    if (end == std::string::npos) break;
-    if (!at_line_start) continue;
-    const std::string id = doc.substr(begin, end - begin);
-    const bool id_like =
-        !id.empty() && id.find(' ') == std::string::npos && id.size() < 40;
-    if (id_like && paraio::lint::find_check(id) == nullptr) {
-      std::cerr << "paraio_lint: doc drift: " << path
-                << " documents unknown check '" << id << "'\n";
-      drift = 1;
-    }
-  }
-  if (drift == 0) {
-    std::cerr << "paraio_lint: " << path << " is in sync with the catalog ("
-              << paraio::lint::checks().size() << " checks)\n";
-  }
-  return drift;
+  return paraio::lint::check_docs_text(buf.str(), path, std::cerr);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool werror = false;
+  bool print_stats = false;
   paraio::lint::Options options;
   std::vector<std::string> roots;
   std::vector<std::string> excludes;
   std::string sarif_path;
   std::string baseline_path;
+  std::string lp_report_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--werror") {
       werror = true;
+    } else if (arg == "--stats") {
+      print_stats = true;
     } else if (arg.rfind("--sarif=", 0) == 0) {
       sarif_path = arg.substr(8);
       if (sarif_path.empty()) return usage();
     } else if (arg.rfind("--baseline=", 0) == 0) {
       baseline_path = arg.substr(11);
       if (baseline_path.empty()) return usage();
+    } else if (arg.rfind("--lp-report=", 0) == 0) {
+      lp_report_path = arg.substr(12);
+      if (lp_report_path.empty()) return usage();
     } else if (arg.rfind("--check-docs=", 0) == 0) {
       return check_docs(arg.substr(13));
     } else if (arg == "--list-checks") {
@@ -218,7 +194,8 @@ int main(int argc, char** argv) {
     baseline = paraio::lint::parse_baseline(buf.str());
   }
 
-  const auto index = paraio::lint::index_project(files);
+  paraio::lint::AnalysisStats analysis_stats;
+  const auto index = paraio::lint::index_project(files, &analysis_stats);
   paraio::lint::LintRunStats stats;
   std::vector<Finding> all;
   for (const auto& file : files) {
@@ -227,6 +204,9 @@ int main(int argc, char** argv) {
       all.push_back(std::move(f));
     }
   }
+  // A header linted through several translation units reports each site
+  // once: dedupe before the baseline is matched or anything is emitted.
+  paraio::lint::dedupe_findings(&all);
 
   std::vector<paraio::lint::BaselineEntry> stale;
   if (!baseline_path.empty()) {
@@ -262,11 +242,31 @@ int main(int argc, char** argv) {
             << " dataflow solve(s), " << errors << " error(s), " << warnings
             << " warning(s), " << suppressed << " suppressed, " << baselined
             << " baselined\n";
+  if (print_stats) {
+    std::cerr << "paraio_lint: pass timings: index "
+              << analysis_stats.index_ms << " ms, cfg "
+              << analysis_stats.cfg_ms << " ms, summaries "
+              << analysis_stats.summary_ms << " ms\n"
+              << "paraio_lint: call graph: " << analysis_stats.call_graph_fns
+              << " function(s), " << analysis_stats.call_graph_edges
+              << " edge(s), " << analysis_stats.unresolved_calls
+              << " unresolved call(s), " << analysis_stats.scc_count
+              << " SCC(s), max fixpoint iterations "
+              << analysis_stats.max_fixpoint_iterations << "\n";
+  }
   if (stats.dataflow_bailouts > 0) {
     std::cerr << "paraio_lint: internal error: " << stats.dataflow_bailouts
               << " dataflow solve(s) hit the iteration cap before fixpoint "
                  "(non-monotone transfer?)\n";
-    return 2;
+    return kExitInternalError;
+  }
+  if (!lp_report_path.empty()) {
+    std::ofstream out(lp_report_path, std::ios::binary);
+    out << index.lp_report;
+    if (!out) {
+      std::cerr << "paraio_lint: cannot write " << lp_report_path << "\n";
+      return kExitInternalError;
+    }
   }
   if (!sarif_path.empty()) {
     const std::string sarif = paraio::lint::to_sarif(all);
@@ -275,15 +275,17 @@ int main(int argc, char** argv) {
       std::cerr << "paraio_lint: internal error: SARIF output is not valid "
                    "JSON: "
                 << why << "\n";
-      return 2;
+      return kExitInternalError;
     }
     std::ofstream out(sarif_path, std::ios::binary);
     out << sarif << "\n";
     if (!out) {
       std::cerr << "paraio_lint: cannot write " << sarif_path << "\n";
-      return 2;
+      return kExitInternalError;
     }
   }
-  if (errors > 0 || (werror && warnings > 0) || !stale.empty()) return 1;
-  return 0;
+  if (errors > 0 || (werror && warnings > 0) || !stale.empty()) {
+    return kExitFindings;
+  }
+  return kExitClean;
 }

@@ -1,0 +1,792 @@
+#include "paraio_lint/summaries.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "paraio_lint/dataflow.hpp"
+#include "paraio_lint/taint_sources.hpp"
+#include "paraio_lint/text.hpp"
+
+namespace paraio::lint {
+
+namespace {
+
+using namespace paraio::lint::text;
+
+constexpr std::size_t npos = std::string::npos;
+
+// The summary fixpoint is monotone in every field except the net-lock
+// subtraction, so a cap is belt-and-braces; hitting it just freezes the
+// current (conservative-ish) values rather than failing the run.
+constexpr std::size_t kSccIterationCap = 16;
+
+/// `fn`'s body text, body-local offsets, nested function bodies blanked.
+std::string masked_body(const FileAnalysis& file, const FunctionCfg& fn) {
+  return masked_function_text(file.stripped, file.cfgs, fn);
+}
+
+struct LockSite {
+  std::string name;      // receiver identifier (`mu_` in `mu_.lock()`)
+  bool awaited = false;  // `co_await` earlier in the same sub-statement
+};
+
+/// Direct `recv.lock()` / `recv->lock()` / `recv.unlock()` sites in `body`.
+void collect_lock_sites(const std::string& body, std::vector<LockSite>* acq,
+                        std::vector<std::string>* rel) {
+  for (std::string_view word : {"lock", "unlock"}) {
+    for (const std::size_t pos : find_word(body, word)) {
+      const std::size_t after = skip_spaces(body, pos + word.size());
+      if (after >= body.size() || body[after] != '(') continue;
+      if (pos == 0) continue;
+      std::size_t recv_end = npos;
+      if (body[pos - 1] == '.') {
+        recv_end = pos - 1;
+      } else if (pos >= 2 && body[pos - 2] == '-' && body[pos - 1] == '>') {
+        recv_end = pos - 2;
+      }
+      if (recv_end == npos || recv_end == 0) continue;
+      const std::size_t ident_last = prev_nonspace(body, recv_end);
+      if (ident_last == npos || !is_ident(body[ident_last])) continue;
+      const std::string name = read_ident_backward(body, ident_last);
+      if (name.empty() || name == "this") continue;
+      if (word == "unlock") {
+        rel->push_back(name);
+        continue;
+      }
+      LockSite site;
+      site.name = name;
+      const std::size_t stmt = body.find_last_of(";{}", pos);
+      const std::size_t from = stmt == npos ? 0 : stmt + 1;
+      site.awaited = body.substr(from, pos - from).find("co_await") != npos;
+      acq->push_back(site);
+    }
+  }
+}
+
+struct Assign {
+  std::string lhs;   // trailing identifier of the assigned expression
+  std::string base;  // leading identifier (`cfg` in `cfg.budget = ...`)
+  bool compound = false;  // += and friends: never kills
+  std::size_t rhs_lo = 0;
+  std::size_t rhs_hi = 0;
+};
+
+/// Leading identifier of an lvalue expression, skipping `*`, `(`, `&`.
+std::string leading_ident(const std::string& expr) {
+  std::size_t p = 0;
+  while (p < expr.size() &&
+         (expr[p] == ' ' || expr[p] == '\t' || expr[p] == '\n' ||
+          expr[p] == '*' || expr[p] == '(' || expr[p] == '&')) {
+    ++p;
+  }
+  if (p >= expr.size() || !is_ident_start(expr[p])) return "";
+  return read_ident(expr, p);
+}
+
+/// Assignments in `body`, one fragment per ';'-delimited piece (for-headers
+/// split into their clauses, which is harmless: each clause is scanned on
+/// its own).
+std::vector<Assign> collect_assigns(const std::string& body) {
+  std::vector<Assign> assigns;
+  std::size_t frag_lo = 0;
+  for (std::size_t i = 0; i <= body.size(); ++i) {
+    if (i < body.size() && body[i] != ';') continue;
+    const std::size_t frag_hi = i;
+    // First '=' at paren/bracket depth 0 that is not a comparison.
+    int depth = 0;
+    std::size_t eq = npos;
+    for (std::size_t j = frag_lo; j < frag_hi; ++j) {
+      const char c = body[j];
+      if (c == '(' || c == '[') ++depth;
+      if (c == ')' || c == ']') --depth;
+      if (c != '=' || depth != 0) continue;
+      if (j + 1 < frag_hi && body[j + 1] == '=') {
+        ++j;
+        continue;
+      }
+      if (j > frag_lo && (body[j - 1] == '=' || body[j - 1] == '!' ||
+                          body[j - 1] == '<' || body[j - 1] == '>')) {
+        continue;
+      }
+      eq = j;
+      break;
+    }
+    frag_lo = i + 1;
+    if (eq == npos) continue;
+    Assign a;
+    std::size_t lhs_hi = eq;
+    if (eq > 0 && std::string("+-*/%&|^").find(body[eq - 1]) != npos) {
+      a.compound = true;
+      lhs_hi = eq - 1;
+    }
+    const std::size_t lo = body.find_last_of(";{}", eq) == npos
+                               ? 0
+                               : body.find_last_of(";{}", eq) + 1;
+    const std::string lhs_text = body.substr(lo, lhs_hi - lo);
+    a.lhs = trailing_ident(lhs_text);
+    a.base = leading_ident(lhs_text);
+    a.rhs_lo = eq + 1;
+    a.rhs_hi = frag_hi;
+    if (a.lhs.empty()) continue;
+    assigns.push_back(std::move(a));
+  }
+  return assigns;
+}
+
+/// `return` / `co_return` expression ranges in `body`.
+std::vector<std::pair<std::size_t, std::size_t>> collect_returns(
+    const std::string& body) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (std::string_view word : {"return", "co_return"}) {
+    for (const std::size_t pos : find_word(body, word)) {
+      // `return` positions also match inside `co_return`; find_word already
+      // rejects those via the identifier-boundary test.
+      const std::size_t lo = pos + word.size();
+      const std::size_t hi = body.find(';', lo);
+      if (hi == npos || hi <= lo) continue;
+      out.emplace_back(lo, hi);
+    }
+  }
+  return out;
+}
+
+/// Everything about one function the fixpoint re-reads each iteration,
+/// computed once.
+struct FnLocal {
+  const FunctionCfg* cfg = nullptr;
+  const FileAnalysis* file = nullptr;
+  std::string body;             // masked, body-local offsets
+  std::vector<NodeCall> calls;  // over `body`
+  std::vector<std::size_t> awaits;  // `co_await` positions in `body`
+  bool has_co_yield = false;
+  std::vector<LockSite> acquires;
+  std::vector<std::string> releases;
+  std::vector<Assign> assigns;
+  std::vector<std::pair<std::size_t, std::size_t>> returns;
+  std::map<std::string, int> ref_params;  // ref/ptr param name -> index
+  std::set<int> direct_escapes;           // ref/ptr params read past a suspension
+};
+
+FnLocal analyze_fn(const FileAnalysis& file, const FunctionCfg& cfg) {
+  FnLocal local;
+  local.cfg = &cfg;
+  local.file = &file;
+  local.body = masked_body(file, cfg);
+  local.calls = find_calls(local.body);
+  local.awaits = find_word(local.body, "co_await");
+  local.has_co_yield = !find_word(local.body, "co_yield").empty();
+  collect_lock_sites(local.body, &local.acquires, &local.releases);
+  local.assigns = collect_assigns(local.body);
+  local.returns = collect_returns(local.body);
+  for (std::size_t i = 0; i < cfg.params.size(); ++i) {
+    const CfgParam& p = cfg.params[i];
+    if ((p.is_reference || p.is_pointer) && !p.name.empty()) {
+      local.ref_params.emplace(p.name, static_cast<int>(i));
+    }
+  }
+
+  // Direct escape: a ref/ptr parameter read in a node reachable from a
+  // suspension point of this function (same reachability the
+  // suspension-lifetime check uses).
+  if (!local.ref_params.empty() && cfg.nodes.size() > 2) {
+    GenKill gk(cfg.nodes.size());
+    bool any_suspend = false;
+    for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+      if (cfg.nodes[n].suspends) {
+        gk.gen[n].insert(static_cast<int>(n));
+        any_suspend = true;
+      }
+    }
+    if (any_suspend) {
+      const std::vector<FactSet> in = gk.solve(cfg);
+      for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+        if (in[n].empty() || cfg.nodes[n].hi <= cfg.nodes[n].lo) continue;
+        const std::string node_text =
+            masked_node_text(file.stripped, file.cfgs, cfg, cfg.nodes[n]);
+        for (const auto& [name, idx] : local.ref_params) {
+          if (!find_word(node_text, name).empty()) {
+            local.direct_escapes.insert(idx);
+          }
+        }
+      }
+    }
+  }
+  return local;
+}
+
+bool same_summary(const FunctionSummary& a, const FunctionSummary& b) {
+  return std::tie(a.havoc, a.coroutine, a.may_suspend, a.returns_tainted,
+                  a.taint_label, a.tainted_out_params, a.escaping_params,
+                  a.lock_acquire_params, a.lock_acquire_names,
+                  a.lock_release_params, a.lock_release_names) ==
+         std::tie(b.havoc, b.coroutine, b.may_suspend, b.returns_tainted,
+                  b.taint_label, b.tainted_out_params, b.escaping_params,
+                  b.lock_acquire_params, b.lock_acquire_names,
+                  b.lock_release_params, b.lock_release_names);
+}
+
+/// One evaluation of `id`'s summary against the current summary table.
+FunctionSummary evaluate(const CallGraph& graph,
+                         const std::vector<FunctionSummary>& current,
+                         const FnLocal& local) {
+  const FunctionCfg& cfg = *local.cfg;
+  FunctionSummary out;
+  out.coroutine = cfg.is_coroutine;
+
+  // --- may-suspend -------------------------------------------------------
+  if (cfg.is_coroutine) {
+    if (local.has_co_yield) out.may_suspend = true;
+    for (const std::size_t pos : local.awaits) {
+      if (out.may_suspend) break;
+      if (awaited_expr_may_suspend(local.body, pos, graph, current)) {
+        out.may_suspend = true;
+      }
+    }
+  }
+
+  // --- locks -------------------------------------------------------------
+  std::set<std::string> acquired;
+  std::set<std::string> released;
+  for (const LockSite& site : local.acquires) {
+    if (site.awaited) acquired.insert(site.name);
+  }
+  for (const std::string& name : local.releases) released.insert(name);
+  for (const NodeCall& call : local.calls) {
+    const FunctionSummary callee = summary_for_call(graph, current, call.name);
+    if (callee.havoc) continue;
+    // A coroutine callee only runs when awaited; a plain call to it just
+    // materialises the task object.
+    if (callee.coroutine && !call.awaited) continue;
+    const auto map_arg = [&](int k) -> std::string {
+      const auto uk = static_cast<std::size_t>(k);
+      return uk < call.args.size() ? call.args[uk] : std::string();
+    };
+    for (const int k : callee.lock_acquire_params) {
+      const std::string arg = map_arg(k);
+      if (!arg.empty()) acquired.insert(arg);
+    }
+    for (const std::string& n : callee.lock_acquire_names) acquired.insert(n);
+    for (const int k : callee.lock_release_params) {
+      const std::string arg = map_arg(k);
+      if (!arg.empty()) released.insert(arg);
+    }
+    for (const std::string& n : callee.lock_release_names) released.insert(n);
+  }
+  for (const std::string& name : acquired) {
+    if (released.count(name) != 0) continue;
+    const auto it = local.ref_params.find(name);
+    if (it != local.ref_params.end()) {
+      out.lock_acquire_params.insert(it->second);
+    } else {
+      out.lock_acquire_names.insert(name);
+    }
+  }
+  for (const std::string& name : released) {
+    if (acquired.count(name) != 0) continue;
+    const auto it = local.ref_params.find(name);
+    if (it != local.ref_params.end()) {
+      out.lock_release_params.insert(it->second);
+    } else {
+      out.lock_release_names.insert(name);
+    }
+  }
+
+  // --- taint -------------------------------------------------------------
+  // Flow-insensitive fixpoint over the assigned-variable set.  No kill:
+  // once a name has held tainted data inside this body, the summary treats
+  // it as tainted, which keeps the fixpoint monotone.
+  std::set<std::string> tainted;
+  std::string label;
+  const auto range_tainted = [&](std::size_t lo, std::size_t hi) {
+    if (range_has_taint_source(local.body, lo, hi)) {
+      if (label.empty()) label = taint_source_label(local.body, lo, hi);
+      return true;
+    }
+    for (const std::string& t : tainted) {
+      if (has_word_in(local.body, lo, hi, t)) return true;
+    }
+    for (const NodeCall& call : local.calls) {
+      if (call.pos < lo || call.pos >= hi) continue;
+      const FunctionSummary callee =
+          summary_for_call(graph, current, call.name);
+      if (callee.havoc || !callee.returns_tainted) continue;
+      if (label.empty()) label = callee.taint_label;
+      return true;
+    }
+    return false;
+  };
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const NodeCall& call : local.calls) {
+      const FunctionSummary callee =
+          summary_for_call(graph, current, call.name);
+      if (callee.havoc) continue;
+      for (const int k : callee.tainted_out_params) {
+        const auto uk = static_cast<std::size_t>(k);
+        if (uk >= call.args.size() || call.args[uk].empty()) continue;
+        if (tainted.insert(call.args[uk]).second) {
+          if (label.empty()) label = callee.taint_label;
+          changed = true;
+        }
+      }
+    }
+    for (const Assign& a : local.assigns) {
+      if (!range_tainted(a.rhs_lo, a.rhs_hi) &&
+          !(a.compound && tainted.count(a.lhs) != 0)) {
+        continue;
+      }
+      if (tainted.insert(a.lhs).second) changed = true;
+      if (!a.base.empty() && a.base != a.lhs &&
+          tainted.insert(a.base).second) {
+        changed = true;
+      }
+    }
+  }
+  for (const auto& [lo, hi] : local.returns) {
+    if (range_tainted(lo, hi)) {
+      out.returns_tainted = true;
+      break;
+    }
+  }
+  for (const auto& [name, idx] : local.ref_params) {
+    if (tainted.count(name) != 0) out.tainted_out_params.insert(idx);
+  }
+  if ((out.returns_tainted || !out.tainted_out_params.empty())) {
+    out.taint_label = label.empty() ? "a nondeterministic source" : label;
+  }
+
+  // --- escape ------------------------------------------------------------
+  out.escaping_params = local.direct_escapes;
+  for (const NodeCall& call : local.calls) {
+    const FunctionSummary callee = summary_for_call(graph, current, call.name);
+    if (callee.havoc) continue;
+    for (const int k : callee.escaping_params) {
+      const auto uk = static_cast<std::size_t>(k);
+      if (uk >= call.args.size() || call.args[uk].empty()) continue;
+      const auto it = local.ref_params.find(call.args[uk]);
+      if (it != local.ref_params.end()) {
+        out.escaping_params.insert(it->second);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FunctionSummary havoc_summary() {
+  FunctionSummary s;
+  s.havoc = true;
+  s.may_suspend = true;  // see the header: the one pessimistic havoc field
+  return s;
+}
+
+FunctionSummary summary_for_call(const CallGraph& graph,
+                                 const std::vector<FunctionSummary>& summaries,
+                                 const std::string& name) {
+  const std::vector<int>* targets = graph.resolve(name);
+  if (targets == nullptr || targets->empty()) return havoc_summary();
+  FunctionSummary merged;
+  merged.coroutine = true;
+  for (const int t : *targets) {
+    const FunctionSummary& s = summaries[static_cast<std::size_t>(t)];
+    merged.coroutine = merged.coroutine && s.coroutine;
+    merged.may_suspend = merged.may_suspend || s.may_suspend;
+    if (s.returns_tainted && !merged.returns_tainted) {
+      merged.returns_tainted = true;
+      merged.taint_label = s.taint_label;
+    }
+    if (merged.taint_label.empty()) merged.taint_label = s.taint_label;
+    merged.tainted_out_params.insert(s.tainted_out_params.begin(),
+                                     s.tainted_out_params.end());
+    merged.escaping_params.insert(s.escaping_params.begin(),
+                                  s.escaping_params.end());
+    merged.lock_acquire_params.insert(s.lock_acquire_params.begin(),
+                                      s.lock_acquire_params.end());
+    merged.lock_acquire_names.insert(s.lock_acquire_names.begin(),
+                                     s.lock_acquire_names.end());
+    merged.lock_release_params.insert(s.lock_release_params.begin(),
+                                      s.lock_release_params.end());
+    merged.lock_release_names.insert(s.lock_release_names.begin(),
+                                     s.lock_release_names.end());
+  }
+  return merged;
+}
+
+bool awaited_expr_may_suspend(const std::string& text, std::size_t pos,
+                              const CallGraph& graph,
+                              const std::vector<FunctionSummary>& summaries) {
+  std::size_t p = pos;
+  if (text.compare(pos, 8, "co_await") == 0) p = pos + 8;
+  p = skip_spaces(text, p);
+  if (p >= text.size() || !is_ident_start(text[p])) {
+    return true;  // awaiting a parenthesised/temporary expression: unknown
+  }
+  // Walk a qualified/member chain `a::b.c->d`; the last identifier is the
+  // callee name when the chain ends in '('.
+  std::string last;
+  while (p < text.size() && is_ident_start(text[p])) {
+    std::size_t end = p;
+    last = read_ident(text, p, &end);
+    p = end;
+    if (text.compare(p, 2, "::") == 0) {
+      p += 2;
+    } else if (text.compare(p, 2, "->") == 0) {
+      p += 2;
+    } else if (p < text.size() && text[p] == '.') {
+      p += 1;
+    } else {
+      break;
+    }
+  }
+  if (p >= text.size() || text[p] != '(') {
+    return true;  // awaiting a stored awaitable, not a call: unknown
+  }
+  const std::vector<int>* targets = graph.resolve(last);
+  if (targets == nullptr || targets->empty()) return true;
+  for (const int t : *targets) {
+    const FunctionSummary& s = summaries[static_cast<std::size_t>(t)];
+    // Awaiting a non-coroutine's return value means a hand-written
+    // awaitable we cannot see through; assume it parks.
+    if (!s.coroutine || s.may_suspend) return true;
+  }
+  return false;
+}
+
+std::vector<FunctionSummary> compute_summaries(
+    const CallGraph& graph, const std::vector<FileAnalysis>& files,
+    SummaryStats* stats) {
+  std::vector<FunctionSummary> summaries(graph.fns.size());
+  std::vector<FnLocal> locals;
+  locals.reserve(graph.fns.size());
+  for (const CallGraph::Fn& fn : graph.fns) {
+    const FileAnalysis& file = files[fn.file];
+    locals.push_back(analyze_fn(file, file.cfgs[fn.cfg]));
+    summaries[locals.size() - 1].coroutine = locals.back().cfg->is_coroutine;
+  }
+
+  std::size_t max_iterations = 0;
+  for (const std::vector<int>& scc : graph.sccs) {
+    std::size_t iterations = 0;
+    for (bool changed = true;
+         changed && iterations < kSccIterationCap;) {
+      changed = false;
+      ++iterations;
+      for (const int id : scc) {
+        const auto uid = static_cast<std::size_t>(id);
+        FunctionSummary next = evaluate(graph, summaries, locals[uid]);
+        if (!same_summary(next, summaries[uid])) {
+          summaries[uid] = std::move(next);
+          changed = true;
+        }
+      }
+    }
+    max_iterations = std::max(max_iterations, iterations);
+  }
+  if (stats != nullptr) {
+    stats->sccs = graph.sccs.size();
+    stats->max_fixpoint_iterations = max_iterations;
+  }
+  return summaries;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-LP shared-state audit
+
+namespace {
+
+struct GlobalVar {
+  std::size_t file = 0;
+  std::string name;
+  std::size_t pos = 0;  // of the name, in the stripped text
+};
+
+/// Namespace-scope mutable variable declarations in `stripped`.
+/// Heuristic by design: statements at namespace/global brace depth that
+/// declare a named object and are not const/constexpr/using/typedef/extern
+/// or function/type declarations.  Array declarators and namespace-scope
+/// brace initialisers are skipped rather than mis-parsed.
+std::vector<GlobalVar> collect_globals(std::size_t file_index,
+                                       const std::string& stripped) {
+  std::vector<GlobalVar> globals;
+  // Brace kinds: 'n' namespace, 'o' other (function/type/initialiser).
+  std::vector<char> scopes;
+  std::size_t stmt_lo = 0;
+  const auto at_namespace_scope = [&]() {
+    return std::all_of(scopes.begin(), scopes.end(),
+                       [](char c) { return c == 'n'; });
+  };
+  for (std::size_t i = 0; i < stripped.size(); ++i) {
+    const char c = stripped[i];
+    if (c == '{') {
+      // Classify by the statement prefix: `namespace ... {` opens another
+      // namespace scope, anything else (type, function, initialiser) hides
+      // its contents from the global scan.
+      const std::string head = stripped.substr(stmt_lo, i - stmt_lo);
+      const bool is_ns = !find_word(head, "namespace").empty() &&
+                         find_word(head, "enum").empty() &&
+                         head.find('(') == npos && head.find('=') == npos;
+      scopes.push_back(is_ns ? 'n' : 'o');
+      stmt_lo = i + 1;
+      continue;
+    }
+    if (c == '}') {
+      if (!scopes.empty()) scopes.pop_back();
+      stmt_lo = i + 1;
+      continue;
+    }
+    if (c != ';') continue;
+    const std::size_t lo = stmt_lo;
+    const std::size_t hi = i;
+    stmt_lo = i + 1;
+    if (!at_namespace_scope()) continue;
+    const std::string stmt = trim(stripped.substr(lo, hi - lo));
+    if (stmt.empty() || stmt.find('#') != npos) continue;
+    // Function declarations, member-function out-of-line definitions,
+    // templates, type declarations, aliases, immutables: all skipped.
+    static constexpr std::string_view kSkipWords[] = {
+        "const",   "constexpr", "using",    "typedef", "extern",
+        "template", "friend",    "operator", "struct",  "class",
+        "enum",    "union",     "namespace", "static_assert", "return"};
+    bool skip = false;
+    for (const std::string_view w : kSkipWords) {
+      if (has_word_in(stmt, 0, stmt.size(), w)) {
+        skip = true;
+        break;
+      }
+    }
+    if (skip) continue;
+    // A '(' before any '=' means a function declaration (or a constructor
+    // call we cannot attribute); only keep plain `Type name;` and
+    // `Type name = init;` shapes.
+    const std::size_t eq = stmt.find('=');
+    const std::size_t paren = stmt.find('(');
+    if (paren != npos && (eq == npos || paren < eq)) continue;
+    const std::string decl = eq == npos ? stmt : trim(stmt.substr(0, eq));
+    if (decl.empty() || !is_ident(decl.back())) continue;  // arrays etc.
+    const std::string name = trailing_ident(decl);
+    if (name.empty() || name == decl) continue;  // need a type token before
+    GlobalVar g;
+    g.file = file_index;
+    g.name = name;
+    // Position of the declared name, made absolute: last word occurrence
+    // of `name` within the raw (untrimmed) statement range.
+    g.pos = lo;
+    std::size_t scan = lo;
+    while (scan < hi) {
+      const std::size_t found = stripped.find(name, scan);
+      if (found == npos || found >= hi) break;
+      const bool left_ok = found == 0 || !is_ident(stripped[found - 1]);
+      const std::size_t after = found + name.size();
+      const bool right_ok = after >= hi || !is_ident(stripped[after]);
+      if (left_ok && right_ok) g.pos = found;
+      scan = after;
+    }
+    globals.push_back(std::move(g));
+  }
+  return globals;
+}
+
+struct Access {
+  int fn = -1;
+  std::size_t pos = 0;  // body-local
+  bool write = false;
+  bool mediated = false;
+};
+
+/// Whether the occurrence of `name` at `pos` in `body` is a write.
+bool occurrence_is_write(const std::string& body, std::size_t pos,
+                         const std::string& name) {
+  const std::size_t after = skip_spaces(body, pos + name.size());
+  if (after < body.size()) {
+    const char c = body[after];
+    if (c == '=' && (after + 1 >= body.size() || body[after + 1] != '=')) {
+      return true;
+    }
+    if ((c == '+' || c == '-' || c == '*' || c == '/' || c == '%' ||
+         c == '&' || c == '|' || c == '^') &&
+        after + 1 < body.size() && body[after + 1] == '=') {
+      return true;
+    }
+    if ((c == '+' && after + 1 < body.size() && body[after + 1] == '+') ||
+        (c == '-' && after + 1 < body.size() && body[after + 1] == '-')) {
+      return true;
+    }
+    if (c == '.' || (c == '-' && after + 1 < body.size() &&
+                     body[after + 1] == '>')) {
+      const std::size_t m = after + (c == '.' ? 1 : 2);
+      std::size_t end = m;
+      const std::string method = read_ident(body, m, &end);
+      static constexpr std::string_view kMutators[] = {
+          "push_back", "emplace_back", "push", "pop", "insert", "erase",
+          "clear",     "resize",       "store", "fetch_add", "assign"};
+      for (const std::string_view w : kMutators) {
+        if (method == w) return true;
+      }
+    }
+  }
+  // Prefix ++/--.
+  const std::size_t before = prev_nonspace(body, pos);
+  if (before != npos && before > 0 &&
+      ((body[before] == '+' && body[before - 1] == '+') ||
+       (body[before] == '-' && body[before - 1] == '-'))) {
+    return true;
+  }
+  return false;
+}
+
+/// Whether the sub-statement around `pos` routes through the event queue.
+bool statement_is_mediated(const std::string& body, std::size_t pos) {
+  const std::size_t stmt = body.find_last_of(";{}", pos);
+  const std::size_t from = stmt == npos ? 0 : stmt + 1;
+  std::size_t to = body.find(';', pos);
+  if (to == npos) to = body.size();
+  return has_word_in(body, from, to, "schedule") ||
+         has_word_in(body, from, to, "schedule_at") ||
+         body.substr(from, to - from).find(".send(") != npos;
+}
+
+}  // namespace
+
+LpAudit cross_lp_audit(const CallGraph& graph,
+                       const std::vector<FileAnalysis>& files,
+                       const std::set<std::string>& entry_names) {
+  LpAudit audit;
+
+  std::vector<GlobalVar> globals;
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    for (GlobalVar& g : collect_globals(fi, files[fi].stripped)) {
+      globals.push_back(std::move(g));
+    }
+  }
+  if (globals.empty()) {
+    audit.report =
+        "cross-LP shared-state audit: no namespace-scope mutable state\n";
+    return audit;
+  }
+
+  // Entry-name reachability: for every function, the set of logical-process
+  // entry points (by name) whose call trees include it.
+  std::vector<std::set<std::string>> reaching(graph.fns.size());
+  for (const std::string& entry : entry_names) {
+    const std::vector<int>* roots = graph.resolve(entry);
+    if (roots == nullptr) continue;
+    std::vector<int> work(roots->begin(), roots->end());
+    while (!work.empty()) {
+      const int id = work.back();
+      work.pop_back();
+      const auto uid = static_cast<std::size_t>(id);
+      if (!reaching[uid].insert(entry).second) continue;
+      for (const int callee : graph.callees[uid]) work.push_back(callee);
+    }
+  }
+
+  // Accesses per global, over every function body in the same project.
+  struct GlobalReport {
+    const GlobalVar* var = nullptr;
+    std::set<std::string> entries;
+    std::vector<Access> writes;  // unmediated only
+    std::size_t reads = 0;
+    std::size_t mediated_writes = 0;
+  };
+  std::vector<GlobalReport> reports;
+  for (const GlobalVar& g : globals) {
+    GlobalReport report;
+    report.var = &g;
+    for (std::size_t id = 0; id < graph.fns.size(); ++id) {
+      const CallGraph::Fn& fn = graph.fns[id];
+      if (fn.file != g.file) continue;  // name matching is per-file
+      const FileAnalysis& file = files[fn.file];
+      const FunctionCfg& cfg = file.cfgs[fn.cfg];
+      const std::string body = masked_body(file, cfg);
+      const std::vector<std::size_t> hits = find_word(body, g.name);
+      if (hits.empty()) continue;
+      report.entries.insert(reaching[id].begin(), reaching[id].end());
+      for (const std::size_t pos : hits) {
+        if (!occurrence_is_write(body, pos, g.name)) {
+          ++report.reads;
+          continue;
+        }
+        if (statement_is_mediated(body, pos)) {
+          ++report.mediated_writes;
+          continue;
+        }
+        Access a;
+        a.fn = static_cast<int>(id);
+        a.pos = pos;
+        a.write = true;
+        report.writes.push_back(a);
+      }
+    }
+    if (report.entries.size() >= 2 && !report.writes.empty()) {
+      reports.push_back(std::move(report));
+    }
+  }
+
+  // Rank: most entry points first, then most unmediated writes.
+  std::sort(reports.begin(), reports.end(),
+            [](const GlobalReport& a, const GlobalReport& b) {
+              if (a.entries.size() != b.entries.size()) {
+                return a.entries.size() > b.entries.size();
+              }
+              if (a.writes.size() != b.writes.size()) {
+                return a.writes.size() > b.writes.size();
+              }
+              return a.var->name < b.var->name;
+            });
+
+  std::ostringstream report;
+  report << "cross-LP shared-state audit: " << reports.size()
+         << " shared global(s) with unmediated writes\n";
+  std::size_t rank = 0;
+  for (const GlobalReport& r : reports) {
+    const FileAnalysis& file = files[r.var->file];
+    const std::vector<std::size_t> starts = line_starts(file.stripped);
+    report << "  [" << ++rank << "] " << r.var->name << " (" << file.path
+           << ":" << line_of(starts, r.var->pos) << ") — entries:";
+    bool first = true;
+    for (const std::string& e : r.entries) {
+      report << (first ? " " : ", ") << e;
+      first = false;
+    }
+    report << "; unmediated writes: " << r.writes.size()
+           << "; mediated: " << r.mediated_writes << "; reads: " << r.reads
+           << "\n";
+
+    std::ostringstream entries_text;
+    first = true;
+    for (const std::string& e : r.entries) {
+      entries_text << (first ? "" : ", ") << "'" << e << "'";
+      first = false;
+    }
+    for (const Access& w : r.writes) {
+      const CallGraph::Fn& fn = graph.fns[static_cast<std::size_t>(w.fn)];
+      const FunctionCfg& cfg = files[fn.file].cfgs[fn.cfg];
+      const std::size_t abs = cfg.body_lo + w.pos;
+      LpWrite finding;
+      finding.file = file.path;
+      finding.line = line_of(starts, abs);
+      finding.col = col_of(starts, abs);
+      finding.message =
+          "namespace-scope state '" + r.var->name +
+          "' is written here without event-queue mediation but is "
+          "reachable from " +
+          std::to_string(r.entries.size()) +
+          " logical-process entry points (" + entries_text.str() +
+          "); shared mutable state across LPs blocks conservative "
+          "parallel DES";
+      audit.findings.push_back(std::move(finding));
+    }
+  }
+  if (reports.empty()) {
+    report.str("");
+    report << "cross-LP shared-state audit: no multi-entry shared state "
+              "with unmediated writes\n";
+  }
+  audit.report = report.str();
+  return audit;
+}
+
+}  // namespace paraio::lint

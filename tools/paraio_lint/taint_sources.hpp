@@ -1,0 +1,70 @@
+// Nondeterminism-source vocabulary shared by the determinism-taint flow
+// check (flow_checks.cpp) and the function-summary pass (summaries.cpp):
+// both must agree on what "tainted" means or a summary computed in pass 3
+// would disagree with the caller-side check that consumes it in pass 4.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "paraio_lint/text.hpp"
+
+namespace paraio::lint {
+
+/// Whether [lo, hi) of `body` mentions a nondeterminism source: a wall-clock
+/// read, libc randomness, or a pointer-identity cast.
+inline bool range_has_taint_source(const std::string& body, std::size_t lo,
+                                   std::size_t hi) {
+  using text::has_word_in;
+  using text::is_ident;
+  using text::skip_spaces;
+  static constexpr std::string_view kSources[] = {
+      "system_clock",  "steady_clock", "high_resolution_clock",
+      "gettimeofday",  "clock_gettime", "random_device",
+      "drand48",       "lrand48",       "mrand48",
+      "uintptr_t",     "intptr_t",
+  };
+  for (std::string_view w : kSources) {
+    if (has_word_in(body, lo, hi, w)) return true;
+  }
+  // `rand(` / `srand(` as calls.
+  for (std::string_view w : {"rand", "srand"}) {
+    std::size_t pos = lo;
+    while (pos < hi &&
+           (pos = body.find(w, pos)) != std::string::npos && pos < hi) {
+      const bool left_ok = pos == 0 || !is_ident(body[pos - 1]);
+      const std::size_t after = pos + w.size();
+      if (left_ok && after < hi && skip_spaces(body, after) < hi &&
+          body[skip_spaces(body, after)] == '(' &&
+          (after >= body.size() || !is_ident(body[after]))) {
+        return true;
+      }
+      pos = after;
+    }
+  }
+  return false;
+}
+
+/// Human label for the first source found in [lo, hi).
+inline const char* taint_source_label(const std::string& body, std::size_t lo,
+                                      std::size_t hi) {
+  using text::has_word_in;
+  static constexpr std::string_view kClock[] = {
+      "system_clock", "steady_clock", "high_resolution_clock",
+      "gettimeofday", "clock_gettime"};
+  for (std::string_view w : kClock) {
+    if (has_word_in(body, lo, hi, w)) return "wall-clock";
+  }
+  for (std::string_view w :
+       {"random_device", "drand48", "lrand48", "mrand48", "rand", "srand"}) {
+    if (has_word_in(body, lo, hi, w)) return "libc randomness";
+  }
+  if (has_word_in(body, lo, hi, "uintptr_t") ||
+      has_word_in(body, lo, hi, "intptr_t")) {
+    return "pointer identity";
+  }
+  return "a nondeterministic source";
+}
+
+}  // namespace paraio::lint
