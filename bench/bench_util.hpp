@@ -108,6 +108,11 @@ struct ScenarioRecord {
   double wall_ms = 0.0;
   double events_per_sec = 0.0;
   double sim_time = 0.0;
+  /// Optional scenario-specific measurements (recovery counts, checkpoint
+  /// overhead fractions, ...).  Serialized as a "params" object; the gate
+  /// in tools/check_bench.py ignores fields it does not know, so adding
+  /// entries here does not require a schema bump.
+  std::vector<std::pair<std::string, double>> params;
 };
 
 inline void write_scenarios_json(const Options& opt,
@@ -127,6 +132,17 @@ inline void write_scenarios_json(const Options& opt,
     out += ", \"wall_ms\": " + obs::format_double(s.wall_ms);
     out += ", \"events_per_sec\": " + obs::format_double(s.events_per_sec);
     out += ", \"sim_time\": " + obs::format_double(s.sim_time);
+    if (!s.params.empty()) {
+      out += ", \"params\": {";
+      bool first_param = true;
+      for (const auto& [key, value] : s.params) {
+        if (!first_param) out += ", ";
+        first_param = false;
+        append_json_string(out, key);
+        out += ": " + obs::format_double(value);
+      }
+      out += "}";
+    }
     out += "}";
   }
   out += first ? "]\n}\n" : "\n  ]\n}\n";

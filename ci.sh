@@ -23,13 +23,17 @@
 #               (bench_micro_sim --json, three invocations), regression-
 #               gated by tools/check_bench.py against the committed
 #               BENCH_micro_sim.json snapshot: any scenario whose BEST run
-#               lands more than 20% below baseline fails.
+#               lands more than 20% below baseline fails.  The fault/
+#               checkpoint bench (bench_faults) is gated the same way
+#               against BENCH_faults.json.
 #               PARAIO_BENCH_SOFT=1 downgrades the gate to a warning for
 #               hosts the snapshot was not recorded on (see docs/PERF.md).
 #   6. ubsan  — a tier-1 subset rebuilt under UBSanitizer alone
 #               (PARAIO_SANITIZE=undefined): catches arithmetic/shift/
 #               bounds UB cheaply, and keeps a sanitizer prong alive on
-#               hosts where ASan shadow memory is unavailable.
+#               hosts where ASan shadow memory is unavailable; the
+#               checkpoint/crash-recovery suites ride along since log
+#               checksum folding is integer-heavy.
 #   7. asan   — the same suite under AddressSanitizer + UBSanitizer.
 #
 #   ./ci.sh            # all stages
@@ -99,6 +103,22 @@ grep -q 'cross-LP shared-state audit' build/paraio_lint_cross_lp.txt
 echo "== fault: injection & recovery suite =="
 ctest --test-dir build --output-on-failure -j "${jobs}" -R 'Fault|Recovery'
 
+# --- crash-recovery stage --------------------------------------------------
+# Checkpoint/restart (docs/CHECKPOINT.md): log-replay semantics, absorber
+# ledger + backpressure, the two-barrier epoch protocol, the end-to-end
+# ION-crash recovery scenario, and the randomized checkpoint properties.
+# The fault/recovery bench report ships as an artifact next to the SARIF
+# log so a reviewer sees the measured degradation and checkpoint overhead
+# for the exact tree under review.
+echo "== crash-recovery: checkpoint/restart suite + recovery-stats artifact =="
+ctest --test-dir build --output-on-failure -j "${jobs}" -R 'Ckpt|CrashRecovery'
+cmake --build build -j "${jobs}" --target bench_faults
+build/bench/bench_faults --json build/bench_faults_ci.json \
+  | tee build/recovery_stats.txt
+test -s build/recovery_stats.txt
+grep -q 'ckpt-absorber' build/recovery_stats.txt
+grep -q 'failover' build/recovery_stats.txt
+
 # --- observability stage ---------------------------------------------------
 echo "== obs: lint src/obs (warnings fatal) =="
 "${lint_dir}/paraio_lint" --werror src/obs
@@ -133,6 +153,19 @@ if [[ "${1:-}" != "--fast" ]]; then
     build-perf/bench_micro_sim.1.json build-perf/bench_micro_sim.2.json \
     build-perf/bench_micro_sim.3.json
 
+  # The fault/checkpoint bench is gated the same way against its own
+  # committed snapshot; it covers the recovery paths (retry/backoff,
+  # failover, absorber drain) the kernel microbench never exercises.
+  echo "== perf: fault/checkpoint bench vs BENCH_faults.json =="
+  cmake --build build-perf -j "${jobs}" --target bench_faults
+  for rep in 1 2 3; do
+    build-perf/bench/bench_faults --json \
+      "build-perf/bench_faults.${rep}.json" > /dev/null
+  done
+  python3 tools/check_bench.py BENCH_faults.json \
+    build-perf/bench_faults.1.json build-perf/bench_faults.2.json \
+    build-perf/bench_faults.3.json
+
   # --- ubsan stage ---------------------------------------------------------
   # UBSan alone: no shadow memory, ~no slowdown, so the tier-1 kernel subset
   # (event queue, engine, sync, hardware, striping, lint core) runs as its
@@ -142,7 +175,7 @@ if [[ "${1:-}" != "--fast" ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPARAIO_WERROR=ON
   cmake --build build-ubsan -j "${jobs}"
   ctest --test-dir build-ubsan --output-on-failure -j "${jobs}" \
-    -R 'EventQueue|Engine|Task|Sync|Semaphore|Mutex|Barrier|Latch|Disk|Raid|Network|Stripe|Cfg|Dataflow|Lint'
+    -R 'EventQueue|Engine|Task|Sync|Semaphore|Mutex|Barrier|Latch|Disk|Raid|Network|Stripe|Cfg|Dataflow|Lint|Ckpt|CrashRecovery'
 
   run_stage build-asan -DPARAIO_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DPARAIO_WERROR=ON

@@ -118,6 +118,7 @@ sim::Task<> Escat::node_main(std::uint32_t node) {
       }
       co_await staging[f]->write(config_.quad_record);
     }
+    if (checkpoint_ != nullptr) co_await checkpoint_->at_boundary(node);
   }
   if (node == 0) phases_.mark("quadrature", machine_.engine().now());
 

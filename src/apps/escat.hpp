@@ -86,6 +86,10 @@ class Escat {
   [[nodiscard]] const PhaseLog& phases() const noexcept { return phases_; }
   [[nodiscard]] const EscatConfig& config() const noexcept { return config_; }
 
+  /// Installs a collective checkpoint hook, invoked by every node at each
+  /// quadrature-cycle boundary (a uniform per-node loop).  Null detaches.
+  void set_checkpoint(CheckpointHook* hook) noexcept { checkpoint_ = hook; }
+
   // File names (exposed for tests and benches).
   static constexpr const char* kInput[3] = {"/escat/geometry.in",
                                             "/escat/basis.in",
@@ -106,6 +110,7 @@ class Escat {
   PhaseLog phases_;
   sim::Rng rng_;
   std::unique_ptr<sim::Barrier> cycle_barrier_;
+  CheckpointHook* checkpoint_ = nullptr;
 };
 
 }  // namespace paraio::apps

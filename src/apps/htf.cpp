@@ -213,6 +213,7 @@ sim::Task<> Htf::pscf_node(std::uint32_t node) {
         co_await aux[i % aux.size()]->write(config_.scf_large_write_size);
       }
     }
+    if (checkpoint_ != nullptr) co_await checkpoint_->at_boundary(node);
   }
 
   if (node == 0 && config_.scf_extra_large_reads > 0) {

@@ -109,6 +109,11 @@ class Htf {
   [[nodiscard]] const PhaseLog& phases() const noexcept { return phases_; }
   [[nodiscard]] const HtfConfig& config() const noexcept { return config_; }
 
+  /// Installs a collective checkpoint hook, invoked by every node at each
+  /// SCF-iteration boundary (uniform trip count across nodes; the uneven
+  /// pargos record loop is not a boundary).  Null detaches.
+  void set_checkpoint(CheckpointHook* hook) noexcept { checkpoint_ = hook; }
+
   static constexpr const char* kInput = "/htf/basis.in";
   static constexpr const char* kTransformed = "/htf/transformed.dat";
   static constexpr const char* kGeometry = "/htf/geometry.dat";
@@ -125,6 +130,7 @@ class Htf {
   HtfConfig config_;
   PhaseLog phases_;
   sim::Rng rng_;
+  CheckpointHook* checkpoint_ = nullptr;
 };
 
 }  // namespace paraio::apps

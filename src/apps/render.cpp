@@ -127,6 +127,9 @@ sim::Task<> Render::run() {
             jittered(node_rng, app.config_.frame_compute, 0.08));
         co_await app.machine_.net().send(r, app.config_.gateway_node(), tile);
         co_await out.send(r);
+        if (app.checkpoint_ != nullptr) {
+          co_await app.checkpoint_->at_boundary(r);
+        }
       }
     };
     renderers.spawn(

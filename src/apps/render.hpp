@@ -72,6 +72,11 @@ class Render {
   [[nodiscard]] const PhaseLog& phases() const noexcept { return phases_; }
   [[nodiscard]] const RenderConfig& config() const noexcept { return config_; }
 
+  /// Installs a collective checkpoint hook over the renderer group, invoked
+  /// by every renderer at each frame boundary (the gateway does not
+  /// participate).  Null detaches.
+  void set_checkpoint(CheckpointHook* hook) noexcept { checkpoint_ = hook; }
+
   static constexpr const char* kData[4] = {"/render/mars.0", "/render/mars.1",
                                            "/render/mars.2", "/render/mars.3"};
   static constexpr const char* kViews = "/render/views.ctl";
@@ -89,6 +94,7 @@ class Render {
   /// Terrain-file handles kept open across the whole run; deliberately
   /// never closed (the paper's 106 opens vs 101 closes).
   std::vector<io::FilePtr> data_files_;
+  CheckpointHook* checkpoint_ = nullptr;
 };
 
 }  // namespace paraio::apps

@@ -161,6 +161,10 @@ sim::Task<> Synthetic::node_main(std::uint32_t node) {
       } else {
         (void)co_await file->read(size);
       }
+      if (checkpoint_ != nullptr &&
+          participants_of(phase) == config_.nodes) {
+        co_await checkpoint_->at_boundary(node);
+      }
     }
     co_await file->close();
     if (node == 0) phases_.mark(phase.name, machine_.engine().now());

@@ -98,6 +98,11 @@ class Synthetic {
     return config_;
   }
 
+  /// Installs a collective checkpoint hook, invoked after every request of
+  /// every all-node phase (phases with restricted participants are skipped:
+  /// their per-node trip counts are not uniform).  Null detaches.
+  void set_checkpoint(CheckpointHook* hook) noexcept { checkpoint_ = hook; }
+
  private:
   sim::Task<> node_main(std::uint32_t node);
   [[nodiscard]] std::string file_for(const SyntheticPhase& phase,
@@ -113,6 +118,7 @@ class Synthetic {
   PhaseLog phases_;
   sim::Rng rng_;
   std::vector<std::unique_ptr<sim::Barrier>> barriers_;  // one per phase
+  CheckpointHook* checkpoint_ = nullptr;
 };
 
 }  // namespace paraio::apps

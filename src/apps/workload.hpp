@@ -61,4 +61,22 @@ inline sim::SimDuration jittered(sim::Rng& rng, double base,
   return base * rng.uniform(1.0 - spread, 1.0 + spread);
 }
 
+/// Collective checkpoint boundary, pluggable into every skeleton.
+///
+/// An application calls `at_boundary(node)` at its natural iteration edges
+/// (ESCAT quadrature cycles, RENDER frames, HTF SCF iterations, synthetic
+/// requests); the installed hook decides — identically on every node —
+/// whether this boundary starts a checkpoint epoch, and if so dumps the
+/// node's state and blocks until the epoch's consistency protocol is done.
+///
+/// Contract: the hook may barrier-synchronize the participating nodes, so
+/// every node must reach the same boundaries the same number of times.  The
+/// skeletons only place calls on loops with uniform per-node trip counts.
+/// A null hook (the default) costs one pointer test per boundary.
+class CheckpointHook {
+ public:
+  virtual ~CheckpointHook() = default;
+  [[nodiscard]] virtual sim::Task<> at_boundary(std::uint32_t node) = 0;
+};
+
 }  // namespace paraio::apps

@@ -1,0 +1,164 @@
+#include "ckpt/absorber.hpp"
+
+#include <algorithm>
+
+#include "sim/deadlock.hpp"
+
+namespace paraio::ckpt {
+
+namespace {
+
+/// ION-local disk addresses for drained log batches: a spill region far
+/// above any PpfsFileObject::disk_base() (file id << 30), so log traffic
+/// never aliases file extents in the ION caches or arrays.
+constexpr std::uint64_t kDrainBase = 1ull << 45;
+
+}  // namespace
+
+WriteAbsorber::WriteAbsorber(ppfs::Ppfs& fs, AbsorberParams params)
+    : fs_(fs),
+      params_(params),
+      log_(params.segment_bytes),
+      pending_(fs.machine().engine()),
+      drained_(fs.machine().engine()) {
+  fs_.machine().engine().spawn_daemon(drain_daemon());
+}
+
+void WriteAbsorber::attach_observability(obs::Registry* registry,
+                                         obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    m_acked_ = nullptr;
+    m_drained_ = nullptr;
+    m_lost_ = nullptr;
+    m_backpressure_ = nullptr;
+    m_commits_ = nullptr;
+    m_resident_ = nullptr;
+    return;
+  }
+  m_acked_ = &registry->counter("ckpt.log.acked_bytes");
+  m_drained_ = &registry->counter("ckpt.log.drained_bytes");
+  m_lost_ = &registry->counter("ckpt.log.lost_bytes");
+  m_backpressure_ = &registry->counter("ckpt.log.backpressure_waits");
+  m_commits_ = &registry->counter("ckpt.log.commits");
+  m_resident_ = &registry->gauge("ckpt.log.resident_bytes");
+}
+
+sim::Task<> WriteAbsorber::append(std::uint32_t node, std::uint64_t epoch,
+                                  std::uint64_t offset, std::uint64_t bytes) {
+  sim::Engine& engine = fs_.machine().engine();
+  auto* deadlocks = sim::DeadlockDetector::find(engine);
+  // Bounded log: wait for the drain to free space before absorbing more.
+  // (A chunk larger than the whole capacity is admitted once the log is
+  // empty — it can never fit better than that.)
+  while (resident_ > 0 && resident_ + bytes > params_.log_capacity) {
+    ++stats_.backpressure_waits;
+    if (m_backpressure_ != nullptr) m_backpressure_->add();
+    if (deadlocks) {
+      deadlocks->cond_wait(deadlocks->task_for_key(node, "node"), &drained_,
+                           "ckpt:absorber:drained");
+    }
+    drained_.reset();
+    co_await drained_.wait();
+    if (deadlocks) {
+      deadlocks->cond_woken(deadlocks->task_for_key(node, "node"), &drained_);
+    }
+  }
+  // Memory-speed sequential append; this is the whole acknowledgement.
+  co_await engine.delay(bytes / params_.append_rate + params_.append_latency);
+  LogRecord r;
+  r.kind = RecordKind::kData;
+  r.epoch = epoch;
+  r.node = node;
+  r.offset = offset;
+  r.bytes = bytes;
+  log_.push(r);
+  epoch_digest_ =
+      fnv_mix(epoch_digest_, log_.segments().back().records.back().checksum);
+  stats_.segments_sealed =
+      static_cast<std::uint64_t>(log_.segments().size()) -
+      (log_.segments().back().sealed ? 0u : 1u);
+  resident_ += bytes;
+  ++stats_.appends;
+  stats_.acked_bytes += bytes;
+  if (m_acked_ != nullptr) m_acked_->add(bytes);
+  if (m_resident_ != nullptr) m_resident_->set(static_cast<double>(resident_));
+  queue_.push_back({node, bytes});
+  pending_.set();
+}
+
+sim::Task<std::uint64_t> WriteAbsorber::commit(std::uint64_t epoch) {
+  co_await fs_.machine().engine().delay(params_.append_latency);
+  LogRecord r;
+  r.kind = RecordKind::kCommit;
+  r.epoch = epoch;
+  r.digest = epoch_digest_;
+  log_.push(r);
+  ++stats_.commits;
+  if (m_commits_ != nullptr) m_commits_->add();
+  const std::uint64_t digest = epoch_digest_;
+  epoch_digest_ = kFnvOffset;
+  co_return digest;
+}
+
+sim::Task<> WriteAbsorber::drain_daemon() {
+  sim::Engine& engine = fs_.machine().engine();
+  auto* deadlocks = sim::DeadlockDetector::find(engine);
+  sim::DeadlockDetector::TaskId me = 0;
+  if (deadlocks) {
+    me = deadlocks->task_for_key(std::uint64_t{2} << 32, "ckpt-drain");
+    deadlocks->set_daemon(me);
+    deadlocks->cond_provider(me, &drained_, "ckpt:absorber:drained");
+  }
+  const std::size_t ions = fs_.machine().io_nodes();
+  for (;;) {
+    while (queue_.empty()) {
+      if (deadlocks) {
+        deadlocks->cond_wait(me, &pending_, "ckpt:absorber:pending");
+      }
+      pending_.reset();
+      co_await pending_.wait();
+      if (deadlocks) deadlocks->cond_woken(me, &pending_);
+    }
+    // Coalesce queued chunks into one large sequential write — the log's
+    // payoff: many small bursty appends leave as few big transfers.
+    std::uint64_t len = 0;
+    const std::uint32_t src = queue_.front().node;
+    while (!queue_.empty() && len < params_.drain_batch) {
+      len += queue_.front().bytes;
+      queue_.pop_front();
+    }
+    const auto ion = static_cast<std::uint32_t>(drain_seq_ % ions);
+    ++drain_seq_;
+    obs::Tracer::SpanId span = 0;
+    if (tracer_ != nullptr) {
+      span = tracer_->begin({obs::kGlobalProcess, 2}, "ckpt.drain", "ckpt");
+    }
+    const io::IoOutcome out = co_await fs_.submit_with_recovery(
+        src, ion, kDrainBase + drain_addr_, len, /*is_write=*/true);
+    drain_addr_ += len;
+    if (tracer_ != nullptr) tracer_->end(span);
+    resident_ -= len;
+    ++stats_.drain_writes;
+    if (out.ok()) {
+      stats_.drained_bytes += len;
+      if (out.failed_over) ++stats_.drain_failovers;
+      if (m_drained_ != nullptr) m_drained_->add(len);
+    } else {
+      // Recovery exhausted every path: these acknowledged bytes are gone.
+      // (submit_with_recovery also books them as dirty_bytes_lost in the
+      // mount's RecoveryStats.)
+      stats_.dirty_bytes_lost += len;
+      if (m_lost_ != nullptr) m_lost_->add(len);
+      if (tracer_ != nullptr) {
+        tracer_->instant({obs::kGlobalProcess, 2}, "ckpt.drain-lost", "fault");
+      }
+    }
+    if (m_resident_ != nullptr) {
+      m_resident_->set(static_cast<double>(resident_));
+    }
+    drained_.set();
+  }
+}
+
+}  // namespace paraio::ckpt

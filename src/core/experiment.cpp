@@ -1,6 +1,8 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "pablo/instrument.hpp"
@@ -9,6 +11,35 @@
 namespace paraio::core {
 
 namespace {
+
+/// Checkpoint participants per application: every node that reaches the
+/// collective boundary (RENDER's gateway never does).
+std::uint32_t checkpoint_parties(const AppConfig& app) {
+  return std::visit(
+      [](const auto& cfg) -> std::uint32_t {
+        using Config = std::decay_t<decltype(cfg)>;
+        if constexpr (std::is_same_v<Config, apps::RenderConfig>) {
+          return cfg.renderers;
+        } else {
+          return cfg.nodes;
+        }
+      },
+      app);
+}
+
+/// The exposure reference for data_loss_window: the first destructive fault
+/// in the plan (an ION crash or disk failure kills volatile state), or run
+/// end when the plan has none.
+sim::SimTime loss_reference(const fault::FaultPlan& plan, sim::SimTime end) {
+  sim::SimTime ref = end;
+  for (const fault::FaultEvent& ev : plan.events) {
+    if (ev.kind == fault::FaultKind::kIonCrash ||
+        ev.kind == fault::FaultKind::kDiskFail) {
+      ref = std::min(ref, ev.at);
+    }
+  }
+  return ref;
+}
 
 /// Application wrapper so the driver can treat the application codes
 /// uniformly.
@@ -67,26 +98,52 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   ExperimentResult result;
   instrumented.add_sink(result.trace);
 
+  // Checkpoint machinery (only when enabled).  The absorber drains through
+  // the PPFS client's recovery path, so it needs a PPFS mount; the
+  // write-behind baseline dumps through the bare mount (staging-style
+  // traffic, kept out of the measured trace like stage() itself).
+  std::optional<ckpt::WriteAbsorber> absorber;
+  std::optional<ckpt::CheckpointCoordinator> coordinator;
+  if (config.checkpoint.enabled) {
+    if (config.checkpoint.backend == ckpt::CkptBackend::kAbsorber) {
+      if (!ppfs_fs) {
+        throw std::invalid_argument(
+            "checkpoint backend kAbsorber requires a PPFS mount");
+      }
+      absorber.emplace(*ppfs_fs, config.absorber);
+      absorber->attach_observability(metrics, tracer);
+    }
+    coordinator.emplace(machine, checkpoint_parties(config.app),
+                        config.checkpoint, absorber ? &*absorber : nullptr,
+                        absorber ? nullptr : bare);
+    coordinator->attach_observability(metrics, tracer);
+  }
+  apps::CheckpointHook* hook = coordinator ? &*coordinator : nullptr;
+
   std::visit(
       [&](const auto& app_config) {
         using Config = std::decay_t<decltype(app_config)>;
         if constexpr (std::is_same_v<Config, apps::EscatConfig>) {
           apps::Escat app(machine, instrumented, app_config);
+          app.set_checkpoint(hook);
           engine.spawn(drive(app, *bare, result, engine, config.hooks.io));
           engine.run();
           result.phases = app.phases();
         } else if constexpr (std::is_same_v<Config, apps::RenderConfig>) {
           apps::Render app(machine, instrumented, app_config);
+          app.set_checkpoint(hook);
           engine.spawn(drive(app, *bare, result, engine, config.hooks.io));
           engine.run();
           result.phases = app.phases();
         } else if constexpr (std::is_same_v<Config, apps::SyntheticConfig>) {
           apps::Synthetic app(machine, instrumented, app_config);
+          app.set_checkpoint(hook);
           engine.spawn(drive(app, *bare, result, engine, config.hooks.io));
           engine.run();
           result.phases = app.phases();
         } else {
           apps::Htf app(machine, instrumented, app_config);
+          app.set_checkpoint(hook);
           engine.spawn(drive(app, *bare, result, engine, config.hooks.io));
           engine.run();
           result.phases = app.phases();
@@ -95,6 +152,15 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       config.app);
 
   result.kernel_events = engine.events_executed();
+  if (coordinator) {
+    result.checkpoint = coordinator->stats();
+    result.checkpoint.data_loss_window = coordinator->data_loss_window(
+        loss_reference(config.fault_plan, result.run_end));
+  }
+  if (absorber) {
+    result.absorber = absorber->stats();
+    result.ckpt_log = std::make_shared<ckpt::LogImage>(absorber->log());
+  }
   if (pfs_fs) result.pfs_counters = pfs_fs->counters();
   if (ppfs_fs) {
     result.ppfs_counters = ppfs_fs->counters();
@@ -120,6 +186,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       prev = end;
     }
     tracer->name_process(obs::kGlobalProcess, "app phases");
+    if (coordinator) {
+      tracer->name_track({obs::kGlobalProcess, 1}, "ckpt epochs");
+      tracer->name_track({obs::kGlobalProcess, 2}, "ckpt drain");
+    }
     for (std::size_t n = 0; n < machine.compute_nodes(); ++n) {
       tracer->name_process(static_cast<std::uint32_t>(n),
                            "node" + std::to_string(n));

@@ -11,6 +11,9 @@
 #include "apps/htf.hpp"
 #include "apps/render.hpp"
 #include "apps/synthetic.hpp"
+#include "ckpt/absorber.hpp"
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/log.hpp"
 #include "fault/fault.hpp"
 #include "hw/machine.hpp"
 #include "obs/metrics.hpp"
@@ -87,6 +90,13 @@ struct ExperimentConfig {
   /// (the golden-trace tests assert this).
   fault::FaultPlan fault_plan;
   bool attach_fault_layer = false;
+  /// Periodic checkpoint dumps plugged into the application's boundary
+  /// hooks (disabled by default; see docs/CHECKPOINT.md).  The absorber
+  /// backend requires a PPFS mount (its drain rides the PPFS recovery
+  /// path); the write-behind baseline works on either mount.
+  ckpt::CheckpointSpec checkpoint;
+  /// Host-side log knobs, used when checkpoint.backend == kAbsorber.
+  ckpt::AbsorberParams absorber;
 };
 
 struct ExperimentResult {
@@ -110,6 +120,18 @@ struct ExperimentResult {
   /// (staging + measured run).  Deterministic for a fixed config, so benches
   /// report throughput as kernel_events / wall time.
   std::uint64_t kernel_events = 0;
+  /// Checkpoint accounting (zero when config.checkpoint.enabled is false):
+  /// epochs started/committed, overhead time, and the data_loss_window at
+  /// the first destructive fault (or run end).
+  ckpt::CheckpointStats checkpoint;
+  /// Absorber accounting (absorber backend only); the invariant
+  /// acked == drained + resident + lost holds at quiescence.
+  ckpt::AbsorberStats absorber;
+  /// The durable host-side log image the run left behind (absorber backend
+  /// only; null otherwise).  A "restarted" run recovers from exactly this:
+  /// ckpt::recover(*ckpt_log) yields the last committed epoch and its
+  /// digest, which must match `checkpoint.committed_{epoch,digest}`.
+  std::shared_ptr<const ckpt::LogImage> ckpt_log;
 };
 
 /// Runs one experiment to completion (blocking; the simulation runs inside).

@@ -33,6 +33,12 @@ void IonServer::attach_observability(obs::Registry& registry,
   m_batch_requests_ = &registry.histogram(prefix + ".batch_requests");
   m_cache_hits_ = &registry.counter(prefix + ".cache_hits");
   m_cache_misses_ = &registry.counter(prefix + ".cache_misses");
+  // Fault-path load: without these, retried and failed-over requests are
+  // invisible in the per-ION metrics even though they occupy the server.
+  m_refused_ = &registry.counter(prefix + ".refused");
+  m_abandoned_ = &registry.counter(prefix + ".abandoned");
+  m_degraded_ = &registry.counter(prefix + ".degraded");
+  m_array_failures_ = &registry.counter(prefix + ".array_failures");
   tracer_ = tracer;
 }
 
@@ -63,6 +69,7 @@ sim::Task<io::IoOutcome> IonServer::submit(io::NodeId src,
   // fast, deterministic, and retryable once the node restarts.
   if (!machine_.ion_up(ion_index_)) {
     ++stats_.refused;
+    if (m_refused_ != nullptr) m_refused_->add();
     co_await net.send(src, ion_node, kControlBytes);
     co_await net.send(ion_node, src, kControlBytes);
     co_return io::IoOutcome{.error = io::IoErrc::kIonDown};
@@ -183,6 +190,7 @@ sim::Task<> IonServer::serve() {
           lost.result->error = io::IoErrc::kIonDown;
           lost.done->set();
           ++stats_.abandoned;
+          if (m_abandoned_ != nullptr) m_abandoned_->add();
         }
         break;
       }
@@ -220,6 +228,7 @@ sim::Task<> IonServer::serve() {
           batch[order[k]].result->error = io::IoErrc::kArrayFailed;
           batch[order[k]].done->set();
           ++stats_.array_failures;
+          if (m_array_failures_ != nullptr) m_array_failures_->add();
         }
         i = j;
         continue;
@@ -229,7 +238,10 @@ sim::Task<> IonServer::serve() {
       for (std::size_t k = i; k < j; ++k) {
         batch[order[k]].result->degraded = disk.degraded;
         batch[order[k]].done->set();
-        if (disk.degraded) ++stats_.degraded;
+        if (disk.degraded) {
+          ++stats_.degraded;
+          if (m_degraded_ != nullptr) m_degraded_->add();
+        }
       }
       i = j;
     }

@@ -110,6 +110,10 @@ class IonServer {
   obs::Histogram* m_batch_requests_ = nullptr;
   obs::Counter* m_cache_hits_ = nullptr;
   obs::Counter* m_cache_misses_ = nullptr;
+  obs::Counter* m_refused_ = nullptr;
+  obs::Counter* m_abandoned_ = nullptr;
+  obs::Counter* m_degraded_ = nullptr;
+  obs::Counter* m_array_failures_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
 };
 

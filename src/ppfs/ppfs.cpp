@@ -35,6 +35,10 @@ void Ppfs::attach_observability(obs::Registry* registry, obs::Tracer* tracer) {
     m_cache_evictions_ = nullptr;
     m_flush_bytes_ = nullptr;
     m_flush_extents_ = nullptr;
+    m_recovery_retries_ = nullptr;
+    m_recovery_failovers_ = nullptr;
+    m_recovery_failover_bytes_ = nullptr;
+    m_recovery_failed_ = nullptr;
     return;
   }
   m_cache_hits_ = &registry->counter("ppfs.cache.hits");
@@ -42,6 +46,13 @@ void Ppfs::attach_observability(obs::Registry* registry, obs::Tracer* tracer) {
   m_cache_evictions_ = &registry->counter("ppfs.cache.evictions");
   m_flush_bytes_ = &registry->histogram("ppfs.flush.bytes");
   m_flush_extents_ = &registry->histogram("ppfs.flush.extents");
+  // Recovery-path traffic was previously invisible here: retries and
+  // failovers bypassed every counter even though they re-submit real load.
+  m_recovery_retries_ = &registry->counter("ppfs.recovery.retries");
+  m_recovery_failovers_ = &registry->counter("ppfs.recovery.failovers");
+  m_recovery_failover_bytes_ =
+      &registry->counter("ppfs.recovery.failover_bytes");
+  m_recovery_failed_ = &registry->counter("ppfs.recovery.failed");
   for (std::size_t i = 0; i < servers_.size(); ++i) {
     servers_[i]->attach_observability(*registry,
                                       "ppfs.ion" + std::to_string(i), tracer);
@@ -116,6 +127,8 @@ sim::Task<io::IoOutcome> Ppfs::submit_with_recovery(io::NodeId node,
     ++attempts;
     if (out.ok() || attempts > rp.max_retries) break;
     ++recovery_stats_.retries;
+    if (m_recovery_retries_ != nullptr) m_recovery_retries_->add();
+    if (tracer_ != nullptr) tracer_->instant({node, 0}, "ppfs.retry", "fault");
     if (out.error == io::IoErrc::kTimeout) ++recovery_stats_.timeouts;
     if (out.error == io::IoErrc::kIonDown) ++recovery_stats_.refused;
     // Exponential backoff with seeded jitter: base * 2^(attempt-1), clamped,
@@ -145,6 +158,13 @@ sim::Task<io::IoOutcome> Ppfs::submit_with_recovery(io::NodeId node,
         out = alt_out;
         ++recovery_stats_.failovers;
         recovery_stats_.failover_bytes += length;
+        if (m_recovery_failovers_ != nullptr) m_recovery_failovers_->add();
+        if (m_recovery_failover_bytes_ != nullptr) {
+          m_recovery_failover_bytes_->add(length);
+        }
+        if (tracer_ != nullptr) {
+          tracer_->instant({node, 0}, "ppfs.failover", "fault");
+        }
       }
     }
   }
@@ -153,6 +173,7 @@ sim::Task<io::IoOutcome> Ppfs::submit_with_recovery(io::NodeId node,
     ++recovery_stats_.ok;
   } else {
     ++recovery_stats_.failed;
+    if (m_recovery_failed_ != nullptr) m_recovery_failed_->add();
     // A lost write is dirty data that had been acknowledged to the
     // application (write-behind) but never reached stable storage.
     if (is_write) recovery_stats_.dirty_bytes_lost += length;

@@ -295,6 +295,10 @@ class Ppfs final : public io::FileSystem {
   obs::Counter* m_cache_evictions_ = nullptr;
   obs::Histogram* m_flush_bytes_ = nullptr;
   obs::Histogram* m_flush_extents_ = nullptr;
+  obs::Counter* m_recovery_retries_ = nullptr;
+  obs::Counter* m_recovery_failovers_ = nullptr;
+  obs::Counter* m_recovery_failover_bytes_ = nullptr;
+  obs::Counter* m_recovery_failed_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
 };
 

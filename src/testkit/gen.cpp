@@ -308,4 +308,67 @@ std::vector<SimCase> shrink_sim_case(const SimCase& failing) {
   return out;
 }
 
+Gen<CkptCase> gen_ckpt_case() {
+  return Gen<CkptCase>([](sim::Rng& rng) {
+    CkptCase cc;
+    cc.base = gen_sim_case(core::FsChoice::Kind::kPpfs)(rng);
+    cc.plan = gen_fault_plan(cc.base.machine.io_nodes,
+                             cc.base.machine.raid.disks)(rng);
+    cc.spec.enabled = true;
+    cc.spec.backend = ckpt::CkptBackend::kAbsorber;
+    cc.spec.every = static_cast<std::uint32_t>(rng.uniform_int(1, 6));
+    cc.spec.state_bytes = rng.uniform_int(4, 128) * 1024;
+    // Chunks no larger than the state: 1-8 chunks per dump burst.
+    cc.spec.chunk_bytes =
+        std::max<std::uint64_t>(cc.spec.state_bytes / rng.uniform_int(1, 8),
+                                1024);
+    return cc;
+  });
+}
+
+std::string CkptCase::describe() const {
+  std::ostringstream out;
+  out << base.describe() << "\n ckpt every=" << spec.every
+      << " state=" << spec.state_bytes << " chunk=" << spec.chunk_bytes
+      << "\n" << plan.describe();
+  return out.str();
+}
+
+std::vector<CkptCase> shrink_ckpt_case(const CkptCase& failing) {
+  std::vector<CkptCase> out;
+  if (!failing.plan.empty()) {
+    // Is the fault schedule implicated at all?
+    CkptCase none = failing;
+    none.plan.events.clear();
+    out.push_back(std::move(none));
+    for (std::size_t i = 0; i < failing.plan.events.size(); ++i) {
+      CkptCase c = failing;
+      c.plan.events.erase(c.plan.events.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+      out.push_back(std::move(c));
+    }
+  }
+  // Fewer, smaller dumps keep failing?  (Doubling `every` halves the epoch
+  // count; halving state_bytes shrinks each burst.)
+  if (failing.spec.state_bytes > 4096) {
+    CkptCase c = failing;
+    c.spec.state_bytes /= 2;
+    c.spec.chunk_bytes = std::min(c.spec.chunk_bytes, c.spec.state_bytes);
+    out.push_back(std::move(c));
+  }
+  if (failing.spec.every < 16) {
+    CkptCase c = failing;
+    c.spec.every *= 2;
+    out.push_back(std::move(c));
+  }
+  for (SimCase& base : shrink_sim_case(failing.base)) {
+    CkptCase c = failing;
+    const auto ions = static_cast<std::uint32_t>(base.machine.io_nodes);
+    c.base = std::move(base);
+    for (fault::FaultEvent& e : c.plan.events) e.ion %= ions;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
 }  // namespace paraio::testkit

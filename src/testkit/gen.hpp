@@ -141,4 +141,21 @@ struct FaultCase {
 Gen<FaultCase> gen_fault_case();
 std::vector<FaultCase> shrink_fault_case(const FaultCase& failing);
 
+// --- checkpoint/restart cases ----------------------------------------------
+
+/// A PPFS simulation case running under a randomized checkpoint interval
+/// and a random fault schedule — the crash-consistency property-test input:
+/// whatever the plan does to the machine, recovery from the absorber log
+/// must land exactly on the last committed epoch.
+struct CkptCase {
+  SimCase base;
+  fault::FaultPlan plan;
+  ckpt::CheckpointSpec spec;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+Gen<CkptCase> gen_ckpt_case();
+std::vector<CkptCase> shrink_ckpt_case(const CkptCase& failing);
+
 }  // namespace paraio::testkit

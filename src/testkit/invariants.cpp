@@ -167,6 +167,16 @@ void InvariantChecker::on_event(const pablo::IoEvent& event) {
 
 // --- end-of-run checks -------------------------------------------------------
 
+void InvariantChecker::observe_recovery(const fault::RecoveryStats& stats) {
+  have_recovery_ = true;
+  recovery_ = stats;
+}
+
+void InvariantChecker::observe_absorber(const ckpt::AbsorberStats& stats) {
+  have_absorber_ = true;
+  absorber_ = stats;
+}
+
 void InvariantChecker::finish() {
   if (options_.exact_conservation) {
     // PFS: every application byte crosses the wire exactly once — except in
@@ -204,6 +214,26 @@ void InvariantChecker::finish() {
     out << "write-behind ledger out of balance: " << buffered_
         << " bytes buffered, " << flushed_ << " flushed";
     violate(out.str());
+  }
+  if (have_recovery_ && recovery_.requests != recovery_.ok + recovery_.failed) {
+    std::ostringstream out;
+    out << "recovery accounting out of balance: " << recovery_.requests
+        << " requests != " << recovery_.ok << " ok + " << recovery_.failed
+        << " failed";
+    violate(out.str());
+  }
+  if (have_absorber_) {
+    const std::uint64_t accounted = absorber_.drained_bytes +
+                                    absorber_.log_resident_bytes +
+                                    absorber_.dirty_bytes_lost;
+    if (absorber_.acked_bytes != accounted) {
+      std::ostringstream out;
+      out << "absorber ledger out of balance: " << absorber_.acked_bytes
+          << " bytes acked != " << absorber_.drained_bytes << " drained + "
+          << absorber_.log_resident_bytes << " resident + "
+          << absorber_.dirty_bytes_lost << " lost";
+      violate(out.str());
+    }
   }
 }
 

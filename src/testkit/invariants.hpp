@@ -35,6 +35,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ckpt/absorber.hpp"
+#include "fault/fault.hpp"
 #include "pablo/trace.hpp"
 #include "pfs/observer.hpp"
 #include "sim/engine.hpp"
@@ -79,8 +81,19 @@ class InvariantChecker : public sim::EngineObserver,
   // --- pablo::TraceSink ---
   void on_event(const pablo::IoEvent& event) override;
 
-  /// Runs the end-of-experiment checks (conservation, write-behind ledger).
-  /// Call once after run_experiment() returns.
+  /// Feeds the mount's graceful-degradation accounting into finish():
+  /// every recovered request must be resolved exactly once
+  /// (requests == ok + failed — the RecoveryStats contract).
+  void observe_recovery(const fault::RecoveryStats& stats);
+
+  /// Feeds the checkpoint absorber's ledger into finish(): at quiescence
+  /// every acknowledged byte is on an ION, still resident in the log, or
+  /// explicitly lost (acked == drained + resident + lost).
+  void observe_absorber(const ckpt::AbsorberStats& stats);
+
+  /// Runs the end-of-experiment checks (conservation, write-behind ledger,
+  /// any observed recovery/absorber accounting).  Call once after
+  /// run_experiment() returns.
   void finish();
 
   [[nodiscard]] bool ok() const { return violation_count_ == 0; }
@@ -123,6 +136,12 @@ class InvariantChecker : public sim::EngineObserver,
   std::size_t segment_walks_ = 0;
   bool saw_global_ = false;
   std::unordered_map<io::FileId, std::uint64_t> file_sizes_;
+
+  // Snapshots handed in via observe_*; checked in finish() when present.
+  bool have_recovery_ = false;
+  fault::RecoveryStats recovery_;
+  bool have_absorber_ = false;
+  ckpt::AbsorberStats absorber_;
 };
 
 }  // namespace paraio::testkit

@@ -486,11 +486,15 @@ TEST(LintExitCodes, StableValues) {
 }
 
 // check_docs_text returns kExitClean on a doc covering the whole catalog
-// and kExitFindings on drift, in both directions.
+// (check ids and CLI flags) and kExitFindings on drift, in both directions
+// for both lists.
 TEST(LintExitCodes, CheckDocsTextTwoWayGate) {
   std::string complete;
   for (const auto& c : paraio::lint::checks()) {
     complete += "| `" + std::string(c.id) + "` | ... |\n";
+  }
+  for (const char* flag : paraio::lint::cli_flags()) {
+    complete += "* `" + std::string(flag) + "` — ...\n";
   }
   std::ostringstream quiet;
   EXPECT_EQ(paraio::lint::check_docs_text(complete, "doc.md", quiet),
@@ -508,6 +512,24 @@ TEST(LintExitCodes, CheckDocsTextTwoWayGate) {
                 unknown_err),
             paraio::lint::kExitFindings);
   EXPECT_NE(unknown_err.str().find("unknown check"), std::string::npos);
+
+  // Flag drift, both directions: a doc missing one parsed flag, and a doc
+  // mentioning a flag the driver no longer parses.
+  std::string missing_flag = complete;
+  const std::string stats_line = "* `--stats` — ...\n";
+  missing_flag.erase(missing_flag.find(stats_line), stats_line.size());
+  std::ostringstream flag_err;
+  EXPECT_EQ(paraio::lint::check_docs_text(missing_flag, "doc.md", flag_err),
+            paraio::lint::kExitFindings);
+  EXPECT_NE(flag_err.str().find("flag '--stats'"), std::string::npos);
+
+  std::ostringstream stale_err;
+  EXPECT_EQ(paraio::lint::check_docs_text(
+                complete + "and pass `--no-such-flag=1` for speed\n", "doc.md",
+                stale_err),
+            paraio::lint::kExitFindings);
+  EXPECT_NE(stale_err.str().find("unknown flag '--no-such-flag'"),
+            std::string::npos);
 }
 
 // Findings carry precise 1-based columns pointing at the offending token,

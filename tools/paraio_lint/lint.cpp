@@ -1375,6 +1375,18 @@ const CheckInfo* find_check(std::string_view id) {
   return nullptr;
 }
 
+const std::vector<const char*>& cli_flags() {
+  // Must match exactly what main.cpp parses; CheckDocsTextTwoWayGate and
+  // the CI `--check-docs` run both fail when this list and the driver (or
+  // the doc) drift apart.
+  static const std::vector<const char*> kFlags = {
+      "--werror",     "--disable",     "--exclude", "--sarif",
+      "--baseline",   "--lp-report",   "--stats",   "--check-docs",
+      "--list-checks", "--explain",
+  };
+  return kFlags;
+}
+
 std::string strip_comments_and_strings(const std::string& source) {
   std::string out = source;
   enum class State { kCode, kLine, kBlock, kString, kChar } state = State::kCode;
@@ -1719,9 +1731,42 @@ int check_docs_text(const std::string& doc, const std::string& doc_name,
       drift = kExitFindings;
     }
   }
+  // The CLI flag list follows the same two-way contract.  Forward: every
+  // flag the driver parses must appear backticked somewhere (`--sarif=path`
+  // counts for `--sarif`).  Backward: every backticked token that starts
+  // with `--` must be a flag the driver parses, so prose written against a
+  // renamed or removed flag fails the gate.
+  for (const char* flag : cli_flags()) {
+    std::string needle = "`";
+    needle += flag;
+    if (doc.find(needle) == std::string::npos) {
+      err << "paraio_lint: doc drift: flag '" << flag
+          << "' is not documented in " << doc_name << "\n";
+      drift = kExitFindings;
+    }
+  }
+  pos = 0;
+  while ((pos = doc.find("`--", pos)) != std::string::npos) {
+    const std::size_t begin = pos + 1;
+    std::size_t end = begin;
+    while (end < doc.size() && doc[end] != '`' && doc[end] != '=' &&
+           doc[end] != ' ' && doc[end] != '\n') {
+      ++end;
+    }
+    pos = end;
+    const std::string flag = doc.substr(begin, end - begin);
+    bool known = false;
+    for (const char* f : cli_flags()) known = known || flag == f;
+    if (!known) {
+      err << "paraio_lint: doc drift: " << doc_name
+          << " documents unknown flag '" << flag << "'\n";
+      drift = kExitFindings;
+    }
+  }
   if (drift == kExitClean) {
     err << "paraio_lint: " << doc_name << " is in sync with the catalog ("
-        << checks().size() << " checks)\n";
+        << checks().size() << " checks, " << cli_flags().size()
+        << " flags)\n";
   }
   return drift;
 }

@@ -73,6 +73,12 @@ struct CheckInfo {
 /// Catalog of every check the linter knows, in reporting order.
 const std::vector<CheckInfo>& checks();
 
+/// Catalog of every CLI flag the driver (main.cpp) parses, without the
+/// `=value` suffix.  `--check-docs` holds docs/LINTING.md to this list the
+/// same way it holds it to the check catalog, so a renamed or removed flag
+/// cannot leave stale documentation behind.
+const std::vector<const char*>& cli_flags();
+
 /// Catalog entry for `id`, or nullptr for an unknown id.
 const CheckInfo* find_check(std::string_view id);
 
@@ -198,6 +204,7 @@ void dedupe_findings(std::vector<Finding>* findings);
 /// The `--check-docs` two-way gate against an already-loaded document:
 /// every catalog id must appear in `doc` as `` `id` `` and every
 /// backticked token that looks like a check id must be in the catalog.
+/// The CLI flag list (cli_flags()) is held to the same two-way contract.
 /// Returns kExitClean or kExitFindings; drift details go to `err`.
 int check_docs_text(const std::string& doc, const std::string& doc_name,
                     std::ostream& err);
